@@ -1,0 +1,39 @@
+"""Benchmark-suite fixtures: runs each paper experiment once under
+pytest-benchmark and archives the regenerated tables."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.registry import run_experiment
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def run_and_record(benchmark, results_dir):
+    """Run one experiment under the benchmark timer, archive its tables,
+    and return the ExperimentResult for shape assertions."""
+
+    def _run(experiment: str, scale: str = "tiny", seed: int = 0):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment,),
+            kwargs={"scale": scale, "seed": seed},
+            rounds=1,
+            iterations=1,
+        )
+        rendered = result.render()
+        (results_dir / f"{experiment}.txt").write_text(rendered + "\n")
+        print("\n" + rendered)
+        return result
+
+    return _run

@@ -1,0 +1,68 @@
+"""Ablation: greedy heuristic planner vs an exact DP reference.
+
+The paper's Algorithm 1 trades optimality for speed. This bench measures
+the optimality gap against a discretized-DP solution of the same
+multiple-choice knapsack (DESIGN.md §6).
+"""
+
+from repro.tuning.exact import solve_exact
+from repro.tuning.greedy_planner import GreedyHeuristicPlanner
+from repro.tuning.plan import Objective, PartitionPlan, evaluate_plan
+from repro.tuning.sha import SHASpec
+from repro.workflow.metrics import ComparisonTable
+from repro.workflow.runner import profile_workload
+
+
+def _compare(benchmark):
+    profile = profile_workload("lr-higgs")
+    spec = SHASpec(256, 2, 2)
+    cheap = evaluate_plan(
+        PartitionPlan.uniform(profile.cheapest(), spec.n_stages), spec
+    )
+    table = ComparisonTable(
+        title="Greedy vs exact DP",
+        columns=["objective", "constraint", "greedy", "exact_dp", "gap_%"],
+    )
+    gaps = []
+
+    def run_all():
+        rows = []
+        for mult in (1.1, 1.5, 2.5):
+            budget = cheap.cost_usd * mult
+            greedy = GreedyHeuristicPlanner().plan(
+                profile.pareto, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+                budget_usd=budget,
+            )
+            exact = solve_exact(
+                profile.pareto, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+                budget_usd=budget,
+            )
+            rows.append(("min-JCT", f"budget x{mult}",
+                         greedy.evaluation.jct_s, exact.jct_s))
+        for frac in (0.3, 0.6):
+            qos = cheap.jct_s * frac
+            greedy = GreedyHeuristicPlanner().plan(
+                profile.pareto, spec, Objective.MIN_COST_GIVEN_QOS, qos_s=qos
+            )
+            exact = solve_exact(
+                profile.pareto, spec, Objective.MIN_COST_GIVEN_QOS, qos_s=qos
+            )
+            rows.append(("min-cost", f"qos x{frac}",
+                         greedy.evaluation.cost_usd, exact.cost_usd))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for obj, constraint, greedy_v, exact_v in rows:
+        gap = (greedy_v / exact_v - 1.0) * 100
+        gaps.append(gap)
+        table.add_row(obj, constraint, greedy_v, exact_v, gap)
+    print("\n" + table.render())
+    return gaps
+
+
+def test_greedy_optimality_gap(benchmark):
+    gaps = _compare(benchmark)
+    # Greedy stays within 35% of the (discretized) optimum everywhere and
+    # within a few percent on most instances.
+    assert max(gaps) < 35.0
+    assert sum(g < 10.0 for g in gaps) >= len(gaps) - 1

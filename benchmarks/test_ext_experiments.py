@@ -1,0 +1,23 @@
+"""Bench: the beyond-the-paper extension experiments."""
+
+
+def test_ext_bohb(run_and_record):
+    result = run_and_record("ext_bohb")
+    s = result.series
+    # BOHB's much smaller trial pool (HyperBand brackets vs SHA's 64-wide
+    # first stage) still lands a clearly-above-random configuration; SHA's
+    # wider pool wins on quality at this budget, as expected.
+    assert s["bohb"]["quality"] >= 0.5
+    assert s["bohb"]["quality"] >= s["sha"]["quality"] - 0.35
+    assert s["bohb"]["cost_usd"] > 0
+
+
+def test_ext_sensitivity(run_and_record):
+    result = run_and_record("ext_sensitivity")
+    s = result.series
+    for name, knobs in s.items():
+        # Doubling/halving the Lambda price scales costs but the spread is
+        # bounded (compute is only a share of total cost).
+        assert 1.0 <= knobs["lambda_price"]["cost_spread"] < 4.0
+        # At least one knob leaves the decision completely stable.
+        assert any(k["stable"] for k in knobs.values())

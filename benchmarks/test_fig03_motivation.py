@@ -1,0 +1,10 @@
+"""Bench: Fig. 3 — reallocating early-stage resources (motivation)."""
+
+
+def test_fig03(run_and_record):
+    result = run_and_record("fig03")
+    jct = result.series["jct"]
+    # Paper: ~-39% JCT for moderate reallocation, +36% for aggressive.
+    assert jct["realloc-10%"] < jct["static"]
+    assert jct["realloc-30%"] > jct["static"]
+    assert result.series["static_cost_share_first3"] > 0.8

@@ -1,0 +1,18 @@
+"""Bench: Fig. 4 — offline vs online epoch-prediction error."""
+
+import math
+
+
+def test_fig04(run_and_record):
+    result = run_and_record("fig04", scale="small")
+    offline = result.series["offline"]
+    online = result.series["online"]
+    # Paper band: offline errors are tens of percent; online prediction at
+    # 80% progress is far more accurate than offline for most models.
+    assert all(err > 0.05 for err in offline.values())
+    wins = sum(
+        1
+        for name, err in offline.items()
+        if not math.isnan(online[name][0.8]) and online[name][0.8] < err
+    )
+    assert wins >= len(offline) - 1

@@ -1,0 +1,9 @@
+"""Bench: Fig. 7 — Pareto boundary of the cost-JCT space."""
+
+
+def test_fig07(run_and_record):
+    result = run_and_record("fig07")
+    s = result.series
+    assert s["n_points"] == 50
+    assert 2 <= s["n_front"] < 50
+    assert s["n_dominated"] == s["n_points"] - s["n_front"]

@@ -1,0 +1,10 @@
+"""Bench: Fig. 9 — tuning JCT given a budget (CE vs static vs fixed)."""
+
+
+def test_fig09(run_and_record):
+    result = run_and_record("fig09")
+    for name, comp in result.series.items():
+        # CE-scaling never worse than the static methods; Fixed is worst.
+        assert comp["ce-scaling"]["jct_s"] <= comp["lambdaml"]["jct_s"] * 1.02
+        assert comp["ce-scaling"]["jct_s"] < comp["siren"]["jct_s"]
+        assert comp["fixed"]["jct_s"] > comp["ce-scaling"]["jct_s"]

@@ -1,0 +1,8 @@
+"""Bench: Fig. 10 — tuning cost given a QoS constraint."""
+
+
+def test_fig10(run_and_record):
+    result = run_and_record("fig10")
+    for name, comp in result.series.items():
+        assert comp["ce-scaling"]["cost_usd"] <= comp["lambdaml"]["cost_usd"] * 1.02
+        assert comp["ce-scaling"]["cost_usd"] < comp["siren"]["cost_usd"]

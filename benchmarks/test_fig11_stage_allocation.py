@@ -1,0 +1,12 @@
+"""Bench: Fig. 11 — per-trial budget per SHA stage (LR-Higgs)."""
+
+
+def test_fig11(run_and_record):
+    result = run_and_record("fig11")
+    per_trial = result.series["per_trial"]
+    ce = per_trial["ce-scaling"]
+    static = per_trial["lambdaml"]
+    # CE shifts per-trial budget toward the late stages.
+    assert ce[-1] / static[-1] >= ce[0] / static[0]
+    # Static methods concentrate spend in the first stages (paper: >80%).
+    assert result.series["lambdaml_first2_share"] > 0.6

@@ -1,0 +1,12 @@
+"""Bench: Fig. 12 — training JCT given a budget (with comm breakdown)."""
+
+
+def test_fig12(run_and_record):
+    result = run_and_record("fig12")
+    for name, comp in result.series.items():
+        budget = comp["ce-scaling"]["budget_usd"]
+        # CE satisfies the budget and beats Siren's S3-bound execution.
+        assert comp["ce-scaling"]["cost_usd"] <= budget * 1.02
+        assert comp["ce-scaling"]["jct_s"] < comp["siren"]["jct_s"]
+        # Siren's communication overhead dominates (S3 sync).
+        assert comp["siren"]["comm_s"] >= comp["ce-scaling"]["comm_s"]

@@ -1,0 +1,11 @@
+"""Bench: Fig. 13 — training cost given a QoS constraint."""
+
+
+def test_fig13(run_and_record):
+    result = run_and_record("fig13")
+    for name, comp in result.series.items():
+        qos = comp["ce-scaling"]["qos_s"]
+        compliant = {m: r for m, r in comp.items() if r["jct_s"] <= qos * 1.05}
+        assert "ce-scaling" in compliant
+        best = min(compliant.values(), key=lambda r: r["cost_usd"])
+        assert comp["ce-scaling"]["cost_usd"] <= best["cost_usd"] * 1.15

@@ -1,0 +1,19 @@
+"""Bench: Fig. 14/15 — CE-scaling under varying constraint tightness."""
+
+
+def test_fig14_15(run_and_record):
+    result = run_and_record("fig14_15")
+    tuning = result.series["tuning"]
+    mults = sorted(tuning)
+    # CE never (meaningfully) worse than static at any tightness...
+    for mult in mults:
+        comp = tuning[mult]
+        assert comp["ce-scaling"]["jct_s"] <= comp["lambdaml"]["jct_s"] * 1.02 + 10.0
+    # ...and the advantage is largest under the tightest budget.
+    tight_adv = 1 - tuning[mults[0]]["ce-scaling"]["jct_s"] / tuning[mults[0]][
+        "lambdaml"
+    ]["jct_s"]
+    loose_adv = 1 - tuning[mults[-1]]["ce-scaling"]["jct_s"] / tuning[mults[-1]][
+        "lambdaml"
+    ]["jct_s"]
+    assert tight_adv >= loose_adv - 0.05

@@ -1,0 +1,12 @@
+"""Bench: Fig. 16/17 — all methods pinned to the same external storage."""
+
+
+def test_fig16_17(run_and_record):
+    result = run_and_record("fig16_17")
+    for storage, comp in result.series["tuning"].items():
+        assert comp["ce-scaling"]["jct_s"] <= comp["lambdaml"]["jct_s"] * 1.05
+    training = result.series["training"]
+    assert set(training) == {"s3", "vmps"}
+    for storage, comp in training.items():
+        methods = set(comp)
+        assert "ce-scaling" in methods and len(methods) == 2

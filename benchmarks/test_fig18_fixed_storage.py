@@ -1,0 +1,21 @@
+"""Bench: Fig. 18 — CE-scaling under fixed external storage."""
+
+
+def test_fig18(run_and_record):
+    result = run_and_record("fig18")
+    s = result.series
+    # DynamoDB gate: N/A above 400 KB models, available for LR.
+    assert s["mobilenet-cifar10"]["dynamodb"] is None
+    assert s["lr-higgs"]["dynamodb"] is not None
+    # Storage choice materially changes both JCT and cost.
+    mn = {k: v for k, v in s["mobilenet-cifar10"].items() if v is not None}
+    jcts = [r["jct_s"] for r in mn.values()]
+    assert max(jcts) > 1.3 * min(jcts)
+    # The best service differs between the small and the large model
+    # (Finding 3: the trade-off depends on the ML model).
+    lr_best = min(
+        (k for k, v in s["lr-higgs"].items() if v is not None),
+        key=lambda k: s["lr-higgs"][k]["cost_usd"],
+    )
+    mn_best = min(mn, key=lambda k: mn[k]["cost_usd"])
+    assert lr_best != "s3" or mn_best != "s3"

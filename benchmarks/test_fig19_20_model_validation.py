@@ -1,0 +1,12 @@
+"""Bench: Fig. 19/20 — analytical model vs simulated measurement."""
+
+
+def test_fig19_20(run_and_record):
+    result = run_and_record("fig19_20", scale="small")
+    s = result.series
+    # Paper bands: time 0.56-4.9% / cost 0.2-3.72% (fn sweep) and
+    # time 2.1-4.3% / cost 1.5-7.6% (memory sweep). Allow headroom for the
+    # simulator's barrier/noise effects.
+    for fig in ("fig19", "fig20"):
+        assert max(s[fig]["time"]) < 12.0
+        assert max(s[fig]["cost"]) < 12.0

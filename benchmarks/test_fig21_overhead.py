@@ -1,0 +1,24 @@
+"""Bench: Fig. 21 — scheduling overhead and the δ threshold."""
+
+
+def test_fig21(run_and_record):
+    result = run_and_record("fig21")
+    tuning = result.series["tuning"]
+    # Pareto pruning shrinks the planner's candidate set and its overhead
+    # (paper: ~69% less tuning scheduling overhead).
+    assert tuning["ce-scaling"]["candidates"] < tuning["wo-pa"]["candidates"]
+    assert tuning["ce-scaling"]["sim_overhead_s"] < tuning["wo-pa"]["sim_overhead_s"]
+    training = result.series["training"]
+    # Pareto (~64%) and delayed restart (~55%) both cut training overhead.
+    assert (
+        training["ce-scaling"]["sched_overhead_s"]
+        <= training["wo-pa"]["sched_overhead_s"]
+    )
+    assert (
+        training["wo-pa"]["sched_overhead_s"]
+        <= training["wo-pa-dr"]["sched_overhead_s"]
+    )
+    # δ: reacting to every wiggle restarts more than reacting slowly.
+    delta = result.series["delta"]
+    deltas = sorted(delta)
+    assert delta[deltas[0]]["restarts"] >= delta[deltas[-1]]["restarts"]

@@ -1,0 +1,10 @@
+"""Bench: Table I — storage service characteristics."""
+
+
+def test_table1(run_and_record):
+    result = run_and_record("table1")
+    rows = {r["service"]: r for r in result.series["rows"]}
+    assert rows["s3"]["latency"] == "High"
+    assert rows["vmps"]["latency"] == "Low"
+    assert rows["s3"]["cost_tier"] == "$"
+    assert rows["vmps"]["cost_tier"] == "$$$"

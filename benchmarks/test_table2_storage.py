@@ -1,0 +1,17 @@
+"""Bench: Table II — storage services under Cirrus, normalized to S3."""
+
+import math
+
+
+def test_table2(run_and_record):
+    result = run_and_record("table2")
+    s = result.series
+    # DynamoDB N/A for MobileNet (400 KB item cap), viable+winning for LR.
+    assert math.isnan(s[("mobilenet-cifar10", 10)]["dynamodb"][0])
+    lr10 = s[("lr-higgs", 10)]
+    assert lr10["dynamodb"][0] < 1.0 and lr10["dynamodb"][1] < 1.0
+    # Expensive low-latency storage is not always cheapest (Finding 3).
+    assert lr10["elasticache"][1] > 1.0
+    # At 50 functions, VM-PS wins both dimensions for LR (paper: 0.84/0.78).
+    lr50 = s[("lr-higgs", 50)]
+    assert lr50["vmps"][0] < 1.0 and lr50["vmps"][1] < 1.0

@@ -1,0 +1,48 @@
+"""BOHB over HyperBand brackets, partitioned by CE-scaling's planner.
+
+The paper (§II-A) argues its resource partitioning applies to any
+early-stopping tuner. This example runs BOHB — HyperBand brackets with a
+TPE model proposing configurations — where every bracket's stages are
+partitioned by the greedy heuristic planner.
+
+Run:  python examples/bohb_tuning.py
+"""
+
+from repro import workload
+from repro.common.units import format_duration, format_usd
+from repro.tuning.bohb import BOHBRunner
+from repro.tuning.hyperband import HyperBandSpec
+from repro.workflow.runner import profile_workload
+
+
+def main() -> None:
+    w = workload("mobilenet-cifar10")
+    spec = HyperBandSpec(max_epochs_per_trial=16, reduction_factor=2)
+    print(f"HyperBand: R={spec.max_epochs_per_trial}, eta={spec.reduction_factor}, "
+          f"{len(spec.brackets())} brackets, "
+          f"{spec.total_trial_epochs()} trial-epochs total")
+    for b in spec.brackets():
+        print(f"  bracket s={b.bracket_index}: {b.n_trials} trials, "
+              f"{b.n_stages} stages, epochs/stage "
+              f"{[b.epochs_in_stage(i) for i in range(b.n_stages)]}")
+
+    profile = profile_workload(w)
+    runner = BOHBRunner(
+        workload=w, spec=spec, candidates=profile.pareto,
+        budget_usd=50.0, seed=0,
+    )
+    result = runner.run()
+    print(f"\nBOHB finished: JCT {format_duration(result.jct_s)}, "
+          f"cost {format_usd(result.cost_usd)}")
+    best = result.best_trial
+    print(f"best config: lr={best.learning_rate:.2e} "
+          f"momentum={best.momentum:.2f} (latent quality {best.quality:.2f})")
+    print("\nper-bracket outcomes:")
+    for b, r in zip(spec.brackets(), result.bracket_results):
+        print(f"  s={b.bracket_index}: JCT {format_duration(r.jct_s)} "
+              f"cost {format_usd(r.cost_usd)} "
+              f"winner quality {r.winner.quality:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""CE-scaling — QoS-aware, cost-efficient dynamic resource allocation for
+serverless ML workflows (reproduction of Wu et al., IPDPS 2023).
+
+The public API in one import::
+
+    from repro import (
+        Allocation, StorageKind, Objective, SHASpec,
+        ParetoProfiler, GreedyHeuristicPlanner, AdaptiveScheduler,
+        run_training, run_tuning, workload,
+    )
+
+Layer map (bottom-up):
+
+* ``repro.faas`` — discrete-event serverless platform simulator.
+* ``repro.storage`` — simulated S3/DynamoDB/ElastiCache/VM-PS services.
+* ``repro.ml`` — datasets, model zoo, convergence curves, real SGD.
+* ``repro.analytical`` — Eq. (2)-(5) time/cost models + Pareto profiler.
+* ``repro.tuning`` — SHA engine and Algorithm 1 (greedy partitioning).
+* ``repro.training`` — online/offline predictors and Algorithm 2.
+* ``repro.baselines`` — LambdaML, Siren, Cirrus, Fixed.
+* ``repro.workflow`` — one-call job runners.
+* ``repro.experiments`` — one module per paper table/figure.
+"""
+
+from repro.common.types import Allocation, JobResult, PricingPattern, StorageKind
+from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.analytical.profiler import ParetoProfiler, ProfileResult
+from repro.ml.models import WORKLOADS, Workload, workload
+from repro.training.adaptive_scheduler import AdaptiveScheduler
+from repro.training.offline_predictor import OfflinePredictor
+from repro.training.online_predictor import OnlinePredictor
+from repro.tuning.greedy_planner import GreedyHeuristicPlanner
+from repro.tuning.plan import Objective
+from repro.tuning.sha import SHASpec
+from repro.workflow.runner import run_training, run_tuning
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveScheduler",
+    "Allocation",
+    "DEFAULT_PLATFORM",
+    "GreedyHeuristicPlanner",
+    "JobResult",
+    "Objective",
+    "OfflinePredictor",
+    "OnlinePredictor",
+    "ParetoProfiler",
+    "PlatformConfig",
+    "PricingPattern",
+    "ProfileResult",
+    "SHASpec",
+    "StorageKind",
+    "WORKLOADS",
+    "Workload",
+    "__version__",
+    "run_training",
+    "run_tuning",
+    "workload",
+]

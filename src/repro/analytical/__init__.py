@@ -1,0 +1,49 @@
+"""Analytical JCT/cost models and Pareto-boundary profiling (paper §III-B)."""
+
+from repro.analytical.calibration import (
+    ComputeCalibration,
+    StorageCalibration,
+    fit_compute_constant,
+    fit_storage_constants,
+    measure_epochs,
+)
+from repro.analytical.costmodel import epoch_cost, function_price_per_second
+from repro.analytical.pareto import ProfiledAllocation, pareto_front
+from repro.analytical.profiler import ParetoProfiler, ProfileResult
+from repro.analytical.sensitivity import (
+    SensitivityReport,
+    full_sweep,
+    sweep_knob,
+)
+from repro.analytical.space import AllocationSpace, default_space
+from repro.analytical.timemodel import (
+    check_feasible,
+    compute_speedup,
+    epoch_time,
+    is_feasible,
+    sync_time_per_iteration,
+)
+
+__all__ = [
+    "AllocationSpace",
+    "ComputeCalibration",
+    "StorageCalibration",
+    "fit_compute_constant",
+    "fit_storage_constants",
+    "measure_epochs",
+    "ParetoProfiler",
+    "ProfileResult",
+    "ProfiledAllocation",
+    "SensitivityReport",
+    "full_sweep",
+    "sweep_knob",
+    "check_feasible",
+    "compute_speedup",
+    "default_space",
+    "epoch_cost",
+    "epoch_time",
+    "function_price_per_second",
+    "is_feasible",
+    "pareto_front",
+    "sync_time_per_iteration",
+]

@@ -1,0 +1,70 @@
+"""Monetary-cost model for one epoch — paper Eq. (4) and (5).
+
+``c'(θ) = n * p_ivk + n * t'(θ) * p_f(m) + c_s(θ)`` where the storage term
+depends on the service's pricing pattern (Eq. 5):
+
+* request-charged (S3, DynamoDB): ``k * (10n + 2) * p_s`` — the paper's
+  accounting of ~10 requests per function per BSP round plus 2 bookkeeping
+  requests, priced per request (size-dependent for DynamoDB);
+* runtime-charged (ElastiCache, VM-PS): ``(t' / 60 + 1) * p_s`` — the
+  provisioned node is billed per minute for the epoch's duration, with
+  per-minute rounding.
+"""
+
+from __future__ import annotations
+
+from repro.common.types import (
+    Allocation,
+    EpochCostBreakdown,
+    EpochTimeBreakdown,
+    PricingPattern,
+)
+from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.analytical.timemodel import epoch_time
+from repro.ml.models import Workload
+
+
+def function_price_per_second(
+    memory_mb: int, platform: PlatformConfig = DEFAULT_PLATFORM
+) -> float:
+    """Lambda compute price p_f(m) in USD per second for one function."""
+    return (memory_mb / 1024.0) * platform.pricing.usd_per_gb_second
+
+
+def storage_cost(
+    workload: Workload,
+    alloc: Allocation,
+    epoch_duration_s: float,
+    platform: PlatformConfig = DEFAULT_PLATFORM,
+) -> float:
+    """Per-epoch external-storage cost c_s(θ) — Eq. (5)."""
+    svc = platform.storage_config(alloc.storage)
+    if svc.pricing is PricingPattern.REQUEST:
+        k = workload.iterations_per_epoch(alloc.n_functions)
+        requests = k * (10 * alloc.n_functions + 2)
+        return requests * svc.request_price_usd(workload.model_mb)
+    # Runtime-charged: provisioned node billed per minute over the epoch.
+    return (epoch_duration_s / 60.0 + 1.0) * svc.usd_per_minute
+
+
+def epoch_cost(
+    workload: Workload,
+    alloc: Allocation,
+    time_breakdown: EpochTimeBreakdown | None = None,
+    platform: PlatformConfig = DEFAULT_PLATFORM,
+) -> EpochCostBreakdown:
+    """Per-epoch monetary-cost breakdown c'(θ) — Eq. (4).
+
+    ``time_breakdown`` may be supplied to price a *measured* epoch (the
+    billing layer does this); otherwise the analytical t'(θ) is used.
+    """
+    t = time_breakdown if time_breakdown is not None else epoch_time(
+        workload, alloc, platform
+    )
+    n = alloc.n_functions
+    invocation = n * platform.pricing.usd_per_invocation
+    compute = n * t.total_s * function_price_per_second(alloc.memory_mb, platform)
+    storage = storage_cost(workload, alloc, t.total_s, platform)
+    return EpochCostBreakdown(
+        invocation_usd=invocation, compute_usd=compute, storage_usd=storage
+    )

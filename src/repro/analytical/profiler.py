@@ -1,0 +1,98 @@
+"""The Pareto profiler (paper Fig. 6, §III-B).
+
+Given a workload, evaluates the analytical time/cost models over the
+allocation space and extracts the Pareto boundary 𝒫. The profiler records
+how many points it evaluated and how long profiling took, which feeds the
+scheduling-overhead experiment (Fig. 21: CE-scaling vs WO-pa).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.common.errors import InfeasibleAllocationError, ValidationError
+from repro.common.types import Allocation
+from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.analytical.costmodel import epoch_cost
+from repro.analytical.pareto import ProfiledAllocation, pareto_front
+from repro.analytical.space import AllocationSpace, default_space
+from repro.analytical.timemodel import epoch_time
+from repro.ml.models import Workload
+
+
+@dataclass
+class ProfileResult:
+    """Output of one profiling pass.
+
+    Attributes:
+        all_points: every feasible allocation with its (time, cost).
+        pareto: the Pareto subset 𝒫, sorted fastest-first.
+        evaluated: number of grid points considered (incl. infeasible).
+        profile_time_s: wall-clock profiling time.
+    """
+
+    all_points: list[ProfiledAllocation]
+    pareto: list[ProfiledAllocation]
+    evaluated: int
+    profile_time_s: float
+
+    @property
+    def candidates(self) -> list[ProfiledAllocation]:
+        """Planner-facing candidate set (𝒫)."""
+        return self.pareto
+
+    def cheapest(self) -> ProfiledAllocation:
+        """The minimum-cost point on 𝒫 (slowest end of the boundary)."""
+        return min(self.pareto, key=lambda p: p.cost_usd)
+
+    def fastest(self) -> ProfiledAllocation:
+        """The minimum-time point on 𝒫 (most expensive end)."""
+        return min(self.pareto, key=lambda p: p.time_s)
+
+    def lookup(self, allocation: Allocation) -> ProfiledAllocation:
+        """Profiled entry for a specific allocation."""
+        for p in self.all_points:
+            if p.allocation == allocation:
+                return p
+        raise ValidationError(f"allocation {allocation.describe()} was not profiled")
+
+
+@dataclass
+class ParetoProfiler:
+    """Profiles a workload's allocation space and extracts 𝒫.
+
+    Setting ``use_pareto=False`` reproduces the paper's WO-pa ablation: the
+    planner then searches all feasible points instead of the boundary.
+    """
+
+    platform: PlatformConfig = field(default_factory=lambda: DEFAULT_PLATFORM)
+    space: AllocationSpace = field(default_factory=default_space)
+    use_pareto: bool = True
+
+    def profile(self, workload: Workload) -> ProfileResult:
+        """Evaluate the space for ``workload`` and return the boundary."""
+        start = _time.perf_counter()
+        points: list[ProfiledAllocation] = []
+        evaluated = 0
+        for alloc in self.space.enumerate():
+            evaluated += 1
+            try:
+                t = epoch_time(workload, alloc, self.platform)
+            except InfeasibleAllocationError:
+                continue
+            c = epoch_cost(workload, alloc, t, self.platform)
+            points.append(ProfiledAllocation(allocation=alloc, time=t, cost=c))
+        if not points:
+            raise InfeasibleAllocationError(
+                f"no feasible allocation for workload {workload.name} in the given space"
+            )
+        front = pareto_front(points) if self.use_pareto else sorted(
+            points, key=lambda p: p.time_s
+        )
+        return ProfileResult(
+            all_points=points,
+            pareto=front,
+            evaluated=evaluated,
+            profile_time_s=_time.perf_counter() - start,
+        )

@@ -1,0 +1,115 @@
+"""Sensitivity analysis over the platform's calibration constants.
+
+The analytical models (Eq. 2-5) encode calibrated constants: storage
+latencies/bandwidths, Lambda's GB-second price, the model's per-MB compute
+cost. This module perturbs one knob at a time and reports how the Pareto
+boundary and the constraint-optimal decision shift — which calibrations the
+reproduction's conclusions are sensitive to, and which do not matter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.common.types import Allocation, StorageKind
+from repro.config import DEFAULT_PLATFORM, PlatformConfig, StorageServiceConfig
+from repro.analytical.profiler import ParetoProfiler
+from repro.ml.models import Workload
+
+
+@dataclass(frozen=True, slots=True)
+class SensitivityPoint:
+    """The profiler's outcome under one perturbed platform."""
+
+    factor: float
+    n_pareto: int
+    fastest: Allocation
+    cheapest: Allocation
+    fastest_time_s: float
+    cheapest_cost_usd: float
+
+
+@dataclass(frozen=True, slots=True)
+class SensitivityReport:
+    """A sweep of one knob."""
+
+    knob: str
+    points: tuple[SensitivityPoint, ...]
+
+    @property
+    def decision_stable(self) -> bool:
+        """True when the fastest/cheapest allocations never change."""
+        fastest = {p.fastest for p in self.points}
+        cheapest = {p.cheapest for p in self.points}
+        return len(fastest) == 1 and len(cheapest) == 1
+
+
+def _scale_storage(
+    platform: PlatformConfig,
+    kind: StorageKind,
+    **scaled_fields: float,
+) -> PlatformConfig:
+    """A platform copy with one storage service's fields multiplied."""
+    catalog = dict(platform.storage)
+    cfg = catalog[kind]
+    updates = {
+        name: getattr(cfg, name) * factor for name, factor in scaled_fields.items()
+    }
+    catalog[kind] = dataclasses.replace(cfg, **updates)
+    return dataclasses.replace(platform, storage=catalog)
+
+
+KNOBS = {
+    # knob name -> function(platform, factor) -> platform
+    "s3_latency": lambda p, f: _scale_storage(p, StorageKind.S3, latency_s=f),
+    "s3_bandwidth": lambda p, f: _scale_storage(p, StorageKind.S3, bandwidth_mb_s=f),
+    "vmps_price": lambda p, f: _scale_storage(p, StorageKind.VMPS, usd_per_minute=f),
+    "elasticache_price": lambda p, f: _scale_storage(
+        p, StorageKind.ELASTICACHE, usd_per_minute=f
+    ),
+    "lambda_price": lambda p, f: dataclasses.replace(
+        p,
+        pricing=dataclasses.replace(
+            p.pricing, usd_per_gb_second=p.pricing.usd_per_gb_second * f
+        ),
+    ),
+}
+
+
+def sweep_knob(
+    workload: Workload,
+    knob: str,
+    factors: tuple[float, ...] = (0.5, 0.75, 1.0, 1.5, 2.0),
+    platform: PlatformConfig = DEFAULT_PLATFORM,
+) -> SensitivityReport:
+    """Profile the workload under each perturbation of ``knob``."""
+    if knob not in KNOBS:
+        raise ValidationError(f"unknown knob {knob!r}; available: {sorted(KNOBS)}")
+    points = []
+    for factor in factors:
+        perturbed = KNOBS[knob](platform, factor)
+        profile = ParetoProfiler(platform=perturbed).profile(workload)
+        points.append(
+            SensitivityPoint(
+                factor=factor,
+                n_pareto=len(profile.pareto),
+                fastest=profile.fastest().allocation,
+                cheapest=profile.cheapest().allocation,
+                fastest_time_s=profile.fastest().time_s,
+                cheapest_cost_usd=profile.cheapest().cost_usd,
+            )
+        )
+    return SensitivityReport(knob=knob, points=tuple(points))
+
+
+def full_sweep(
+    workload: Workload,
+    factors: tuple[float, ...] = (0.5, 1.0, 2.0),
+    platform: PlatformConfig = DEFAULT_PLATFORM,
+) -> dict[str, SensitivityReport]:
+    """Sweep every knob; returns reports keyed by knob name."""
+    return {
+        knob: sweep_knob(workload, knob, factors, platform) for knob in KNOBS
+    }

@@ -1,0 +1,17 @@
+"""Baseline schedulers: LambdaML, Siren, Cirrus, and the Fixed split."""
+
+from repro.baselines.cirrus import CirrusScheduler, cirrus_tuning_plan
+from repro.baselines.fixed import fixed_tuning_plan
+from repro.baselines.lambdaml import LambdaMLScheduler, lambdaml_tuning_plan
+from repro.baselines.siren import SirenPolicy, SirenScheduler, siren_tuning_plan
+
+__all__ = [
+    "CirrusScheduler",
+    "LambdaMLScheduler",
+    "SirenPolicy",
+    "SirenScheduler",
+    "cirrus_tuning_plan",
+    "fixed_tuning_plan",
+    "lambdaml_tuning_plan",
+    "siren_tuning_plan",
+]

@@ -1,0 +1,105 @@
+"""Cirrus baseline [4]: VM-PS storage, static allocation.
+
+Cirrus uses an EC2 parameter server as its intermediate storage and does not
+adapt resources at runtime. The paper additionally evaluates a *modified*
+Cirrus that is given the same online prediction as CE-scaling (§IV-C) — it
+then adjusts resources, but stays pinned to VM-PS and pays the full restart
+cost because it lacks delayed restart (the executor models that by keeping
+``DelayedRestartPlanner.enabled = False`` for this scheduler; see
+``repro.workflow.runner``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConstraintError
+from repro.common.types import StorageKind
+from repro.analytical.pareto import ProfiledAllocation
+from repro.tuning.plan import Objective, PartitionPlan
+from repro.tuning.sha import SHASpec
+from repro.tuning.static_planner import optimal_static_plan
+from repro.ml.models import Workload
+from repro.training.adaptive_scheduler import AdaptiveScheduler, SchedulerDecision
+from repro.baselines.lambdaml import LambdaMLScheduler
+
+
+def vmps_only(candidates: list[ProfiledAllocation]) -> list[ProfiledAllocation]:
+    """Restrict a candidate set to VM-PS-backed allocations (Cirrus's world)."""
+    out = [p for p in candidates if p.allocation.storage is StorageKind.VMPS]
+    if not out:
+        raise ConstraintError("no VM-PS-backed allocations in the candidate set")
+    return out
+
+
+def cirrus_tuning_plan(
+    candidates: list[ProfiledAllocation],
+    spec: SHASpec,
+    objective: Objective,
+    budget_usd: float | None = None,
+    qos_s: float | None = None,
+) -> PartitionPlan:
+    """Cirrus's tuning plan: optimal static plan over VM-PS allocations."""
+    return optimal_static_plan(
+        vmps_only(candidates), spec, objective, budget_usd=budget_usd, qos_s=qos_s
+    )
+
+
+@dataclass
+class CirrusScheduler:
+    """Training scheduler pinned to VM-PS.
+
+    ``modified=False``: static (offline prediction once, like LambdaML but
+    VM-PS-only). ``modified=True``: the paper's modified Cirrus — CE-scaling's
+    online-prediction adaptive loop, restricted to VM-PS allocations.
+    """
+
+    workload: Workload
+    candidates: list[ProfiledAllocation]
+    objective: Objective
+    budget_usd: float | None = None
+    qos_s: float | None = None
+    modified: bool = True
+    delta: float = 0.1
+    per_candidate_eval_s: float = 0.02
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        pinned = vmps_only(self.candidates)
+        if self.modified:
+            self._inner = AdaptiveScheduler(
+                workload=self.workload,
+                candidates=pinned,
+                objective=self.objective,
+                budget_usd=self.budget_usd,
+                qos_s=self.qos_s,
+                delta=self.delta,
+                per_candidate_eval_s=self.per_candidate_eval_s,
+                seed=self.seed,
+            )
+        else:
+            self._inner = LambdaMLScheduler(
+                workload=self.workload,
+                candidates=pinned,
+                objective=self.objective,
+                budget_usd=self.budget_usd,
+                qos_s=self.qos_s,
+                per_candidate_eval_s=self.per_candidate_eval_s,
+                seed=self.seed,
+            )
+
+    @property
+    def n_searches(self) -> int:
+        return self._inner.n_searches
+
+    @property
+    def total_search_overhead_s(self) -> float:
+        return self._inner.total_search_overhead_s
+
+    def initial_decision(self) -> SchedulerDecision:
+        return self._inner.initial_decision()
+
+    def on_epoch_end(
+        self, loss: float, epoch_cost_usd: float, epoch_time_s: float
+    ) -> SchedulerDecision:
+        return self._inner.on_epoch_end(loss, epoch_cost_usd, epoch_time_s)

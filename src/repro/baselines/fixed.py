@@ -1,0 +1,24 @@
+"""The cluster-style "Fixed" baseline (paper §IV-B).
+
+Divides resources equally among stages and across trials within each stage,
+as a fixed-size cluster scheduler would. Early stages — with exponentially
+more trials — get starved into the cheapest allocations (severe resource
+competition) while late stages burn the leftover budget on communication
+overhead; the paper shows this is the worst of all methods (Fig. 9-11).
+"""
+
+from __future__ import annotations
+
+from repro.analytical.pareto import ProfiledAllocation
+from repro.tuning.plan import PartitionPlan
+from repro.tuning.sha import SHASpec
+from repro.tuning.static_planner import even_budget_plan
+
+
+def fixed_tuning_plan(
+    candidates: list[ProfiledAllocation],
+    spec: SHASpec,
+    budget_usd: float,
+) -> PartitionPlan:
+    """The even-split plan (delegates to the static planner's helper)."""
+    return even_budget_plan(candidates, spec, budget_usd)

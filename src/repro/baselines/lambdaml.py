@@ -1,0 +1,91 @@
+"""LambdaML baseline [14]: static allocation from offline prediction.
+
+For model training, LambdaML estimates the required epochs once with its
+sampling-based pilot (paper §II-C2), selects one allocation for that
+horizon, and never adjusts — when the pilot under- or over-estimates, the
+job violates its budget or deadline (which is why the paper excludes
+LambdaML from the training comparison: "the offline prediction always
+results in violations in the constraints").
+
+For hyperparameter tuning, LambdaML is the *static* method: the same
+allocation for every SHA stage, optimally chosen for the constraint
+(CE-scaling minus the greedy heuristic planner, exactly how the paper
+realizes this baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analytical.pareto import ProfiledAllocation
+from repro.tuning.plan import Objective, PartitionPlan
+from repro.tuning.sha import SHASpec
+from repro.tuning.static_planner import optimal_static_plan
+from repro.ml.models import Workload
+from repro.training.adaptive_scheduler import SchedulerDecision, select_best_allocation
+from repro.training.offline_predictor import OfflinePredictor
+
+
+def lambdaml_tuning_plan(
+    candidates: list[ProfiledAllocation],
+    spec: SHASpec,
+    objective: Objective,
+    budget_usd: float | None = None,
+    qos_s: float | None = None,
+) -> PartitionPlan:
+    """LambdaML's tuning plan: the optimal static (uniform) plan."""
+    return optimal_static_plan(
+        candidates, spec, objective, budget_usd=budget_usd, qos_s=qos_s
+    )
+
+
+@dataclass
+class LambdaMLScheduler:
+    """Static training scheduler driven by one offline prediction."""
+
+    workload: Workload
+    candidates: list[ProfiledAllocation]
+    objective: Objective
+    budget_usd: float | None = None
+    qos_s: float | None = None
+    per_candidate_eval_s: float = 0.02
+    seed: int = 0
+    offline: OfflinePredictor | None = None
+
+    def __post_init__(self) -> None:
+        if self.offline is None:
+            self.offline = OfflinePredictor(self.workload, seed=self.seed)
+        self.predicted_total_epochs = 0.0
+        self.current: ProfiledAllocation | None = None
+        self.n_searches = 0
+        self.total_search_overhead_s = 0.0
+
+    def initial_decision(self) -> SchedulerDecision:
+        self.predicted_total_epochs = max(1.0, self.offline.predict_total_epochs())
+        self.n_searches += 1
+        overhead = self.per_candidate_eval_s * len(self.candidates)
+        self.total_search_overhead_s += overhead
+        self.current = select_best_allocation(
+            self.candidates,
+            self.objective,
+            self.predicted_total_epochs,
+            budget_usd=self.budget_usd,
+            qos_s=self.qos_s,
+        )
+        return SchedulerDecision(
+            point=self.current,
+            restart=False,
+            predicted_total_epochs=self.predicted_total_epochs,
+            search_overhead_s=overhead,
+        )
+
+    def on_epoch_end(
+        self, loss: float, epoch_cost_usd: float, epoch_time_s: float
+    ) -> SchedulerDecision:
+        """Static: the initial decision is never revisited."""
+        return SchedulerDecision(
+            point=self.current,
+            restart=False,
+            predicted_total_epochs=self.predicted_total_epochs,
+            search_overhead_s=0.0,
+        )

@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+Usage examples::
+
+    python -m repro list-workloads
+    python -m repro profile mobilenet-cifar10
+    python -m repro train lr-higgs --budget 2.0 --method ce-scaling
+    python -m repro tune lr-higgs --trials 256 --budget-multiple 1.3
+    python -m repro experiment fig09 --scale small
+    python -m repro experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.types import StorageKind
+from repro.common.units import format_duration, format_usd
+from repro.ml.models import WORKLOADS, workload
+from repro.tuning.plan import Objective
+from repro.tuning.sha import SHASpec
+from repro.experiments.registry import REGISTRY, run_experiment
+from repro.workflow.job import training_envelope, tuning_envelope
+from repro.workflow.runner import (
+    TRAINING_METHODS,
+    TUNING_METHODS,
+    profile_workload,
+    run_training,
+    run_tuning,
+)
+
+
+def _parse_storage(value: str | None) -> StorageKind | None:
+    if value is None:
+        return None
+    return StorageKind(value)
+
+
+def cmd_list_workloads(_args) -> int:
+    print(f"{'name':20s} {'model MB':>10s} {'dataset MB':>12s} "
+          f"{'batch':>8s} {'target loss':>12s}")
+    for name, w in sorted(WORKLOADS.items()):
+        print(f"{name:20s} {w.model_mb:>10.3f} {w.dataset_mb:>12.0f} "
+              f"{w.batch_size:>8d} {w.target_loss:>12.3f}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    w = workload(args.workload)
+    profile = profile_workload(w, storage_pin=_parse_storage(args.storage))
+    print(f"{len(profile.all_points)} feasible allocations, "
+          f"{len(profile.pareto)} on the Pareto boundary "
+          f"({profile.profile_time_s * 1e3:.1f} ms)\n")
+    print(f"{'allocation':28s} {'epoch time':>12s} {'epoch cost':>12s}")
+    for p in sorted(profile.pareto, key=lambda q: q.time_s):
+        print(f"{p.allocation.describe():28s} "
+              f"{format_duration(p.time_s):>12s} {format_usd(p.cost_usd):>12s}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    w = workload(args.workload)
+    profile = profile_workload(w, storage_pin=_parse_storage(args.storage))
+    env = training_envelope(w, profile)
+    if args.qos_multiple is not None:
+        objective = Objective.MIN_COST_GIVEN_QOS
+        budget, qos = None, env.qos(args.qos_multiple)
+        print(f"objective: min cost, QoS {format_duration(qos)}")
+    else:
+        objective = Objective.MIN_JCT_GIVEN_BUDGET
+        budget = args.budget if args.budget else env.budget(args.budget_multiple)
+        qos = None
+        print(f"objective: min JCT, budget {format_usd(budget)}")
+    run = run_training(
+        w, method=args.method, objective=objective, budget_usd=budget,
+        qos_s=qos, seed=args.seed, profile=profile,
+        storage_pin=_parse_storage(args.storage),
+    )
+    r = run.result
+    print(f"method={args.method}  converged={r.converged}  "
+          f"epochs={len(r.epochs)}  restarts={r.n_restarts}")
+    print(f"JCT  {format_duration(r.jct_s)}   cost {format_usd(r.cost_usd)}")
+    print(f"comm {format_duration(r.comm_overhead_s)}   "
+          f"storage {format_usd(r.storage_cost_usd)}   "
+          f"scheduling {format_duration(r.scheduling_overhead_s)}")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    w = workload(args.workload)
+    spec = SHASpec(args.trials, args.eta, args.epochs_per_stage)
+    profile = profile_workload(w)
+    env = tuning_envelope(profile, spec)
+    budget = env.budget(args.budget_multiple)
+    run = run_tuning(
+        w, spec, method=args.method,
+        objective=Objective.MIN_JCT_GIVEN_BUDGET,
+        budget_usd=budget, seed=args.seed, profile=profile,
+    )
+    r = run.result
+    print(f"SHA {spec.n_trials} trials / {spec.n_stages} stages; "
+          f"budget {format_usd(budget)}")
+    print(f"method={args.method}  JCT {format_duration(r.jct_s)}  "
+          f"cost {format_usd(r.cost_usd)}")
+    print(f"winner: lr={r.winner.learning_rate:.2e} "
+          f"momentum={r.winner.momentum:.2f} (quality {r.winner.quality:.2f})")
+    return 0
+
+
+def cmd_workflow(args) -> int:
+    from repro.workflow.campaign import run_workflow
+
+    spec = SHASpec(args.trials, args.eta, args.epochs_per_stage)
+    result = run_workflow(
+        args.workload, spec, budget_usd=args.budget,
+        tuning_fraction=args.tuning_fraction, seed=args.seed,
+    )
+    print(f"tuning : JCT {format_duration(result.tuning.jct_s)}  "
+          f"cost {format_usd(result.tuning.cost_usd)}  "
+          f"winner lr={result.winner.learning_rate:.2e} "
+          f"(quality {result.winner.quality:.2f})")
+    print(f"training: JCT {format_duration(result.training.jct_s)}  "
+          f"cost {format_usd(result.training.cost_usd)}  "
+          f"converged={result.training.converged}")
+    print(f"total  : JCT {format_duration(result.total_jct_s)}  "
+          f"cost {format_usd(result.total_cost_usd)} / "
+          f"{format_usd(args.budget)}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    result = run_experiment(args.experiment, scale=args.scale, seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def cmd_experiments(_args) -> int:
+    for exp_id in REGISTRY.available():
+        print(exp_id)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CE-scaling reproduction (IPDPS 2023): profile, train, "
+                    "tune, and regenerate the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-workloads", help="show the Table IV workloads").set_defaults(
+        fn=cmd_list_workloads
+    )
+
+    p = sub.add_parser("profile", help="print a workload's Pareto boundary")
+    p.add_argument("workload")
+    p.add_argument("--storage", choices=[s.value for s in StorageKind])
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("train", help="run one training job")
+    p.add_argument("workload")
+    p.add_argument("--method", default="ce-scaling", choices=TRAINING_METHODS)
+    p.add_argument("--budget", type=float, help="absolute budget in USD")
+    p.add_argument("--budget-multiple", type=float, default=2.5,
+                   help="budget as multiple of the cheapest possible spend")
+    p.add_argument("--qos-multiple", type=float,
+                   help="switch to cost-min with this deadline multiple")
+    p.add_argument("--storage", choices=[s.value for s in StorageKind])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_train)
+
+    p = sub.add_parser("tune", help="run one hyperparameter-tuning job")
+    p.add_argument("workload")
+    p.add_argument("--method", default="ce-scaling", choices=TUNING_METHODS)
+    p.add_argument("--trials", type=int, default=256)
+    p.add_argument("--eta", type=int, default=2)
+    p.add_argument("--epochs-per-stage", type=int, default=2)
+    p.add_argument("--budget-multiple", type=float, default=1.3)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_tune)
+
+    p = sub.add_parser("workflow", help="run the full tune-then-train pipeline")
+    p.add_argument("workload")
+    p.add_argument("--budget", type=float, default=25.0)
+    p.add_argument("--tuning-fraction", type=float, default=0.4)
+    p.add_argument("--trials", type=int, default=32)
+    p.add_argument("--eta", type=int, default=2)
+    p.add_argument("--epochs-per-stage", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_workflow)
+
+    p = sub.add_parser("experiment", help="regenerate one paper figure/table")
+    p.add_argument("experiment")
+    p.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_experiment)
+
+    sub.add_parser("experiments", help="list experiment ids").set_defaults(
+        fn=cmd_experiments
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

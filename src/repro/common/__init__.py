@@ -1,0 +1,31 @@
+"""Shared primitives: types, units, RNG helpers, errors, validation."""
+
+from repro.common.errors import (
+    ConstraintError,
+    InfeasibleAllocationError,
+    ReproError,
+    StorageCapacityError,
+    ValidationError,
+)
+from repro.common.types import (
+    Allocation,
+    EpochCostBreakdown,
+    EpochTimeBreakdown,
+    JobResult,
+    PricingPattern,
+    StorageKind,
+)
+
+__all__ = [
+    "Allocation",
+    "ConstraintError",
+    "EpochCostBreakdown",
+    "EpochTimeBreakdown",
+    "InfeasibleAllocationError",
+    "JobResult",
+    "PricingPattern",
+    "ReproError",
+    "StorageCapacityError",
+    "StorageKind",
+    "ValidationError",
+]

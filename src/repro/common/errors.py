@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, wrong type, etc.)."""
+
+
+class InfeasibleAllocationError(ReproError):
+    """A resource allocation violates a hard platform or storage limit.
+
+    Examples: model too large for DynamoDB's 400 KB object limit, memory
+    below the model's working-set requirement, or concurrency above the
+    account limit.
+    """
+
+
+class ConstraintError(ReproError):
+    """No plan satisfies the user's budget/QoS constraint."""
+
+
+class StorageCapacityError(ReproError):
+    """An object pushed to a storage service exceeds its object-size limit."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class PredictionError(ReproError):
+    """The online/offline predictor cannot produce an estimate yet."""

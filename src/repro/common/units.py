@@ -1,0 +1,59 @@
+"""Unit helpers.
+
+Internally the library uses a single convention:
+
+* time     — seconds (float)
+* data     — megabytes (float); helpers convert from bytes/KB/GB
+* memory   — megabytes (int, Lambda-style 1 MB granularity)
+* money    — US dollars (float)
+* bandwidth — megabytes per second
+"""
+
+from __future__ import annotations
+
+KB = 1.0 / 1024.0
+MB = 1.0
+GB = 1024.0
+
+MS = 1e-3
+SECOND = 1.0
+MINUTE = 60.0
+HOUR = 3600.0
+
+
+def mb_from_bytes(n_bytes: float) -> float:
+    """Convert a byte count to megabytes."""
+    return n_bytes / (1024.0 * 1024.0)
+
+
+def bytes_from_mb(mb: float) -> int:
+    """Convert megabytes to a whole number of bytes."""
+    return int(round(mb * 1024.0 * 1024.0))
+
+
+def gb_seconds(memory_mb: float, seconds: float) -> float:
+    """Lambda's billing unit: memory in GB multiplied by duration in seconds."""
+    return (memory_mb / 1024.0) * seconds
+
+
+def usd_per_million(count: float, price_per_million: float) -> float:
+    """Cost of ``count`` events priced per million events."""
+    return count * price_per_million / 1e6
+
+
+def format_usd(x: float) -> str:
+    """Human-readable dollar amount with sensible precision."""
+    if x >= 1.0:
+        return f"${x:,.2f}"
+    return f"${x:.6f}"
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration."""
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.2f} min"
+    return f"{seconds / 3600.0:.2f} h"

@@ -1,0 +1,11 @@
+"""Experiment reproductions: one module per paper table/figure.
+
+Every module exposes ``run(scale="small", seed=0) -> ExperimentResult`` and
+can be executed directly (``python -m repro.experiments.fig09_tuning_jct``).
+``repro.experiments.registry`` maps experiment ids to their run functions.
+"""
+
+from repro.experiments.harness import ExperimentResult, Scale, SCALES
+from repro.experiments.registry import REGISTRY, run_experiment
+
+__all__ = ["ExperimentResult", "REGISTRY", "SCALES", "Scale", "run_experiment"]

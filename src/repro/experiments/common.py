@@ -1,0 +1,107 @@
+"""Shared comparison drivers for the tuning/training experiment modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.types import StorageKind
+from repro.analytical.profiler import ProfileResult
+from repro.ml.models import Workload, workload as lookup
+from repro.tuning.plan import Objective
+from repro.tuning.sha import SHASpec
+from repro.workflow.job import training_envelope, tuning_envelope
+from repro.workflow.runner import profile_workload, run_training, run_tuning
+
+TUNING_BASELINES = ("ce-scaling", "lambdaml", "siren", "fixed")
+TRAINING_BASELINES = ("ce-scaling", "siren", "cirrus")
+
+
+def tuning_comparison(
+    workload_name: str,
+    spec: SHASpec,
+    objective: Objective,
+    seeds: list[int],
+    budget_multiple: float = 1.5,
+    qos_multiple: float = 2.0,
+    methods: tuple[str, ...] = TUNING_BASELINES,
+    profile: ProfileResult | None = None,
+) -> dict[str, dict[str, float]]:
+    """Mean JCT/cost per method for one tuning workload.
+
+    Constraints derive from the workload's envelope: budget as a multiple
+    of the cheapest static plan's cost, QoS as a multiple of the fastest
+    static plan's JCT.
+    """
+    w = lookup(workload_name)
+    profile = profile or profile_workload(w)
+    env = tuning_envelope(profile, spec)
+    budget = env.budget(budget_multiple)
+    qos = env.qos(qos_multiple)
+    out: dict[str, dict[str, float]] = {}
+    for method in methods:
+        jcts, costs = [], []
+        for s in seeds:
+            run = run_tuning(
+                w,
+                spec,
+                method=method,
+                objective=objective,
+                budget_usd=budget,
+                qos_s=qos if objective is Objective.MIN_COST_GIVEN_QOS else None,
+                seed=s,
+                profile=profile,
+            )
+            jcts.append(run.result.jct_s)
+            costs.append(run.result.cost_usd)
+        out[method] = {
+            "jct_s": float(np.mean(jcts)),
+            "cost_usd": float(np.mean(costs)),
+            "budget_usd": budget,
+            "qos_s": qos,
+        }
+    return out
+
+
+def training_comparison(
+    workload_name: str,
+    objective: Objective,
+    seeds: list[int],
+    budget_multiple: float = 2.0,
+    qos_multiple: float = 3.0,
+    methods: tuple[str, ...] = TRAINING_BASELINES,
+    profile: ProfileResult | None = None,
+    storage_pin: StorageKind | None = None,
+) -> dict[str, dict[str, float]]:
+    """Mean JCT/cost (+breakdowns) per method for one training workload."""
+    w = lookup(workload_name)
+    profile = profile or profile_workload(w, storage_pin=storage_pin)
+    env = training_envelope(w, profile)
+    budget = env.budget(budget_multiple)
+    qos = env.qos(qos_multiple)
+    out: dict[str, dict[str, float]] = {}
+    for method in methods:
+        rows = []
+        for s in seeds:
+            run = run_training(
+                w,
+                method=method,
+                objective=objective,
+                budget_usd=budget if objective is Objective.MIN_JCT_GIVEN_BUDGET else None,
+                qos_s=qos if objective is Objective.MIN_COST_GIVEN_QOS else None,
+                seed=s,
+                profile=profile,
+                storage_pin=storage_pin,
+            )
+            rows.append(run.result)
+        out[method] = {
+            "jct_s": float(np.mean([r.jct_s for r in rows])),
+            "cost_usd": float(np.mean([r.cost_usd for r in rows])),
+            "comm_s": float(np.mean([r.comm_overhead_s for r in rows])),
+            "storage_usd": float(np.mean([r.storage_cost_usd for r in rows])),
+            "restarts": float(np.mean([r.n_restarts for r in rows])),
+            "sched_s": float(np.mean([r.scheduling_overhead_s for r in rows])),
+            "converged": float(np.mean([r.converged for r in rows])),
+            "budget_usd": budget,
+            "qos_s": qos,
+        }
+    return out

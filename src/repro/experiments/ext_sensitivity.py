@@ -1,0 +1,59 @@
+"""Extension experiment: calibration sensitivity of the storage decision.
+
+Not a paper figure — it quantifies how robust the reproduction's
+conclusions (which storage wins, how fast the fastest plan is) are to the
+calibrated constants in ``repro.config``.
+"""
+
+from __future__ import annotations
+
+from repro.analytical.sensitivity import full_sweep
+from repro.ml.models import workload
+from repro.workflow.metrics import ComparisonTable
+from repro.experiments.harness import ExperimentResult
+
+EXPERIMENT = "ext_sensitivity"
+TITLE = "Sensitivity of profiling decisions to calibration constants"
+
+WORKLOADS = ("lr-higgs", "mobilenet-cifar10")
+FACTORS = (0.5, 1.0, 2.0)
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    table = ComparisonTable(
+        title=f"Knob sweeps x{FACTORS}",
+        columns=["workload", "knob", "decision_stable", "fastest_range",
+                 "cheapest_cost_spread"],
+    )
+    series: dict = {}
+    for name in WORKLOADS:
+        w = workload(name)
+        reports = full_sweep(w, factors=FACTORS)
+        series[name] = {}
+        for knob, report in reports.items():
+            fastest = {p.fastest.describe() for p in report.points}
+            costs = [p.cheapest_cost_usd for p in report.points]
+            spread = max(costs) / min(costs)
+            table.add_row(
+                name, knob, report.decision_stable,
+                " | ".join(sorted(fastest)), spread,
+            )
+            series[name][knob] = {
+                "stable": report.decision_stable,
+                "cost_spread": spread,
+            }
+    return ExperimentResult(
+        experiment=EXPERIMENT,
+        title=TITLE,
+        tables=[table],
+        series=series,
+        notes=(
+            "price knobs move costs proportionally but rarely flip the "
+            "fastest allocation; latency/bandwidth knobs matter most for "
+            "communication-bound workloads"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,121 @@
+"""Fig. 3 — motivation: reallocating early-stage resources in SHA.
+
+The paper runs SHA with 5 stages / 32 trials and shows that moving ~10% of
+stage 1's per-trial resources to later stages cuts JCT by ~39%, while an
+aggressive 30% reallocation *increases* JCT by ~36% because stage 1
+collapses under resource competition.
+
+Reproduction: start from a mid-ladder static plan; a reallocation of
+fraction ``f`` downgrades stage 1 until its per-trial cost has dropped by
+``f``, then spends the freed budget on later stages greedily (best JCT
+gain per dollar). Per-stage JCTs are reported like the figure's bars.
+"""
+
+from __future__ import annotations
+
+from repro.analytical.pareto import ProfiledAllocation
+from repro.tuning.plan import PartitionPlan, evaluate_plan
+from repro.tuning.sha import SHASpec
+from repro.workflow.metrics import ComparisonTable
+from repro.workflow.runner import profile_workload
+from repro.experiments.harness import ExperimentResult
+
+EXPERIMENT = "fig03"
+TITLE = "Reallocating stage-1 resources in hyperparameter tuning (motivation)"
+
+
+def _realloc_plan(
+    ladder: list[ProfiledAllocation],
+    static_point: ProfiledAllocation,
+    spec: SHASpec,
+    fraction: float,
+) -> PartitionPlan:
+    """Move ~``fraction`` of stage-1 per-trial cost to the later stages."""
+    plan = PartitionPlan.uniform(static_point, spec.n_stages)
+    idx = ladder.index(static_point)
+    # Downgrade stage 0 until its per-epoch cost drops by >= fraction.
+    target_cost = static_point.cost_usd * (1.0 - fraction)
+    j = idx
+    while j > 0 and ladder[j].cost_usd > target_cost:
+        j -= 1
+    plan = plan.replace_stage(0, ladder[j])
+    freed = (
+        spec.trials_in_stage(0)
+        * spec.epochs_in_stage(0)
+        * (static_point.cost_usd - ladder[j].cost_usd)
+    )
+    # Spend the freed budget on later stages, best JCT gain per dollar.
+    budget = evaluate_plan(plan, spec).cost_usd + freed
+    while True:
+        ev = evaluate_plan(plan, spec)
+        best = None
+        for i in range(1, spec.n_stages):
+            k = ladder.index(plan.stages[i])
+            if k + 1 >= len(ladder):
+                continue
+            cand = plan.replace_stage(i, ladder[k + 1])
+            cev = evaluate_plan(cand, spec)
+            if cev.cost_usd > budget:
+                continue
+            gain = ev.jct_s - cev.jct_s
+            spend = cev.cost_usd - ev.cost_usd
+            if gain > 0 and spend > 0 and (best is None or gain / spend > best[0]):
+                best = (gain / spend, cand)
+        if best is None:
+            break
+        plan = best[1]
+    return plan
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    workload_name = "lr-higgs"
+    profile = profile_workload(workload_name)
+    ladder = sorted(profile.pareto, key=lambda p: p.cost_usd)
+    spec = SHASpec(n_trials=32, reduction_factor=2, epochs_per_stage=2)
+
+    # The paper's static method: same per-trial allocation everywhere,
+    # taken from the middle of the boundary (enough headroom both ways).
+    static_point = ladder[len(ladder) // 2]
+    plans = {
+        "static": PartitionPlan.uniform(static_point, spec.n_stages),
+        "realloc-10%": _realloc_plan(ladder, static_point, spec, 0.10),
+        "realloc-30%": _realloc_plan(ladder, static_point, spec, 0.30),
+    }
+    evals = {name: evaluate_plan(p, spec) for name, p in plans.items()}
+
+    table = ComparisonTable(
+        title="Per-stage JCT (s) — 5 stages, 32 trials, eta=2 (LR-Higgs)",
+        columns=["method"]
+        + [f"stage{i + 1}" for i in range(spec.n_stages)]
+        + ["total_jct_s", "cost_usd"],
+    )
+    for name, ev in evals.items():
+        table.add_row(name, *ev.stage_jct_s, ev.jct_s, ev.cost_usd)
+
+    cost_table = ComparisonTable(
+        title="Share of total cost per stage (static method)",
+        columns=["stage", "trials", "cost_share_%"],
+    )
+    total_cost = evals["static"].cost_usd
+    for i, c in enumerate(evals["static"].stage_cost_usd):
+        cost_table.add_row(i + 1, spec.trials_in_stage(i), 100.0 * c / total_cost)
+
+    return ExperimentResult(
+        experiment=EXPERIMENT,
+        title=TITLE,
+        tables=[table, cost_table],
+        series={
+            "jct": {name: ev.jct_s for name, ev in evals.items()},
+            "stage_jct": {name: ev.stage_jct_s for name, ev in evals.items()},
+            "static_cost_share_first3": sum(evals["static"].stage_cost_usd[:3])
+            / total_cost,
+        },
+        notes=(
+            "moderate reallocation must beat static; aggressive reallocation "
+            "must overload stage 1 (paper: -39% then +36% JCT)"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,76 @@
+"""Fig. 7 — the Pareto boundary of the cost-JCT allocation space.
+
+Samples 50 random allocations for LR-Higgs, plots (as rows) their per-epoch
+execution time and cost, and extracts the Pareto boundary that CE-scaling
+plans over.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import stream_for
+from repro.common.types import Allocation, StorageKind
+from repro.analytical.costmodel import epoch_cost
+from repro.analytical.pareto import ProfiledAllocation, is_dominated, pareto_front
+from repro.analytical.timemodel import epoch_time, is_feasible
+from repro.ml.models import workload
+from repro.workflow.metrics import ComparisonTable
+from repro.experiments.harness import ExperimentResult
+
+EXPERIMENT = "fig07"
+TITLE = "Pareto boundary of the cost-JCT space (LR-Higgs, 50 allocations)"
+
+
+def sample_allocations(w, n: int, seed: int) -> list[ProfiledAllocation]:
+    """``n`` random feasible allocations with their (time, cost)."""
+    rng = stream_for(seed, "fig07")
+    memories = [512, 1024, 1769, 2048, 3072, 4096, 6144, 8192, 10240]
+    points: list[ProfiledAllocation] = []
+    while len(points) < n:
+        alloc = Allocation(
+            n_functions=int(rng.integers(1, 200)),
+            memory_mb=int(rng.choice(memories)),
+            storage=StorageKind(rng.choice([s.value for s in StorageKind])),
+        )
+        if not is_feasible(w, alloc):
+            continue
+        t = epoch_time(w, alloc)
+        points.append(
+            ProfiledAllocation(allocation=alloc, time=t, cost=epoch_cost(w, alloc, t))
+        )
+    return points
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    w = workload("lr-higgs")
+    points = sample_allocations(w, 50, seed)
+    front = pareto_front(points)
+    table = ComparisonTable(
+        title="Pareto boundary (fastest to cheapest)",
+        columns=["allocation", "epoch_time_s", "epoch_cost_usd"],
+    )
+    for p in front:
+        table.add_row(p.allocation.describe(), p.time_s, p.cost_usd)
+    scatter = ComparisonTable(
+        title="All sampled allocations",
+        columns=["allocation", "epoch_time_s", "epoch_cost_usd", "on_boundary"],
+    )
+    for p in sorted(points, key=lambda q: q.time_s):
+        scatter.add_row(
+            p.allocation.describe(), p.time_s, p.cost_usd, p in front
+        )
+    dominated = [p for p in points if is_dominated(p, points)]
+    return ExperimentResult(
+        experiment=EXPERIMENT,
+        title=TITLE,
+        tables=[table, scatter],
+        series={
+            "n_points": len(points),
+            "n_front": len(front),
+            "n_dominated": len(dominated),
+        },
+        notes="every off-boundary point must be dominated by some boundary point",
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,70 @@
+"""Fig. 14/15 — CE-scaling under varying constraint tightness (LR-YFCC).
+
+Sweeps the budget (JCT-min) and QoS (cost-min) multipliers for both tuning
+and training. Paper: the advantage of CE-scaling over the baselines is
+largest under *tight* constraints and shrinks as they relax.
+"""
+
+from __future__ import annotations
+
+from repro.tuning.plan import Objective
+from repro.workflow.metrics import ComparisonTable
+from repro.experiments.common import training_comparison, tuning_comparison
+from repro.experiments.harness import ExperimentResult, get_scale
+
+EXPERIMENT = "fig14_15"
+TITLE = "CE-scaling under varying budget/QoS tightness (LR-YFCC)"
+
+BUDGET_MULTIPLES = (1.1, 1.5, 2.5, 4.0)
+QOS_MULTIPLES = (1.5, 2.5, 4.0, 6.0)
+WORKLOAD = "lr-yfcc"
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    sc = get_scale(scale)
+    spec = sc.sha_spec()
+    seeds = sc.seeds(seed)
+
+    tuning_table = ComparisonTable(
+        title="Fig. 14 — tuning JCT vs budget multiple",
+        columns=["budget_x", "ce-scaling", "lambdaml", "advantage_%"],
+    )
+    tuning_series = {}
+    for mult in BUDGET_MULTIPLES:
+        comp = tuning_comparison(
+            WORKLOAD, spec, Objective.MIN_JCT_GIVEN_BUDGET, seeds,
+            budget_multiple=mult, methods=("ce-scaling", "lambdaml"),
+        )
+        adv = (1 - comp["ce-scaling"]["jct_s"] / comp["lambdaml"]["jct_s"]) * 100
+        tuning_table.add_row(
+            mult, comp["ce-scaling"]["jct_s"], comp["lambdaml"]["jct_s"], adv
+        )
+        tuning_series[mult] = comp
+
+    training_table = ComparisonTable(
+        title="Fig. 15 — training cost vs QoS multiple",
+        columns=["qos_x", "ce-scaling", "siren", "advantage_%"],
+    )
+    training_series = {}
+    for mult in QOS_MULTIPLES:
+        comp = training_comparison(
+            WORKLOAD, Objective.MIN_COST_GIVEN_QOS, seeds, qos_multiple=mult,
+            methods=("ce-scaling", "siren"),
+        )
+        adv = (1 - comp["ce-scaling"]["cost_usd"] / comp["siren"]["cost_usd"]) * 100
+        training_table.add_row(
+            mult, comp["ce-scaling"]["cost_usd"], comp["siren"]["cost_usd"], adv
+        )
+        training_series[mult] = comp
+
+    return ExperimentResult(
+        experiment=EXPERIMENT,
+        title=TITLE,
+        tables=[tuning_table, training_table],
+        series={"tuning": tuning_series, "training": training_series},
+        notes="paper: the CE advantage is largest under tight constraints",
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,68 @@
+"""Fig. 18 — CE-scaling restricted to one external storage at a time.
+
+Trains LR-Higgs and MobileNet-Cifar10 with CE-scaling pinned to DynamoDB,
+S3, ElastiCache, or VM-PS. Paper observations reproduced here: JCT/cost
+vary across services; the best service depends on the model (DynamoDB best
+trade-off for LR, ElastiCache/VM-PS for MobileNet); DynamoDB is N/A for
+models above its 400 KB item cap; and low-latency storage alone does not
+guarantee the best JCT or cost.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConstraintError, InfeasibleAllocationError
+from repro.common.types import StorageKind
+from repro.tuning.plan import Objective
+from repro.workflow.metrics import ComparisonTable
+from repro.workflow.runner import profile_workload
+from repro.experiments.common import training_comparison
+from repro.experiments.harness import ExperimentResult, get_scale
+
+EXPERIMENT = "fig18"
+TITLE = "CE-scaling under fixed external storage (training)"
+
+WORKLOADS = ("lr-higgs", "mobilenet-cifar10")
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    sc = get_scale(scale)
+    seeds = sc.seeds(seed)
+    table = ComparisonTable(
+        title="JCT/cost per pinned storage (D/S/E/V)",
+        columns=["workload", "storage", "jct_s", "cost_usd", "comm_s", "storage_usd"],
+    )
+    series: dict = {}
+    for name in WORKLOADS:
+        series[name] = {}
+        for storage in StorageKind:
+            try:
+                profile = profile_workload(name, storage_pin=storage)
+            except (InfeasibleAllocationError, ConstraintError):
+                table.add_row(name, storage.short, "N/A", "N/A", "N/A", "N/A")
+                series[name][storage.value] = None
+                continue
+            comp = training_comparison(
+                name, Objective.MIN_JCT_GIVEN_BUDGET, seeds,
+                budget_multiple=2.0, methods=("ce-scaling",), profile=profile,
+                storage_pin=storage,
+            )
+            row = comp["ce-scaling"]
+            table.add_row(
+                name, storage.short, row["jct_s"], row["cost_usd"],
+                row["comm_s"], row["storage_usd"],
+            )
+            series[name][storage.value] = row
+    return ExperimentResult(
+        experiment=EXPERIMENT,
+        title=TITLE,
+        tables=[table],
+        series=series,
+        notes=(
+            "paper: best storage depends on the model; DynamoDB N/A above "
+            "400 KB; expensive low-latency storage is not always best"
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

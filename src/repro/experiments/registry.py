@@ -1,0 +1,56 @@
+"""Registry mapping experiment ids to their run functions."""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from repro.common.errors import ValidationError
+from repro.experiments.harness import ExperimentResult
+
+_MODULES: dict[str, str] = {
+    "fig03": "repro.experiments.fig03_motivation",
+    "fig04": "repro.experiments.fig04_prediction_error",
+    "table1": "repro.experiments.table1_storage_catalog",
+    "table2": "repro.experiments.table2_storage",
+    "fig07": "repro.experiments.fig07_pareto",
+    "fig09": "repro.experiments.fig09_tuning_jct",
+    "fig10": "repro.experiments.fig10_tuning_cost",
+    "fig11": "repro.experiments.fig11_stage_allocation",
+    "fig12": "repro.experiments.fig12_training_jct",
+    "fig13": "repro.experiments.fig13_training_cost",
+    "fig14_15": "repro.experiments.fig14_15_constraints",
+    "fig16_17": "repro.experiments.fig16_17_same_storage",
+    "fig18": "repro.experiments.fig18_fixed_storage",
+    "fig19_20": "repro.experiments.fig19_20_model_validation",
+    "fig21": "repro.experiments.fig21_overhead",
+    # Extensions beyond the paper (DESIGN.md §6 / README "Beyond the paper").
+    "ext_bohb": "repro.experiments.ext_bohb",
+    "ext_sensitivity": "repro.experiments.ext_sensitivity",
+}
+
+
+class _LazyRegistry(dict):
+    """Maps experiment id -> run callable, importing modules on demand."""
+
+    def __missing__(self, key: str) -> Callable[..., ExperimentResult]:
+        if key not in _MODULES:
+            raise ValidationError(
+                f"unknown experiment {key!r}; available: {sorted(_MODULES)}"
+            )
+        module = importlib.import_module(_MODULES[key])
+        self[key] = module.run
+        return self[key]
+
+    def available(self) -> list[str]:
+        return sorted(_MODULES)
+
+
+REGISTRY = _LazyRegistry()
+
+
+def run_experiment(
+    experiment: str, scale: str = "small", seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"fig09"``)."""
+    return REGISTRY[experiment](scale=scale, seed=seed)

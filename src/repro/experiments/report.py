@@ -1,0 +1,61 @@
+"""One-shot report generator: regenerate every experiment into Markdown.
+
+``python -m repro.experiments.report [--scale small] [--out report.md]``
+runs every registered experiment and writes a consolidated Markdown report
+(the data behind EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import REGISTRY, run_experiment
+
+
+def generate_report(scale: str = "tiny", seed: int = 0) -> str:
+    """Run every experiment and render a Markdown report."""
+    lines = [
+        "# CE-scaling reproduction report",
+        "",
+        f"scale: `{scale}`, seed: {seed}",
+        "",
+    ]
+    for exp_id in REGISTRY.available():
+        start = time.perf_counter()
+        result = run_experiment(exp_id, scale=scale, seed=seed)
+        elapsed = time.perf_counter() - start
+        lines.append(f"## {exp_id} — {result.title}")
+        lines.append("")
+        for table in result.tables:
+            lines.append("```")
+            lines.append(table.render())
+            lines.append("```")
+            lines.append("")
+        if result.notes:
+            lines.append(f"*{result.notes}*")
+            lines.append("")
+        lines.append(f"_(regenerated in {elapsed:.1f} s)_")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="tiny", choices=("tiny", "small", "paper"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None, help="output file (default: stdout)")
+    args = parser.parse_args(argv)
+    report = generate_report(scale=args.scale, seed=args.seed)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Table I — qualitative comparison of external storage services."""
+
+from __future__ import annotations
+
+from repro.storage.catalog import table1_rows
+from repro.workflow.metrics import ComparisonTable
+from repro.experiments.harness import ExperimentResult
+
+EXPERIMENT = "table1"
+TITLE = "External storage service characteristics"
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    rows = table1_rows()
+    table = ComparisonTable(
+        title="Table I",
+        columns=["service", "elastic_scaling", "latency", "pricing_pattern", "cost"],
+    )
+    for r in rows:
+        table.add_row(
+            r["service"], r["elastic_scaling"], r["latency"],
+            r["pricing_pattern"], r["cost_tier"],
+        )
+    return ExperimentResult(
+        experiment=EXPERIMENT,
+        title=TITLE,
+        tables=[table],
+        series={"rows": rows},
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

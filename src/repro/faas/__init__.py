@@ -1,0 +1,24 @@
+"""Serverless platform substrate: discrete-event simulator of AWS Lambda."""
+
+from repro.faas.billing import BillingMeter, InvocationBill
+from repro.faas.events import Resource, Simulator
+from repro.faas.function import FunctionInstance, WarmPool
+from repro.faas.noise import NoiseModel
+from repro.faas.platform import EpochExecution, FaaSPlatform, InvocationResult
+from repro.faas.trace import TraceEvent, TraceRecorder, trace_epochs
+
+__all__ = [
+    "BillingMeter",
+    "EpochExecution",
+    "FaaSPlatform",
+    "FunctionInstance",
+    "InvocationBill",
+    "InvocationResult",
+    "NoiseModel",
+    "Resource",
+    "Simulator",
+    "TraceEvent",
+    "TraceRecorder",
+    "WarmPool",
+    "trace_epochs",
+]

@@ -1,0 +1,74 @@
+"""CloudWatch-style metering of simulated executions.
+
+The meter is the reproduction's ground truth for cost: the model-validation
+experiment (Fig. 19/20) compares the analytical cost model against what this
+layer bills for noisy simulated runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.units import gb_seconds
+from repro.config import DEFAULT_PLATFORM, PlatformConfig
+
+
+@dataclass(frozen=True, slots=True)
+class InvocationBill:
+    """Billing record of one function invocation."""
+
+    memory_mb: int
+    duration_s: float
+    billed_duration_s: float
+    compute_usd: float
+    invocation_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.compute_usd + self.invocation_usd
+
+
+@dataclass
+class BillingMeter:
+    """Accumulates function and storage charges for one job."""
+
+    platform: PlatformConfig = field(default_factory=lambda: DEFAULT_PLATFORM)
+    bills: list[InvocationBill] = field(default_factory=list)
+    storage_usd: float = 0.0
+
+    def bill_invocation(self, memory_mb: int, duration_s: float) -> InvocationBill:
+        """Bill one invocation: duration rounded up to the billing
+        granularity, priced per GB-second, plus the request fee."""
+        pricing = self.platform.pricing
+        gran = pricing.billing_granularity_s
+        billed = math.ceil(max(duration_s, 0.0) / gran) * gran
+        bill = InvocationBill(
+            memory_mb=memory_mb,
+            duration_s=duration_s,
+            billed_duration_s=billed,
+            compute_usd=gb_seconds(memory_mb, billed) * pricing.usd_per_gb_second,
+            invocation_usd=pricing.usd_per_invocation,
+        )
+        self.bills.append(bill)
+        return bill
+
+    def bill_storage(self, usd: float) -> None:
+        """Add an external-storage charge."""
+        self.storage_usd += max(0.0, usd)
+
+    @property
+    def invocation_count(self) -> int:
+        return len(self.bills)
+
+    @property
+    def compute_usd(self) -> float:
+        return sum(b.compute_usd for b in self.bills)
+
+    @property
+    def invocation_usd(self) -> float:
+        return sum(b.invocation_usd for b in self.bills)
+
+    @property
+    def total_usd(self) -> float:
+        return self.compute_usd + self.invocation_usd + self.storage_usd

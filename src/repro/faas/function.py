@@ -1,0 +1,103 @@
+"""Function-instance lifecycle: the platform's warm pool.
+
+Lambda keeps idle instances warm for a while after an invocation; a new
+invocation reuses a warm instance (no cold start) when one exists, and
+instances idle beyond the provider's TTL are reclaimed. This module tracks
+instances per function group so the platform can charge cold starts only
+for the instances that actually need them — including partial-warm epochs
+after a scale-up (e.g. the adaptive scheduler growing n mid-job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(slots=True)
+class FunctionInstance:
+    """One provisioned execution environment."""
+
+    group: str
+    created_at: float
+    last_used_at: float
+    invocations: int = 0
+
+
+@dataclass
+class WarmPool:
+    """Per-group warm instances with idle-TTL reclamation.
+
+    Attributes:
+        ttl_s: idle time after which an instance is reclaimed (AWS keeps
+            instances for minutes to hours; default 900 s).
+    """
+
+    ttl_s: float = 900.0
+    _groups: dict[str, list[FunctionInstance]] = field(default_factory=dict)
+    cold_starts: int = 0
+    warm_reuses: int = 0
+    expired: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ttl_s <= 0:
+            raise ValidationError(f"ttl_s must be positive, got {self.ttl_s}")
+
+    def _expire(self, now: float) -> None:
+        for group, instances in list(self._groups.items()):
+            kept = [i for i in instances if now - i.last_used_at <= self.ttl_s]
+            self.expired += len(instances) - len(kept)
+            if kept:
+                self._groups[group] = kept
+            else:
+                del self._groups[group]
+
+    def warm_count(self, group: str, now: float) -> int:
+        """Currently-warm instances for a group."""
+        self._expire(now)
+        return len(self._groups.get(group, []))
+
+    def acquire(self, group: str, n: int, now: float) -> tuple[int, int]:
+        """Take ``n`` instances for an invocation wave.
+
+        Returns ``(warm, cold)``: how many reused a warm instance and how
+        many needed a cold start. Acquired instances leave the pool until
+        :meth:`release`.
+        """
+        if n < 1:
+            raise ValidationError(f"n must be >= 1, got {n}")
+        self._expire(now)
+        available = self._groups.get(group, [])
+        warm = min(n, len(available))
+        cold = n - warm
+        # Reuse the most recently used instances (LIFO keeps the pool hot).
+        available.sort(key=lambda i: i.last_used_at)
+        self._groups[group] = available[: len(available) - warm]
+        if not self._groups[group]:
+            del self._groups[group]
+        self.cold_starts += cold
+        self.warm_reuses += warm
+        return warm, cold
+
+    def release(self, group: str, n: int, now: float) -> None:
+        """Return ``n`` instances to the pool after an invocation wave."""
+        if n < 1:
+            raise ValidationError(f"n must be >= 1, got {n}")
+        bucket = self._groups.setdefault(group, [])
+        for _ in range(n):
+            bucket.append(
+                FunctionInstance(group=group, created_at=now, last_used_at=now)
+            )
+
+    def prewarm(self, group: str, n: int, now: float) -> None:
+        """Provision ``n`` instances ahead of time (delayed restart)."""
+        self.release(group, n, now)
+
+    def retire(self, group: str) -> int:
+        """Terminate a group's instances; returns how many were dropped."""
+        return len(self._groups.pop(group, []))
+
+    def total_warm(self, now: float) -> int:
+        self._expire(now)
+        return sum(len(v) for v in self._groups.values())

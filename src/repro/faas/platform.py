@@ -1,0 +1,175 @@
+"""The serverless platform simulator (AWS Lambda stand-in).
+
+Executes *epochs* of BSP-synchronized function groups on the discrete-event
+engine: every function acquires an account-concurrency slot, pays a cold
+start unless its group is warm, loads its dataset partition, computes with
+per-function jitter, and the group synchronizes after a barrier. Function
+durations feed the billing meter.
+
+Warm-pool semantics follow Lambda: a group of functions stays warm between
+epochs under the same allocation; changing the allocation (the adaptive
+scheduler's restart) cold-starts the new group unless it was pre-warmed by
+the delayed-restart mechanism (paper Fig. 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SimulationError
+from repro.common.types import EpochTimeBreakdown
+from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.faas.billing import BillingMeter
+from repro.faas.events import Acquire, Join, Release, Resource, Simulator
+from repro.faas.function import WarmPool
+from repro.faas.noise import NoiseModel
+
+
+@dataclass(frozen=True, slots=True)
+class EpochExecution:
+    """Work description for one epoch of one function group.
+
+    Attributes:
+        group: warm-pool key — same group ⇒ warm starts after the first epoch.
+        n_functions: number of parallel functions.
+        memory_mb: per-function memory.
+        load_s: base dataset-load duration per function.
+        compute_s: base gradient-compute duration per function.
+        sync_s: base parameter-synchronization duration for the whole group.
+        prewarmed: True when delayed restart already started these functions.
+    """
+
+    group: str
+    n_functions: int
+    memory_mb: int
+    load_s: float
+    compute_s: float
+    sync_s: float
+    prewarmed: bool = False
+
+
+@dataclass(slots=True)
+class InvocationResult:
+    """Measured outcome of one executed epoch."""
+
+    wall_time_s: float
+    time: EpochTimeBreakdown
+    cold_starts: int
+    queue_wait_s: float
+    billed_usd: float
+
+
+@dataclass
+class FaaSPlatform:
+    """A simulated serverless account with a concurrency limit and billing."""
+
+    platform: PlatformConfig = field(default_factory=lambda: DEFAULT_PLATFORM)
+    seed: int = 0
+
+    warm_ttl_s: float = 900.0
+
+    def __post_init__(self) -> None:
+        self.sim = Simulator()
+        self.concurrency = Resource(
+            self.platform.limits.max_concurrency, name="account-concurrency"
+        )
+        self.meter = BillingMeter(platform=self.platform)
+        self._noise = NoiseModel(self.seed, "platform", self.platform)
+        self.pool = WarmPool(ttl_s=self.warm_ttl_s)
+
+    # ------------------------------------------------------------------ warm pool
+    def is_warm(self, group: str) -> bool:
+        """True when the group has at least one warm instance."""
+        return self.pool.warm_count(group, self.sim.now) > 0
+
+    def prewarm(self, group: str, n: int = 1) -> None:
+        """Provision ``n`` instances ahead of time (delayed restart, Fig. 8)."""
+        self.pool.prewarm(group, n, self.sim.now)
+
+    def retire(self, group: str) -> None:
+        """Terminate a group's instances (allocation switch)."""
+        self.pool.retire(group)
+
+    # ------------------------------------------------------------------ execution
+    def execute_epoch(self, spec: EpochExecution) -> InvocationResult:
+        """Run one epoch on the event engine and bill it.
+
+        Returns measured wall time and a load/compute/sync breakdown. The
+        barrier makes the epoch's compute phase the *maximum* of the
+        per-function jittered durations — one source of the analytical
+        model's validation error (Fig. 19/20).
+        """
+        if spec.n_functions < 1:
+            raise SimulationError("epoch needs at least one function")
+        sim = self.sim
+        start = sim.now
+        if spec.prewarmed:
+            # Delayed restart provisioned these instances during the
+            # previous epoch; make sure the pool reflects that.
+            deficit = spec.n_functions - self.pool.warm_count(spec.group, sim.now)
+            if deficit > 0:
+                self.pool.prewarm(spec.group, deficit, sim.now)
+        n_warm, n_cold = self.pool.acquire(spec.group, spec.n_functions, sim.now)
+        noise = self._noise
+        cold_s = (
+            self.platform.limits.cold_start_s * noise.cold_start_factor()
+            if n_cold
+            else 0.0
+        )
+        compute_factors = noise.compute_factors(spec.n_functions)
+        load_factor = noise.network_factor()
+        sync_factor = noise.network_factor()
+
+        waits: list[float] = []
+        durations: list[float] = []
+
+        def function_proc(rank: int):
+            body_start = sim.now
+            if rank >= n_warm:  # the cold subset pays the cold start
+                yield cold_s
+            yield spec.load_s * load_factor
+            yield spec.compute_s * float(compute_factors[rank])
+            durations.append(sim.now - body_start)
+
+        outcome: dict[str, float] = {}
+
+        def epoch_driver():
+            # BSP needs every worker alive simultaneously, so the epoch
+            # acquires its n concurrency slots as a gang; n above the
+            # account limit is an infeasible allocation, not a queue.
+            arrive = sim.now
+            yield Acquire(self.concurrency, spec.n_functions)
+            waits.append(sim.now - arrive)
+            tasks = [sim.spawn(function_proc(r)) for r in range(spec.n_functions)]
+            yield Join.of(tasks)
+            barrier_at = sim.now
+            sync_s = spec.sync_s * sync_factor
+            yield sync_s
+            outcome["sync_s"] = sync_s
+            outcome["barrier_at"] = barrier_at
+            yield Release(self.concurrency, spec.n_functions)
+
+        driver = sim.spawn(epoch_driver())
+        sim.run()
+        if not driver.done:
+            raise SimulationError("epoch driver did not complete; engine stall")
+
+        wall = sim.now - start
+        sync_s = outcome["sync_s"]
+        billed = 0.0
+        for d in durations:
+            bill = self.meter.bill_invocation(spec.memory_mb, d + sync_s)
+            billed += bill.total_usd
+        self.pool.release(spec.group, spec.n_functions, sim.now)
+        measured = EpochTimeBreakdown(
+            load_s=spec.load_s * load_factor,
+            compute_s=float(max(durations)) - cold_s - spec.load_s * load_factor,
+            sync_s=sync_s,
+        )
+        return InvocationResult(
+            wall_time_s=wall,
+            time=measured,
+            cold_starts=n_cold,
+            queue_wait_s=max(waits) if waits else 0.0,
+            billed_usd=billed,
+        )

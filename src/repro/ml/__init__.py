@@ -1,0 +1,37 @@
+"""ML substrate: synthetic datasets, model zoo, convergence curves, SGD."""
+
+from repro.ml.curves import CurveParams, LossCurveSampler, inverse_power_law
+from repro.ml.datasets import CIFAR10, DATASETS, HIGGS, IMDB, YFCC, DatasetSpec
+from repro.ml.models import (
+    MODELS,
+    WORKLOADS,
+    ModelFamily,
+    ModelProfile,
+    Workload,
+    workload,
+)
+from repro.ml.sgd import DistributedSGD, SGDConfig
+
+# NOTE: repro.ml.trainer (IntegratedTrainer) is intentionally not imported
+# here — it sits above the analytical layer, which itself builds on
+# repro.ml.models; import it as `from repro.ml.trainer import ...`.
+
+__all__ = [
+    "CIFAR10",
+    "CurveParams",
+    "DATASETS",
+    "DistributedSGD",
+    "HIGGS",
+    "IMDB",
+    "LossCurveSampler",
+    "MODELS",
+    "ModelFamily",
+    "ModelProfile",
+    "SGDConfig",
+    "WORKLOADS",
+    "Workload",
+    "YFCC",
+    "DatasetSpec",
+    "inverse_power_law",
+    "workload",
+]

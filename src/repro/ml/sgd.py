@@ -1,0 +1,189 @@
+"""Real distributed mini-batch SGD for the linear models (LR, SVM).
+
+This is the functional training substrate: actual numpy gradient math on
+synthetic data, partitioned across n logical workers that synchronize under
+BSP — each iteration every worker computes a gradient on its own mini-batch,
+gradients are averaged through the (simulated) external storage, and all
+workers apply the same update. The loss trajectory is therefore genuinely
+stochastic, which is what the online loss-curve fitter consumes.
+
+The big NN models use the surrogate sampler in :mod:`repro.ml.curves`
+instead (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.rng import stream_for
+from repro.ml.models import ModelFamily, Workload
+
+
+class SyncHook(Protocol):
+    """Callback invoked once per BSP synchronization round.
+
+    Receives the number of workers and the model size in MB; used by the
+    trainer to drive the storage data plane (moving real bytes, charging
+    simulated time/cost).
+    """
+
+    def __call__(self, n_workers: int, model_mb: float) -> None: ...
+
+
+@dataclass(frozen=True, slots=True)
+class SGDConfig:
+    """Hyperparameters of a distributed SGD run.
+
+    Attributes:
+        batch_size: global mini-batch size, split evenly across workers.
+        learning_rate: step size.
+        l2: L2 regularization strength.
+        rows_per_worker: synthetic rows materialized per worker (the full
+            datasets are millions of rows; experiments subsample).
+    """
+
+    batch_size: int
+    learning_rate: float
+    l2: float = 1e-4
+    rows_per_worker: int = 2000
+
+
+def _logistic_loss_grad(
+    w: np.ndarray, x: np.ndarray, y: np.ndarray, l2: float
+) -> tuple[float, np.ndarray]:
+    """Mean logistic loss and gradient for labels y in {-1, +1}."""
+    margin = y * (x @ w)
+    # log(1 + exp(-margin)) computed stably.
+    loss = float(np.mean(np.logaddexp(0.0, -margin))) + 0.5 * l2 * float(w @ w)
+    sigma = 1.0 / (1.0 + np.exp(np.clip(margin, -500, 500)))
+    grad = -(x.T @ (y * sigma)) / len(y) + l2 * w
+    return loss, grad
+
+
+def _hinge_loss_grad(
+    w: np.ndarray, x: np.ndarray, y: np.ndarray, l2: float
+) -> tuple[float, np.ndarray]:
+    """Mean hinge loss and (sub)gradient for a linear SVM."""
+    margin = y * (x @ w)
+    active = margin < 1.0
+    loss = float(np.mean(np.maximum(0.0, 1.0 - margin))) + 0.5 * l2 * float(w @ w)
+    if active.any():
+        grad = -(x[active].T @ y[active]) / len(y) + l2 * w
+    else:
+        grad = l2 * w
+    return loss, grad
+
+
+_LOSSES: dict[ModelFamily, Callable] = {
+    ModelFamily.LR: _logistic_loss_grad,
+    ModelFamily.SVM: _hinge_loss_grad,
+}
+
+
+class DistributedSGD:
+    """BSP distributed SGD over ``n_workers`` logical workers.
+
+    Each worker owns a private partition of synthetic data drawn from the
+    workload's dataset generator. :meth:`run_epoch` performs
+    ``iterations_per_epoch`` BSP rounds and returns the mean training loss
+    observed during the epoch.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        n_workers: int,
+        config: SGDConfig | None = None,
+        seed: int = 0,
+        sync_hook: SyncHook | None = None,
+        reducer: "Callable[[list[np.ndarray]], np.ndarray] | None" = None,
+    ) -> None:
+        """``reducer`` replaces the in-memory gradient mean — the integrated
+        trainer routes it through a storage service's data plane, so the
+        bytes the optimizer consumes really crossed the simulated network."""
+        if not workload.profile.family.is_linear:
+            raise ValidationError(
+                f"DistributedSGD only supports linear models, got {workload.name}"
+            )
+        if n_workers < 1:
+            raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+        self.workload = workload
+        self.n_workers = n_workers
+        self.config = config or SGDConfig(
+            batch_size=workload.batch_size, learning_rate=workload.learning_rate
+        )
+        self.sync_hook = sync_hook
+        self.reducer = reducer
+        self._loss_grad = _LOSSES[workload.profile.family]
+        self._rng = stream_for(seed, "sgd", workload.name, n_workers)
+        d = workload.dataset
+        self._partitions = []
+        for rank in range(n_workers):
+            x, y = d.materialize(self.config.rows_per_worker, seed=seed * 1000 + rank)
+            self._partitions.append((x, y))
+        self.weights = np.zeros(d.n_features, dtype=np.float64)
+        self.epoch = 0
+        self.losses: list[float] = []
+
+    @property
+    def local_batch(self) -> int:
+        """Per-worker mini-batch size (global batch split across workers)."""
+        return max(1, self.config.batch_size // self.n_workers)
+
+    def _one_iteration(self) -> float:
+        """One BSP round: local gradients -> average -> shared update."""
+        per_worker: list[np.ndarray] = []
+        loss_sum = 0.0
+        for x, y in self._partitions:
+            idx = self._rng.integers(0, len(y), size=min(self.local_batch, len(y)))
+            loss, grad = self._loss_grad(self.weights, x[idx], y[idx], self.config.l2)
+            per_worker.append(grad)
+            loss_sum += loss
+        if self.reducer is not None:
+            mean_grad = self.reducer(per_worker)
+        else:
+            mean_grad = np.mean(per_worker, axis=0)
+        self.weights -= self.config.learning_rate * mean_grad
+        if self.sync_hook is not None:
+            self.sync_hook(self.n_workers, self.workload.model_mb)
+        return loss_sum / self.n_workers
+
+    def run_epoch(self, iterations: int | None = None) -> float:
+        """Run one epoch (``iterations`` BSP rounds) and return its mean loss.
+
+        Defaults to the workload's k = D / (n * b_z), capped at 200 rounds to
+        keep simulation tractable (the loss value, not the round count,
+        feeds the predictor).
+        """
+        k = iterations or min(200, self.workload.iterations_per_epoch(self.n_workers))
+        losses = [self._one_iteration() for _ in range(k)]
+        self.epoch += 1
+        mean_loss = float(np.mean(losses))
+        self.losses.append(mean_loss)
+        return mean_loss
+
+    def full_loss(self) -> float:
+        """Exact loss over every worker's full partition (for evaluation)."""
+        total = 0.0
+        for x, y in self._partitions:
+            loss, _ = self._loss_grad(self.weights, x, y, self.config.l2)
+            total += loss
+        return total / self.n_workers
+
+    def reshard(self, n_workers: int, seed: int = 0) -> "DistributedSGD":
+        """Continue training with a different worker count (resource switch).
+
+        Weights carry over; data is re-partitioned. Mirrors what happens on
+        the real platform when the adaptive scheduler changes n.
+        """
+        clone = DistributedSGD(
+            self.workload, n_workers, self.config, seed=seed, sync_hook=self.sync_hook
+        )
+        clone.weights = self.weights.copy()
+        clone.epoch = self.epoch
+        clone.losses = list(self.losses)
+        return clone

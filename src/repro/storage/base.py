@@ -1,0 +1,102 @@
+"""Abstract external-storage service: data plane + performance/price model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.types import PricingPattern, StorageKind
+from repro.common.units import mb_from_bytes
+from repro.config import StorageServiceConfig
+from repro.storage.kvplane import KVPlane
+
+
+@dataclass
+class StorageMetrics:
+    """Accumulated simulated time and money spent on one service."""
+
+    requests: int = 0
+    transferred_mb: float = 0.0
+    busy_time_s: float = 0.0
+    request_cost_usd: float = 0.0
+    provisioned_seconds: float = 0.0
+
+    def merge(self, other: "StorageMetrics") -> None:
+        self.requests += other.requests
+        self.transferred_mb += other.transferred_mb
+        self.busy_time_s += other.busy_time_s
+        self.request_cost_usd += other.request_cost_usd
+        self.provisioned_seconds += other.provisioned_seconds
+
+
+@dataclass
+class ExternalStorageService:
+    """A simulated external storage service.
+
+    Combines the performance/price profile from :mod:`repro.config` with a
+    functional :class:`KVPlane`. ``transfer_time_mb`` is the simulated wall
+    time for moving one object; subclasses override behaviour where the
+    service differs (VM-PS aggregates server-side).
+    """
+
+    config: StorageServiceConfig
+    plane: KVPlane = field(default_factory=KVPlane)
+    metrics: StorageMetrics = field(default_factory=StorageMetrics)
+
+    def __post_init__(self) -> None:
+        self.plane.object_limit_mb = self.config.object_limit_mb
+
+    @property
+    def kind(self) -> StorageKind:
+        return self.config.kind
+
+    @property
+    def supports_server_aggregation(self) -> bool:
+        """True when gradients can be merged without a function round-trip."""
+        return not self.kind.is_passive
+
+    def transfer_time_s(self, object_mb: float) -> float:
+        """Simulated time to move one object: latency + size / bandwidth."""
+        return self.config.latency_s + object_mb / self.config.bandwidth_mb_s
+
+    def _account_request(self, object_mb: float) -> float:
+        self.metrics.requests += 1
+        self.metrics.transferred_mb += object_mb
+        t = self.transfer_time_s(object_mb)
+        self.metrics.busy_time_s += t
+        if self.config.pricing is PricingPattern.REQUEST:
+            self.metrics.request_cost_usd += self.config.request_price_usd(object_mb)
+        return t
+
+    def put(self, key: str, value: np.ndarray) -> float:
+        """Store an object; returns the simulated transfer time (seconds)."""
+        self.plane.put(key, value)
+        return self._account_request(mb_from_bytes(np.asarray(value).nbytes))
+
+    def get(self, key: str) -> tuple[np.ndarray, float]:
+        """Fetch an object; returns (value, simulated transfer time)."""
+        arr = self.plane.get(key)
+        return arr, self._account_request(mb_from_bytes(arr.nbytes))
+
+    def accrue_provisioned(self, seconds: float) -> None:
+        """Record provisioned time for runtime-charged services."""
+        self.metrics.provisioned_seconds += max(0.0, seconds)
+
+    def cost_usd(self) -> float:
+        """Total storage cost so far under this service's pricing pattern."""
+        if self.config.pricing is PricingPattern.REQUEST:
+            return self.metrics.request_cost_usd
+        minutes = self.metrics.provisioned_seconds / 60.0
+        if minutes <= 0.0:
+            return 0.0
+        return (minutes + 1.0) * self.config.usd_per_minute
+
+    def server_aggregate(self, keys: list[str], out_key: str) -> float:
+        """Aggregate (mean) objects server-side — only VM-PS can do this.
+
+        Returns the simulated server compute time. Passive services raise.
+        """
+        raise NotImplementedError(
+            f"{self.kind.value} has no compute capacity; aggregate in a function"
+        )

@@ -1,0 +1,81 @@
+"""Factory and registry for simulated storage services; Table I reproduction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.types import PricingPattern, StorageKind
+from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.storage.base import ExternalStorageService
+from repro.storage.services import (
+    DynamoDBService,
+    ElastiCacheService,
+    S3Service,
+    VMPSService,
+)
+
+_SERVICE_CLASSES = {
+    StorageKind.S3: S3Service,
+    StorageKind.DYNAMODB: DynamoDBService,
+    StorageKind.ELASTICACHE: ElastiCacheService,
+    StorageKind.VMPS: VMPSService,
+}
+
+
+def make_service(
+    kind: StorageKind, platform: PlatformConfig = DEFAULT_PLATFORM
+) -> ExternalStorageService:
+    """Instantiate a fresh simulated service of the given kind."""
+    return _SERVICE_CLASSES[kind](config=platform.storage_config(kind))
+
+
+@dataclass
+class StorageCatalog:
+    """Lazy per-kind service instances sharing one platform config."""
+
+    platform: PlatformConfig = field(default_factory=lambda: DEFAULT_PLATFORM)
+    _services: dict[StorageKind, ExternalStorageService] = field(default_factory=dict)
+
+    def get(self, kind: StorageKind) -> ExternalStorageService:
+        if kind not in self._services:
+            self._services[kind] = make_service(kind, self.platform)
+        return self._services[kind]
+
+    def reset(self) -> None:
+        self._services.clear()
+
+
+def table1_rows(platform: PlatformConfig = DEFAULT_PLATFORM) -> list[dict]:
+    """Reproduce paper Table I: qualitative comparison of the services.
+
+    Latency buckets: <= 2 ms low, <= 15 ms medium, else high. The cost tier
+    counts dollar signs the way the paper does (request-priced cheap,.
+    provisioned expensive).
+    """
+    rows = []
+    for kind in StorageKind:
+        cfg = platform.storage_config(kind)
+        if cfg.latency_s <= 0.002:
+            latency = "Low"
+        elif cfg.latency_s <= 0.008:
+            latency = "Medium"
+        else:
+            latency = "High"
+        if cfg.pricing is PricingPattern.REQUEST:
+            tier = "$" if cfg.usd_per_request_per_mb == 0 else "$$"
+        else:
+            tier = "$$$"
+        rows.append(
+            {
+                "service": kind.value,
+                "elastic_scaling": "Auto" if cfg.elastic else "Manual",
+                "latency": latency,
+                "pricing_pattern": (
+                    "Data request"
+                    if cfg.pricing is PricingPattern.REQUEST
+                    else "Execution time"
+                ),
+                "cost_tier": tier,
+            }
+        )
+    return rows

@@ -1,0 +1,152 @@
+"""Fault injection for the storage substrate.
+
+Real external storage fails: requests time out, connections reset,
+throttling kicks in under burst load. This module wraps a simulated
+service with a deterministic fault process and a bounded-retry policy, so
+tests can verify that synchronization survives transient faults (with the
+correct latency/cost penalty) and surfaces persistent ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ReproError, ValidationError
+from repro.common.rng import stream_for
+from repro.storage.base import ExternalStorageService
+
+
+class StorageRequestError(ReproError):
+    """A request failed after exhausting its retries."""
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded exponential backoff."""
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_backoff_s < 0:
+            raise ValidationError("base_backoff_s must be >= 0")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Sleep before retry ``attempt`` (1-based; attempt 0 never sleeps)."""
+        if attempt <= 0:
+            return 0.0
+        return self.base_backoff_s * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic per-request fault process.
+
+    Attributes:
+        failure_prob: probability an individual request attempt fails.
+        burst_prob: probability a failure opens a "burst" during which the
+            next ``burst_length`` attempts also fail (correlated faults —
+            the hard case for retry logic).
+    """
+
+    failure_prob: float = 0.0
+    burst_prob: float = 0.0
+    burst_length: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_prob < 1.0:
+            raise ValidationError(
+                f"failure_prob must be in [0, 1), got {self.failure_prob}"
+            )
+        self._rng = stream_for(self.seed, "faults")
+        self._burst_remaining = 0
+        self.injected_faults = 0
+
+    def should_fail(self) -> bool:
+        """Whether the next request attempt fails."""
+        if self._burst_remaining > 0:
+            self._burst_remaining -= 1
+            self.injected_faults += 1
+            return True
+        if self._rng.random() < self.failure_prob:
+            self.injected_faults += 1
+            if self._rng.random() < self.burst_prob:
+                self._burst_remaining = self.burst_length - 1
+            return True
+        return False
+
+
+@dataclass
+class FaultyStorageService:
+    """A storage service whose requests can fail and are retried.
+
+    Wraps any :class:`ExternalStorageService`. Failed attempts still cost a
+    request charge and a timeout's worth of latency (as on the real
+    platform); exhausted retries raise :class:`StorageRequestError`.
+    """
+
+    inner: ExternalStorageService
+    injector: FaultInjector
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    timeout_s: float = 0.5
+    retried_requests: int = 0
+
+    @property
+    def kind(self):
+        return self.inner.kind
+
+    @property
+    def plane(self):
+        return self.inner.plane
+
+    @property
+    def metrics(self):
+        return self.inner.metrics
+
+    @property
+    def supports_server_aggregation(self) -> bool:
+        return self.inner.supports_server_aggregation
+
+    def _with_retries(self, op, *args):
+        elapsed = 0.0
+        for attempt in range(self.retry.max_attempts):
+            elapsed += self.retry.backoff_s(attempt)
+            if self.injector.should_fail():
+                # A failed attempt burns a timeout and is still billed.
+                self.inner.metrics.requests += 1
+                elapsed += self.timeout_s
+                self.retried_requests += 1
+                continue
+            result = op(*args)
+            if isinstance(result, tuple):  # get: (value, time)
+                value, dt = result
+                return value, elapsed + dt
+            return elapsed + result  # put: time
+        raise StorageRequestError(
+            f"request failed after {self.retry.max_attempts} attempts "
+            f"on {self.inner.kind.value}"
+        )
+
+    def put(self, key: str, value) -> float:
+        return self._with_retries(self.inner.put, key, value)
+
+    def get(self, key: str):
+        return self._with_retries(self.inner.get, key)
+
+    def accrue_provisioned(self, seconds: float) -> None:
+        self.inner.accrue_provisioned(seconds)
+
+    def cost_usd(self) -> float:
+        return self.inner.cost_usd()
+
+    def server_aggregate(self, keys, out_key):
+        return self.inner.server_aggregate(keys, out_key)
+
+    def transfer_time_s(self, object_mb: float) -> float:
+        return self.inner.transfer_time_s(object_mb)

@@ -1,0 +1,79 @@
+"""In-memory key/value data plane shared by all simulated storage services.
+
+This is the functional layer: parameter synchronization during simulated
+training actually moves numpy buffers through here, so aggregation
+correctness (gradient averaging) is testable end to end, and request/byte
+metering has ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import StorageCapacityError, ValidationError
+from repro.common.units import mb_from_bytes
+
+
+@dataclass
+class KVPlane:
+    """A metered in-memory object store.
+
+    Attributes:
+        object_limit_mb: maximum object size (DynamoDB: 400 KB); ``inf``
+            means unlimited.
+    """
+
+    object_limit_mb: float = float("inf")
+    _objects: dict[str, np.ndarray] = field(default_factory=dict)
+    put_count: int = 0
+    get_count: int = 0
+    delete_count: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+    def put(self, key: str, value: np.ndarray) -> None:
+        """Store a copy of ``value`` under ``key``."""
+        if not isinstance(key, str) or not key:
+            raise ValidationError(f"key must be a non-empty string, got {key!r}")
+        arr = np.asarray(value)
+        size_mb = mb_from_bytes(arr.nbytes)
+        if size_mb > self.object_limit_mb:
+            raise StorageCapacityError(
+                f"object {key!r} is {size_mb:.3f} MB, exceeds limit "
+                f"{self.object_limit_mb:.3f} MB"
+            )
+        self._objects[key] = arr.copy()
+        self.put_count += 1
+        self.bytes_in += arr.nbytes
+
+    def get(self, key: str) -> np.ndarray:
+        """Fetch a copy of the object stored under ``key``."""
+        try:
+            arr = self._objects[key]
+        except KeyError:
+            raise ValidationError(f"no object stored under key {key!r}") from None
+        self.get_count += 1
+        self.bytes_out += arr.nbytes
+        return arr.copy()
+
+    def delete(self, key: str) -> None:
+        """Remove ``key`` if present (idempotent)."""
+        if self._objects.pop(key, None) is not None:
+            self.delete_count += 1
+
+    def exists(self, key: str) -> bool:
+        return key in self._objects
+
+    def keys(self) -> list[str]:
+        return sorted(self._objects)
+
+    def clear(self) -> None:
+        """Drop all objects; metering counters are preserved."""
+        self._objects.clear()
+
+    @property
+    def request_count(self) -> int:
+        """Total billable requests issued so far."""
+        return self.put_count + self.get_count + self.delete_count

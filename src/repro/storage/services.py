@@ -1,0 +1,56 @@
+"""Concrete simulated storage services (Table I).
+
+S3, DynamoDB and ElastiCache share the passive behaviour of
+:class:`ExternalStorageService`; they differ only in their config profile
+(latency/bandwidth/pricing/object limit). VM-PS additionally supports
+server-side aggregation, which shortens the BSP synchronization pattern from
+(3n-2) to (2n-2) transfers (paper Fig. 5 / Eq. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.storage.base import ExternalStorageService
+
+
+@dataclass
+class S3Service(ExternalStorageService):
+    """Amazon S3: elastic, high-latency, request-priced object store."""
+
+
+@dataclass
+class DynamoDBService(ExternalStorageService):
+    """DynamoDB: elastic, medium-latency K/V store with a 400 KB item cap."""
+
+
+@dataclass
+class ElastiCacheService(ExternalStorageService):
+    """ElastiCache (Redis): provisioned low-latency cache, billed per minute."""
+
+
+@dataclass
+class VMPSService(ExternalStorageService):
+    """EC2-based parameter server: low latency, billed per minute, and able
+    to aggregate gradients locally (no function round-trip)."""
+
+    # Server-side mean over F float64 elements; c5-class throughput.
+    aggregate_mb_per_s: float = 2000.0
+
+    def server_aggregate(self, keys: list[str], out_key: str) -> float:
+        if not keys:
+            raise ValidationError("server_aggregate requires at least one key")
+        arrays = [self.plane.get(k) for k in keys]
+        # Internal reads are local to the PS: not billable requests.
+        self.plane.get_count -= len(keys)
+        self.plane.bytes_out -= sum(a.nbytes for a in arrays)
+        stacked = np.stack(arrays)
+        mean = stacked.mean(axis=0)
+        self.plane.put(out_key, mean)
+        self.plane.put_count -= 1
+        self.plane.bytes_in -= mean.nbytes
+        total_mb = sum(a.nbytes for a in arrays) / 2**20
+        return total_mb / self.aggregate_mb_per_s

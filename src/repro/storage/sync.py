@@ -1,0 +1,117 @@
+"""BSP parameter-synchronization patterns over external storage (Fig. 5).
+
+One synchronization round aggregates the per-function gradients into a mean
+and makes it visible to every function:
+
+* **Passive storage** (S3/DynamoDB/ElastiCache): one function acts as the
+  aggregator and keeps its own gradient in memory. The other n-1 functions
+  PUT their gradients; the aggregator GETs those n-1 objects, merges
+  in-function, and PUTs the merged model; the n-1 non-aggregators GET it.
+  Total: (n-1) + (n-1) + 1 + (n-1) = **3n - 2** object transfers — Eq. (3).
+* **VM-PS**: the parameter server is co-located with the driver worker, so
+  its gradient needs no transfer. The other n-1 functions PUT gradients,
+  the server aggregates locally (no network transfer), and the n-1
+  functions GET the result. Total: **2n - 2** — Eq. (3).
+
+The data actually flows through the service's K/V plane, so the aggregated
+result is numerically checked against the true mean in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.storage.base import ExternalStorageService
+
+
+@dataclass
+class SyncRoundReport:
+    """Outcome of one BSP synchronization round."""
+
+    wall_time_s: float
+    transfers: int
+    merged_key: str
+
+
+class BSPSynchronizer:
+    """Synchronizes n workers' gradients through one storage service."""
+
+    def __init__(self, service: ExternalStorageService, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
+        self.service = service
+        self.n_workers = n_workers
+        self.round_index = 0
+
+    def expected_transfers(self) -> int:
+        """Object transfers per round under Eq. (3)'s accounting."""
+        n = self.n_workers
+        if self.service.supports_server_aggregation:
+            return max(0, 2 * n - 2)
+        return max(1, 3 * n - 2)
+
+    def run_round(self, gradients: list[np.ndarray]) -> tuple[np.ndarray, SyncRoundReport]:
+        """Aggregate one round of gradients; returns (mean, report).
+
+        Worker 0 is the aggregator (passive storage) / PS-co-located driver
+        (VM-PS); its gradient never crosses the network.
+        """
+        if len(gradients) != self.n_workers:
+            raise ValidationError(
+                f"expected {self.n_workers} gradients, got {len(gradients)}"
+            )
+        r = self.round_index
+        self.round_index += 1
+        merged_key = f"round/{r}/merged"
+        elapsed = 0.0
+        transfers = 0
+        remote_keys = []
+        for rank in range(1, self.n_workers):
+            key = f"round/{r}/grad/{rank}"
+            elapsed += self.service.put(key, gradients[rank])
+            transfers += 1
+            remote_keys.append(key)
+
+        if self.service.supports_server_aggregation:
+            # VM-PS: driver gradient handed over locally, server-side mean.
+            local_key = f"round/{r}/grad/0"
+            self.service.plane.put(local_key, gradients[0])
+            self.service.plane.put_count -= 1  # local handoff, not billable
+            self.service.plane.bytes_in -= np.asarray(gradients[0]).nbytes
+            elapsed += self.service.server_aggregate(
+                [local_key] + remote_keys, merged_key
+            )
+            merged = self.service.plane.get(merged_key)
+            self.service.plane.get_count -= 1  # driver reads locally
+            self.service.plane.bytes_out -= merged.nbytes
+            for _ in range(self.n_workers - 1):
+                _, dt = self.service.get(merged_key)
+                elapsed += dt
+                transfers += 1
+            self.service.plane.delete(local_key)
+        else:
+            # Passive: aggregator keeps its own gradient in memory, pulls
+            # the other n-1, pushes the merged model, others pull it.
+            parts = [np.asarray(gradients[0], dtype=float)]
+            for key in remote_keys:
+                arr, dt = self.service.get(key)
+                elapsed += dt
+                transfers += 1
+                parts.append(arr)
+            merged = np.stack(parts).mean(axis=0)
+            elapsed += self.service.put(merged_key, merged)
+            transfers += 1
+            for _ in range(self.n_workers - 1):
+                _, dt = self.service.get(merged_key)
+                elapsed += dt
+                transfers += 1
+
+        for key in remote_keys:
+            self.service.plane.delete(key)
+        report = SyncRoundReport(
+            wall_time_s=elapsed, transfers=transfers, merged_key=merged_key
+        )
+        return merged, report

@@ -1,0 +1,24 @@
+"""Model training: online/offline epoch prediction and adaptive scheduling."""
+
+from repro.training.adaptive_scheduler import (
+    AdaptiveScheduler,
+    SchedulerDecision,
+    select_best_allocation,
+)
+from repro.training.delayed_restart import DelayedRestartPlanner, RestartPlan
+from repro.training.executor import TrainingExecutor, TrainingJobSpec
+from repro.training.offline_predictor import OfflinePredictor
+from repro.training.online_predictor import CurveFit, OnlinePredictor
+
+__all__ = [
+    "AdaptiveScheduler",
+    "CurveFit",
+    "DelayedRestartPlanner",
+    "OfflinePredictor",
+    "OnlinePredictor",
+    "RestartPlan",
+    "SchedulerDecision",
+    "TrainingExecutor",
+    "TrainingJobSpec",
+    "select_best_allocation",
+]

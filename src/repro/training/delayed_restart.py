@@ -1,0 +1,73 @@
+"""Delayed function restart (paper Fig. 8, §III-D).
+
+When the adaptive scheduler decides at the end of epoch k-1 to switch the
+allocation, naively tearing down and restarting functions puts the cold
+start and dataset load on the critical path. Delayed restart instead starts
+the new functions *during* epoch k, timed so they finish loading exactly
+when epoch k's gradient upload (Send_G) completes; the new functions pull
+the merged model directly and take over at epoch k+1.
+
+The visible overhead is therefore ``max(0, lead_time - epoch_k_duration)``
+— zero whenever the running epoch is longer than the new functions' startup
+plus load (the common case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.types import Allocation
+from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.analytical.timemodel import epoch_time
+from repro.ml.models import Workload
+
+
+@dataclass(frozen=True, slots=True)
+class RestartPlan:
+    """When to launch the new functions and what overhead remains visible."""
+
+    lead_time_s: float
+    launch_offset_s: float  # from the start of the overlap epoch
+    hidden_overhead_s: float
+    visible_overhead_s: float
+
+
+@dataclass
+class DelayedRestartPlanner:
+    """Computes optimal launch times for allocation switches."""
+
+    platform: PlatformConfig = DEFAULT_PLATFORM
+    enabled: bool = True
+
+    def lead_time_s(self, workload: Workload, new_alloc: Allocation) -> float:
+        """Startup + dataset-load time the new functions need before they
+        can take over (cold start + Load_D of Fig. 8)."""
+        t_new = epoch_time(workload, new_alloc, self.platform)
+        return self.platform.limits.cold_start_s + t_new.load_s
+
+    def plan_restart(
+        self,
+        workload: Workload,
+        new_alloc: Allocation,
+        overlap_epoch_duration_s: float,
+    ) -> RestartPlan:
+        """Plan the switch given the duration of the epoch being overlapped.
+
+        With delayed restart disabled (the WO-dr ablation), the whole lead
+        time lands on the critical path.
+        """
+        lead = self.lead_time_s(workload, new_alloc)
+        if not self.enabled:
+            return RestartPlan(
+                lead_time_s=lead,
+                launch_offset_s=overlap_epoch_duration_s,
+                hidden_overhead_s=0.0,
+                visible_overhead_s=lead,
+            )
+        hidden = min(lead, overlap_epoch_duration_s)
+        return RestartPlan(
+            lead_time_s=lead,
+            launch_offset_s=max(0.0, overlap_epoch_duration_s - lead),
+            hidden_overhead_s=hidden,
+            visible_overhead_s=lead - hidden,
+        )

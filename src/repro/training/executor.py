@@ -1,0 +1,249 @@
+"""Runs a model-training job end to end on the simulated platform.
+
+The executor glues together:
+
+* a **scheduler** (CE-scaling's :class:`AdaptiveScheduler` or a baseline)
+  that decides the allocation before each epoch;
+* a **loss provider** — real distributed SGD for the linear models, or the
+  stochastic convergence-curve sampler for the NN surrogates;
+* the **FaaS platform simulator**, which executes each epoch (cold starts,
+  jittered phases, barrier) and bills it;
+* the **delayed-restart planner**, which hides allocation-switch overhead.
+
+Training stops when the loss reaches the workload's target, the epoch cap
+is hit, or the budget is exhausted beyond tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.common.errors import ValidationError
+from repro.common.types import EpochCostBreakdown, EpochRecord, JobResult
+from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.analytical.costmodel import function_price_per_second, storage_cost
+from repro.analytical.pareto import ProfiledAllocation
+from repro.analytical.timemodel import epoch_time
+from repro.faas.platform import EpochExecution, FaaSPlatform
+from repro.ml.curves import LossCurveSampler
+from repro.ml.models import Workload
+from repro.ml.sgd import DistributedSGD, SGDConfig
+from repro.tuning.plan import Objective
+from repro.training.delayed_restart import DelayedRestartPlanner
+
+
+class LossProvider(Protocol):
+    """Produces the end-of-epoch training loss."""
+
+    def epoch_loss(self, n_workers: int) -> float: ...
+
+
+class SurrogateLossProvider:
+    """Loss from the workload's stochastic convergence curve.
+
+    The statistical trajectory is allocation-independent (BSP keeps the
+    effective global batch fixed), matching the paper's model where θ only
+    changes *how fast* epochs run, not how many are needed.
+    """
+
+    def __init__(self, workload: Workload, seed: int = 0) -> None:
+        self._sampler = LossCurveSampler(
+            workload.curve_params(),
+            seed=seed,
+            run_label=("train", workload.name),
+            anchor_target=workload.target_loss,
+        )
+
+    def epoch_loss(self, n_workers: int) -> float:
+        return self._sampler.next_loss()
+
+
+class SGDLossProvider:
+    """Loss from genuine distributed numpy SGD (linear models only)."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        seed: int = 0,
+        rows_per_worker: int = 500,
+        max_iterations: int = 40,
+    ) -> None:
+        self.workload = workload
+        self.seed = seed
+        self.max_iterations = max_iterations
+        self._config = SGDConfig(
+            batch_size=workload.batch_size,
+            learning_rate=workload.learning_rate,
+            rows_per_worker=rows_per_worker,
+        )
+        self._sgd: DistributedSGD | None = None
+
+    def epoch_loss(self, n_workers: int) -> float:
+        if self._sgd is None:
+            self._sgd = DistributedSGD(
+                self.workload, n_workers, self._config, seed=self.seed
+            )
+        elif self._sgd.n_workers != n_workers:
+            self._sgd = self._sgd.reshard(n_workers, seed=self.seed)
+        k = min(
+            self.max_iterations,
+            self.workload.iterations_per_epoch(n_workers),
+        )
+        return self._sgd.run_epoch(iterations=k)
+
+
+@dataclass(frozen=True)
+class TrainingJobSpec:
+    """A model-training job (one bar of Fig. 12/13).
+
+    Attributes:
+        workload: the (model, dataset) pair with Table IV hyperparameters.
+        objective: JCT-min given budget, or cost-min given QoS.
+        budget_usd / qos_s: the constraint.
+        max_epochs: hard stop.
+        use_real_sgd: run actual numpy SGD for linear models instead of the
+            surrogate curve (slower; experiments default to surrogates so
+            convergence horizons stay controlled across schedulers).
+        seed: randomness root for noise and loss trajectories.
+    """
+
+    workload: Workload
+    objective: Objective
+    budget_usd: float | None = None
+    qos_s: float | None = None
+    max_epochs: int = 400
+    use_real_sgd: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.objective is Objective.MIN_JCT_GIVEN_BUDGET and self.budget_usd is None:
+            raise ValidationError("JCT minimization needs budget_usd")
+        if self.objective is Objective.MIN_COST_GIVEN_QOS and self.qos_s is None:
+            raise ValidationError("cost minimization needs qos_s")
+
+    def make_loss_provider(self) -> LossProvider:
+        if self.use_real_sgd and self.workload.profile.family.is_linear:
+            return SGDLossProvider(self.workload, seed=self.seed)
+        return SurrogateLossProvider(self.workload, seed=self.seed)
+
+
+class TrainingScheduler(Protocol):
+    """The protocol CE-scaling's scheduler and all baselines implement."""
+
+    def initial_decision(self): ...
+
+    def on_epoch_end(self, loss: float, epoch_cost_usd: float, epoch_time_s: float): ...
+
+
+@dataclass
+class TrainingExecutor:
+    """Executes one training job under one scheduler."""
+
+    spec: TrainingJobSpec
+    scheduler: TrainingScheduler
+    platform_config: PlatformConfig = field(default_factory=lambda: DEFAULT_PLATFORM)
+    restart_planner: DelayedRestartPlanner | None = None
+    budget_overrun_tolerance: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.restart_planner is None:
+            self.restart_planner = DelayedRestartPlanner(platform=self.platform_config)
+
+    def run(self) -> JobResult:
+        """Run to convergence (or cap/budget exhaustion); returns the result."""
+        spec = self.spec
+        w = spec.workload
+        platform = FaaSPlatform(platform=self.platform_config, seed=spec.seed)
+        provider = spec.make_loss_provider()
+        decision = self.scheduler.initial_decision()
+        point: ProfiledAllocation = decision.point
+        generation = 0
+        jct = decision.search_overhead_s
+        sched_overhead = decision.search_overhead_s
+        cost = 0.0
+        records: list[EpochRecord] = []
+        n_restarts = 0
+        converged = False
+        loss = float("inf")
+        prewarmed_group: str | None = None
+
+        for epoch_idx in range(1, spec.max_epochs + 1):
+            alloc = point.allocation
+            group = f"{alloc.describe()}#g{generation}"
+            base = epoch_time(w, alloc, self.platform_config)
+            result = platform.execute_epoch(
+                EpochExecution(
+                    group=group,
+                    n_functions=alloc.n_functions,
+                    memory_mb=alloc.memory_mb,
+                    load_s=base.load_s,
+                    compute_s=base.compute_s,
+                    sync_s=base.sync_s,
+                    prewarmed=(group == prewarmed_group),
+                )
+            )
+            epoch_wall = result.wall_time_s
+            stor_usd = storage_cost(w, alloc, epoch_wall, self.platform_config)
+            platform.meter.bill_storage(stor_usd)
+            epoch_cost = result.billed_usd + stor_usd
+            loss = provider.epoch_loss(alloc.n_functions)
+            jct += epoch_wall
+            cost += epoch_cost
+            records.append(
+                EpochRecord(
+                    index=epoch_idx,
+                    allocation=alloc,
+                    time=result.time,
+                    cost=EpochCostBreakdown(
+                        invocation_usd=alloc.n_functions
+                        * self.platform_config.pricing.usd_per_invocation,
+                        compute_usd=result.billed_usd
+                        - alloc.n_functions
+                        * self.platform_config.pricing.usd_per_invocation,
+                        storage_usd=stor_usd,
+                    ),
+                    loss=loss,
+                )
+            )
+            if loss <= w.target_loss:
+                converged = True
+                break
+            if (
+                spec.budget_usd is not None
+                and cost > spec.budget_usd * self.budget_overrun_tolerance
+            ):
+                break
+
+            decision = self.scheduler.on_epoch_end(loss, epoch_cost, epoch_wall)
+            jct += decision.search_overhead_s
+            sched_overhead += decision.search_overhead_s
+            if decision.restart:
+                n_restarts += 1
+                new_alloc = decision.point.allocation
+                plan = self.restart_planner.plan_restart(w, new_alloc, epoch_wall)
+                jct += plan.visible_overhead_s
+                sched_overhead += plan.visible_overhead_s
+                platform.retire(group)
+                generation += 1
+                new_group = f"{new_alloc.describe()}#g{generation}"
+                if plan.hidden_overhead_s > 0:
+                    platform.prewarm(new_group, new_alloc.n_functions)
+                    prewarmed_group = new_group
+                else:
+                    prewarmed_group = None
+                records[-1].restarted = True
+                records[-1].scheduling_overhead_s = (
+                    decision.search_overhead_s + plan.visible_overhead_s
+                )
+            point = decision.point
+
+        return JobResult(
+            jct_s=jct,
+            cost_usd=cost,
+            epochs=records,
+            converged=converged,
+            final_loss=loss,
+            scheduling_overhead_s=sched_overhead,
+            n_restarts=n_restarts,
+        )

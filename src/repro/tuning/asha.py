@@ -1,0 +1,172 @@
+"""ASHA — asynchronous successive halving (Li et al. [19]).
+
+Synchronous SHA waits for every trial in a stage before halving; ASHA
+promotes a trial to the next *rung* the moment it ranks in the top 1/eta of
+the results seen so far at its rung. No barriers: stragglers cannot stall
+the run, at the price of occasionally promoting a trial a synchronous
+ranking would have cut.
+
+The paper evaluates synchronous SHA but cites ASHA among the early-stopping
+tuners its partitioning generalizes to; this module provides the engine so
+rung-level resource planning can be studied on it (each rung maps to a
+"stage" for the planner, exactly like a bracket).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.common.rng import stream_for
+from repro.ml.curves import LossCurveSampler
+from repro.ml.models import Workload
+from repro.tuning.sha import Trial
+
+
+@dataclass(frozen=True, slots=True)
+class ASHASpec:
+    """Shape of an ASHA run.
+
+    Attributes:
+        max_rung: highest rung index (a trial at rung r has trained
+            ``epochs_per_rung * eta^r`` epochs in total).
+        reduction_factor: eta.
+        epochs_per_rung: epochs between rung evaluations at rung 0.
+        n_trials: total trials the run will eventually sample.
+    """
+
+    n_trials: int
+    max_rung: int = 4
+    reduction_factor: int = 2
+    epochs_per_rung: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_trials < 2:
+            raise ValidationError(f"n_trials must be >= 2, got {self.n_trials}")
+        if self.max_rung < 1:
+            raise ValidationError(f"max_rung must be >= 1, got {self.max_rung}")
+        if self.reduction_factor < 2:
+            raise ValidationError(
+                f"reduction_factor must be >= 2, got {self.reduction_factor}"
+            )
+
+    def epochs_to_reach(self, rung: int) -> int:
+        """Cumulative epochs a trial has trained when it reaches ``rung``."""
+        if not 0 <= rung <= self.max_rung:
+            raise ValidationError(f"rung must be in [0, {self.max_rung}]")
+        return sum(
+            self.epochs_per_rung * self.reduction_factor**r for r in range(rung + 1)
+        )
+
+
+@dataclass
+class ASHAEngine:
+    """Event-driven ASHA: one trial advances per step, no barriers."""
+
+    spec: ASHASpec
+    workload: Workload
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = stream_for(self.seed, "asha", self.workload.name)
+        self.trials: list[Trial] = []
+        self.rung_of: dict[int, int] = {}
+        # Scores recorded at each rung, used for promotion decisions.
+        self.rung_scores: dict[int, list[tuple[float, int]]] = {
+            r: [] for r in range(self.spec.max_rung + 1)
+        }
+        self.completed: list[int] = []
+        self.steps = 0
+
+    def _sample_trial(self) -> Trial:
+        index = len(self.trials)
+        lr = float(10 ** self._rng.uniform(-5, -0.5))
+        momentum = float(self._rng.uniform(0.0, 0.99))
+        lr_dist = abs(math.log10(lr) - math.log10(self.workload.learning_rate))
+        mom_dist = abs(momentum - 0.9)
+        quality = float(
+            min(1.0, max(0.05, math.exp(-0.6 * lr_dist - 0.8 * mom_dist)))
+        )
+        params = self.workload.curve_params()
+        sampler = LossCurveSampler(
+            params,
+            seed=self.seed,
+            run_label=("asha-trial", index),
+            anchor_target=self.workload.target_loss,
+        )
+        sampler.alpha *= quality
+        trial = Trial(
+            index=index,
+            learning_rate=lr,
+            momentum=momentum,
+            quality=quality,
+            sampler=sampler,
+        )
+        self.trials.append(trial)
+        self.rung_of[index] = -1  # not yet evaluated at rung 0
+        return trial
+
+    def _promotable(self) -> int | None:
+        """A trial whose rung-score ranks in the top 1/eta of its rung."""
+        for rung in range(self.spec.max_rung - 1, -1, -1):
+            scores = self.rung_scores[rung]
+            if not scores:
+                continue
+            n_promote = len(scores) // self.spec.reduction_factor
+            if n_promote == 0:
+                continue
+            top = sorted(scores, reverse=True)[:n_promote]
+            for score, idx in top:
+                if self.rung_of[idx] == rung and self.trials[idx].alive:
+                    return idx
+        return None
+
+    def step(self) -> Trial:
+        """One scheduling decision: promote if possible, else grow a trial.
+
+        Returns the trial that ran.
+        """
+        self.steps += 1
+        idx = self._promotable()
+        if idx is None:
+            if len(self.trials) < self.spec.n_trials:
+                trial = self._sample_trial()
+                idx = trial.index
+            else:
+                # Everything sampled: advance the best currently waiting.
+                waiting = [
+                    i for i, t in enumerate(self.trials)
+                    if t.alive and self.rung_of[i] < self.spec.max_rung
+                ]
+                if not waiting:
+                    raise ValidationError("ASHA run already finished")
+                idx = max(waiting, key=lambda i: self.trials[i].score)
+        trial = self.trials[idx]
+        next_rung = self.rung_of[idx] + 1
+        epochs = self.spec.epochs_per_rung * self.spec.reduction_factor**next_rung
+        trial.train_epochs(epochs)
+        self.rung_of[idx] = next_rung
+        self.rung_scores[next_rung].append((trial.score, idx))
+        if next_rung == self.spec.max_rung:
+            self.completed.append(idx)
+        return trial
+
+    @property
+    def finished(self) -> bool:
+        if len(self.trials) < self.spec.n_trials:
+            return False
+        return all(
+            not t.alive or self.rung_of[i] >= self.spec.max_rung
+            for i, t in enumerate(self.trials)
+        ) or len(self.completed) >= max(
+            1, self.spec.n_trials // self.spec.reduction_factor**self.spec.max_rung
+        )
+
+    def run(self, max_steps: int = 100_000) -> Trial:
+        """Run until enough trials complete the top rung; return the best."""
+        while not self.finished and self.steps < max_steps:
+            self.step()
+        if not self.completed:
+            raise ValidationError("ASHA made no trial reach the top rung")
+        return max((self.trials[i] for i in self.completed), key=lambda t: t.score)

@@ -1,0 +1,404 @@
+"""Algorithm 1 — the greedy heuristic resource-partitioning planner.
+
+The multiple-choice-knapsack formulation (Eq. 7-9 / 11) is NP-hard, so the
+planner improves the optimal *static* plan greedily. With the objective O
+(JCT for JCT-min-given-budget, cost for cost-min-given-QoS) and the traded
+dimension S (cost resp. time):
+
+1. **Warm start** — the best uniform plan over 𝒫 under the constraint;
+   refinement is additionally multi-started from *every* feasible uniform
+   plan (the paper's Remark only requires "no worse than static"; with the
+   precomputed stage-contribution cache the extra starts cost microseconds
+   and close most of the gap to the exact DP — see
+   ``benchmarks/test_ablation_planner.py``).
+2. **Recycle & reinvest** (Alg. 1 lines 2-14) — pick the single-stage move
+   in the *S-freeing* direction with the best S freed per unit of O damage
+   (recycling; for JCT-min this downgrades a stage to a cheaper point —
+   early stages, whose q_i is large, win by construction), then repeatedly
+   apply the *O-improving* move with the best marginal benefit (Eq. 10/12)
+   while total S stays within the warm-start plan's spend. The recycled
+   stage is excluded from reinvestment within the round so a round cannot
+   simply undo itself.
+3. **Spend the remainder** (lines 15-25) — keep applying the best
+   O-improving moves (either ladder direction — concurrency waves make
+   stage time non-monotone along 𝒫) until the constraint binds or
+   improvements fall below δ; moves that violate the constraint enter a
+   tabu set (A2') and are skipped.
+
+Planner instrumentation (candidates evaluated, wall time) feeds the
+scheduling-overhead experiment (Fig. 21a).
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConstraintError
+from repro.analytical.pareto import ProfiledAllocation
+from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.tuning.plan import (
+    Objective,
+    PartitionPlan,
+    PlanEvaluation,
+    evaluate_plan,
+    stage_waves,
+)
+from repro.tuning.sha import SHASpec, StageShape
+from repro.tuning.static_planner import optimal_static_plan, static_plan
+
+
+@dataclass
+class PlannerStats:
+    """Instrumentation for the scheduling-overhead experiment (Fig. 21a)."""
+
+    candidates_evaluated: int = 0
+    greedy_iterations: int = 0
+    wall_time_s: float = 0.0
+
+
+@dataclass
+class PlannerResult:
+    """A plan plus its predicted evaluation and instrumentation."""
+
+    plan: PartitionPlan
+    evaluation: PlanEvaluation
+    static_evaluation: PlanEvaluation
+    stats: PlannerStats
+    feasible: bool = True
+
+
+@dataclass
+class GreedyHeuristicPlanner:
+    """Plans per-stage allocations for SHA under a budget or QoS constraint.
+
+    Attributes:
+        delta: minimum relative objective improvement to keep iterating —
+            the paper's stopping threshold δ.
+        platform: platform config used to evaluate plans.
+    """
+
+    delta: float = 0.001
+    platform: PlatformConfig = field(default_factory=lambda: DEFAULT_PLATFORM)
+
+    # ------------------------------------------------------------------ helpers
+    def _build_cache(self, ladder: list[ProfiledAllocation], spec: SHASpec) -> None:
+        """Precompute each (stage, candidate)'s JCT/cost contribution.
+
+        A stage's contribution depends only on its own allocation, so plan
+        evaluation reduces to a sum of lookups — the difference between a
+        sub-second and a 15-second planning pass at the paper's 16384-trial
+        scale.
+        """
+        self._index = {p.allocation: j for j, p in enumerate(ladder)}
+        self._stage_jct = []
+        self._stage_cost = []
+        for i in range(spec.n_stages):
+            q = spec.trials_in_stage(i)
+            r = spec.epochs_in_stage(i)
+            jct_row = []
+            cost_row = []
+            for p in ladder:
+                waves = stage_waves(q, p.allocation.n_functions, self.platform)
+                jct_row.append(r * p.time_s * waves)
+                cost_row.append(q * r * p.cost_usd)
+            self._stage_jct.append(jct_row)
+            self._stage_cost.append(cost_row)
+
+    def _eval(self, plan: PartitionPlan, spec: SHASpec, stats: PlannerStats):
+        stats.candidates_evaluated += 1
+        jct = []
+        cost = []
+        for i, point in enumerate(plan.stages):
+            j = self._index[point.allocation]
+            jct.append(self._stage_jct[i][j])
+            cost.append(self._stage_cost[i][j])
+        return PlanEvaluation(
+            jct_s=sum(jct),
+            cost_usd=sum(cost),
+            stage_jct_s=tuple(jct),
+            stage_cost_usd=tuple(cost),
+        )
+
+    @staticmethod
+    def _index_of(ladder: list[ProfiledAllocation], point: ProfiledAllocation) -> int:
+        for i, p in enumerate(ladder):
+            if p.allocation == point.allocation:
+                return i
+        raise ConstraintError("plan references an allocation outside the candidate set")
+
+    def _neighbors(
+        self,
+        plan: PartitionPlan,
+        ladder: list[ProfiledAllocation],
+        direction: int,
+        exclude: set[int] = frozenset(),
+    ) -> list[tuple[int, PartitionPlan]]:
+        """One-step single-stage moves along the cost-sorted ladder.
+
+        ``direction=+1`` moves a stage to the next more expensive (faster)
+        point, ``-1`` to the next cheaper one.
+        """
+        moves = []
+        for i, point in enumerate(plan.stages):
+            if i in exclude:
+                continue
+            j = self._index_of(ladder, point) + direction
+            if 0 <= j < len(ladder):
+                moves.append((i, plan.replace_stage(i, ladder[j])))
+        return moves
+
+    # -- objective / constraint plumbing -------------------------------------
+    @staticmethod
+    def _objective_value(ev: PlanEvaluation, objective: Objective) -> float:
+        return ev.jct_s if objective is Objective.MIN_JCT_GIVEN_BUDGET else ev.cost_usd
+
+    @staticmethod
+    def _spend_value(ev: PlanEvaluation, objective: Objective) -> float:
+        """The traded-away dimension S (cost for JCT-min, time for cost-min)."""
+        return ev.cost_usd if objective is Objective.MIN_JCT_GIVEN_BUDGET else ev.jct_s
+
+    @staticmethod
+    def _within_constraint(
+        ev: PlanEvaluation,
+        objective: Objective,
+        budget_usd: float | None,
+        qos_s: float | None,
+    ) -> bool:
+        ok = True
+        if budget_usd is not None:
+            ok = ok and ev.cost_usd <= budget_usd
+        if qos_s is not None:
+            ok = ok and ev.jct_s <= qos_s
+        if objective is Objective.MIN_JCT_GIVEN_BUDGET and budget_usd is None:
+            raise ConstraintError("JCT minimization needs budget_usd")
+        if objective is Objective.MIN_COST_GIVEN_QOS and qos_s is None:
+            raise ConstraintError("cost minimization needs qos_s")
+        return ok
+
+    def _marginal_benefit(
+        self, cur: PlanEvaluation, cand: PlanEvaluation, objective: Objective
+    ) -> float:
+        """Eq. (10)/(12): objective improvement per unit of extra spend.
+
+        Moves that improve the objective *and* reduce spend (possible via
+        concurrency-wave effects) get an infinite benefit — always take
+        them first.
+        """
+        gain = self._objective_value(cur, objective) - self._objective_value(
+            cand, objective
+        )
+        spend = self._spend_value(cand, objective) - self._spend_value(cur, objective)
+        if gain <= 0:
+            return -float("inf")
+        if spend <= 0:
+            return float("inf")
+        return gain / spend
+
+    def _recycle_benefit(
+        self, cur: PlanEvaluation, cand: PlanEvaluation, objective: Objective
+    ) -> float:
+        """Spend freed per unit of objective damage (the recycling metric)."""
+        freed = self._spend_value(cur, objective) - self._spend_value(cand, objective)
+        damage = self._objective_value(cand, objective) - self._objective_value(
+            cur, objective
+        )
+        if freed <= 0:
+            return -float("inf")
+        return freed / max(damage, 1e-12)
+
+    # ------------------------------------------------------------------ planning
+    def plan(
+        self,
+        candidates: list[ProfiledAllocation],
+        spec: SHASpec,
+        objective: Objective,
+        budget_usd: float | None = None,
+        qos_s: float | None = None,
+    ) -> PlannerResult:
+        """Run Algorithm 1 and return the partitioning plan.
+
+        When no static plan satisfies the constraint, the closest-to-
+        feasible static plan is returned with ``feasible=False``.
+        """
+        start = _time.perf_counter()
+        stats = PlannerStats()
+        ladder = sorted(candidates, key=lambda p: p.cost_usd)
+        self._build_cache(ladder, spec)
+
+        warm = optimal_static_plan(
+            ladder, spec, objective, budget_usd=budget_usd, qos_s=qos_s,
+            platform=self.platform,
+        )
+        # The warm start enumerates every candidate as a uniform plan;
+        # account for those evaluations (they dominate WO-pa's overhead).
+        stats.candidates_evaluated += len(ladder)
+        warm_ev = self._eval(warm, spec, stats)
+        feasible = self._within_constraint(warm_ev, objective, budget_usd, qos_s)
+
+        best, best_ev = warm, warm_ev
+        if feasible:
+            for start_plan in self._warm_starts(
+                warm, ladder, spec, objective, budget_usd, qos_s, stats
+            ):
+                cand, cand_ev = self._improve(
+                    start_plan, ladder, spec, objective, budget_usd, qos_s, stats
+                )
+                if self._objective_value(cand_ev, objective) < self._objective_value(
+                    best_ev, objective
+                ):
+                    best, best_ev = cand, cand_ev
+        stats.wall_time_s = _time.perf_counter() - start
+        return PlannerResult(
+            plan=best,
+            evaluation=best_ev,
+            static_evaluation=warm_ev,
+            stats=stats,
+            feasible=feasible,
+        )
+
+    def _warm_starts(
+        self,
+        warm: PartitionPlan,
+        ladder: list[ProfiledAllocation],
+        spec: SHASpec,
+        objective: Objective,
+        budget_usd: float | None,
+        qos_s: float | None,
+        stats: PlannerStats,
+    ) -> list[PartitionPlan]:
+        """Every feasible uniform plan, deduplicated.
+
+        Greedy refinement is a local search; multi-starting it from each
+        point of 𝒫 (a few dozen starts, each refining in microseconds)
+        closes most of the optimality gap against the exact DP at a cost
+        that is still a small fraction of one cold start."""
+        starts = [warm]
+        seen = {tuple(p.allocation for p in warm.stages)}
+        for point in ladder:
+            plan = static_plan(point, spec)
+            ev = self._eval(plan, spec, stats)
+            if not self._within_constraint(ev, objective, budget_usd, qos_s):
+                continue
+            key = tuple(p.allocation for p in plan.stages)
+            if key not in seen:
+                seen.add(key)
+                starts.append(plan)
+        return starts
+
+    def _improve(
+        self,
+        plan: PartitionPlan,
+        ladder: list[ProfiledAllocation],
+        spec: SHASpec,
+        objective: Objective,
+        budget_usd: float | None,
+        qos_s: float | None,
+        stats: PlannerStats,
+    ) -> tuple[PartitionPlan, PlanEvaluation]:
+        ev = self._eval(plan, spec, stats)
+        plan, ev = self._recycle_and_reinvest(
+            plan, ev, ladder, spec, objective, budget_usd, qos_s, stats
+        )
+        return self._spend_remainder(
+            plan, ev, ladder, spec, objective, budget_usd, qos_s, stats
+        )
+
+    # -- phase 1: recycle & reinvest (Alg. 1 lines 2-14) ---------------------
+    def _recycle_and_reinvest(
+        self,
+        best: PartitionPlan,
+        best_ev: PlanEvaluation,
+        ladder: list[ProfiledAllocation],
+        spec: SHASpec,
+        objective: Objective,
+        budget_usd: float | None,
+        qos_s: float | None,
+        stats: PlannerStats,
+    ) -> tuple[PartitionPlan, PlanEvaluation]:
+        # Recycling frees the traded dimension S: cheaper points for
+        # JCT-min (direction -1), faster points for cost-min (+1).
+        recycle_dir = -1 if objective is Objective.MIN_JCT_GIVEN_BUDGET else +1
+        spend_cap = self._spend_value(best_ev, objective)
+        for _ in range(64):  # bounded outer loop; converges much earlier
+            stats.greedy_iterations += 1
+            scored = []
+            for stage_idx, cand in self._neighbors(best, ladder, recycle_dir):
+                cev = self._eval(cand, spec, stats)
+                b = self._recycle_benefit(best_ev, cev, objective)
+                if b > 0:
+                    scored.append((b, stage_idx, cand, cev))
+            if not scored:
+                break
+            _, recycled_stage, a_l, a_l_ev = max(scored, key=lambda s: s[0])
+            exclude = {recycled_stage}
+            while True:
+                up_scored = []
+                for _, cand in self._neighbors(a_l, ladder, -recycle_dir, exclude):
+                    cev = self._eval(cand, spec, stats)
+                    if self._spend_value(cev, objective) > spend_cap:
+                        continue
+                    b = self._marginal_benefit(a_l_ev, cev, objective)
+                    if b > 0:
+                        up_scored.append((b, cand, cev))
+                if not up_scored:
+                    break
+                _, a_l, a_l_ev = max(up_scored, key=lambda s: s[0])
+            improvement = self._objective_value(best_ev, objective) - (
+                self._objective_value(a_l_ev, objective)
+            )
+            if improvement <= self.delta * abs(self._objective_value(best_ev, objective)):
+                break
+            if not self._within_constraint(a_l_ev, objective, budget_usd, qos_s):
+                break
+            best, best_ev = a_l, a_l_ev
+        return best, best_ev
+
+    # -- phase 2: spend the remaining headroom (Alg. 1 lines 15-25) ----------
+    def _spend_remainder(
+        self,
+        best: PartitionPlan,
+        best_ev: PlanEvaluation,
+        ladder: list[ProfiledAllocation],
+        spec: SHASpec,
+        objective: Objective,
+        budget_usd: float | None,
+        qos_s: float | None,
+        stats: PlannerStats,
+    ) -> tuple[PartitionPlan, PlanEvaluation]:
+        tabu: set[tuple[int, str]] = set()  # A2': moves that break the constraint
+        stats.greedy_iterations += 1  # phase 2 counts as one estimation round
+        for _ in range(512):
+            # Phase 2 considers *every* (stage, candidate) replacement, not
+            # just ladder neighbours: the boundary has cliffs (e.g. the
+            # cheap DynamoDB tail vs the fast VM-PS cluster) that one-step
+            # moves cannot cross, and the knapsack optimum routinely jumps
+            # them.
+            scored = []
+            for stage_idx in range(len(best.stages)):
+                current = best.stages[stage_idx]
+                for point in ladder:
+                    if point.allocation == current.allocation:
+                        continue
+                    key = (stage_idx, point.allocation.describe())
+                    if key in tabu:
+                        continue
+                    cand = best.replace_stage(stage_idx, point)
+                    cev = self._eval(cand, spec, stats)
+                    if not self._within_constraint(
+                        cev, objective, budget_usd, qos_s
+                    ):
+                        tabu.add(key)
+                        continue
+                    b = self._marginal_benefit(best_ev, cev, objective)
+                    if b > 0:
+                        scored.append((b, cand, cev))
+            if not scored:
+                break
+            # Individual moves can be small, so phase 2 runs until no
+            # strictly improving feasible move remains (δ governs the
+            # coarser phase-1 rounds).
+            _, cand, cev = max(scored, key=lambda s: s[0])
+            best, best_ev = cand, cev
+            tabu.clear()  # constraint headroom changed; retry old moves
+        return best, best_ev

@@ -1,0 +1,125 @@
+"""HyperBand brackets and per-bracket resource partitioning.
+
+The paper notes (§II-A) that other early-stopping tuners — HyperBand's
+brackets, BOHB — "share the same idea of repeatedly terminating poorly
+performing trials", so CE-scaling's partitioning applies to them. This
+module makes that concrete: a :class:`BracketSpec` exposes the same
+stage-shape protocol as :class:`~repro.tuning.sha.SHASpec` (``n_trials``,
+``n_stages``, ``trials_in_stage``, ``epochs_in_stage``), so the greedy
+planner, plan evaluation, and the tuning executor all work on HyperBand
+brackets unchanged.
+
+HyperBand(R, eta) runs ``s_max + 1`` brackets; bracket s starts
+``n = ceil((s_max + 1) / (s + 1) * eta^s)`` trials at ``r = R * eta^-s``
+epochs and successively halves, multiplying the per-stage epoch allowance
+by eta (Li et al., "Hyperband", JMLR 2018).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True, slots=True)
+class BracketSpec:
+    """One HyperBand bracket, stage-shape compatible with SHASpec.
+
+    Attributes:
+        n_trials: trials entering the first stage.
+        reduction_factor: eta.
+        initial_epochs: epochs per trial in the first stage (grows by eta
+            each stage, unlike SHA's constant allowance).
+        bracket_index: which HyperBand bracket this is (for reporting).
+    """
+
+    n_trials: int
+    reduction_factor: int
+    initial_epochs: int
+    bracket_index: int = 0
+    # Rung cap: HyperBand's bracket s has exactly s+1 rungs, so the final
+    # rung's per-trial epochs never exceed R. 0 = derive from n_trials.
+    max_rungs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_trials < 2:
+            raise ValidationError(f"n_trials must be >= 2, got {self.n_trials}")
+        if self.reduction_factor < 2:
+            raise ValidationError(
+                f"reduction_factor must be >= 2, got {self.reduction_factor}"
+            )
+        if self.initial_epochs < 1:
+            raise ValidationError(
+                f"initial_epochs must be >= 1, got {self.initial_epochs}"
+            )
+
+    @property
+    def n_stages(self) -> int:
+        derived = max(1, int(math.floor(math.log(self.n_trials, self.reduction_factor))))
+        if self.max_rungs > 0:
+            return min(derived, self.max_rungs)
+        return derived
+
+    def trials_in_stage(self, stage: int) -> int:
+        if not 0 <= stage < self.n_stages:
+            raise ValidationError(f"stage must be in [0, {self.n_stages}), got {stage}")
+        return max(2, self.n_trials // self.reduction_factor**stage)
+
+    def epochs_in_stage(self, stage: int) -> int:
+        if not 0 <= stage < self.n_stages:
+            raise ValidationError(f"stage must be in [0, {self.n_stages}), got {stage}")
+        return self.initial_epochs * self.reduction_factor**stage
+
+    def total_trial_epochs(self) -> int:
+        return sum(
+            self.trials_in_stage(i) * self.epochs_in_stage(i)
+            for i in range(self.n_stages)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class HyperBandSpec:
+    """A full HyperBand run: max per-trial resource R and eta."""
+
+    max_epochs_per_trial: int  # R
+    reduction_factor: int = 3  # eta (HyperBand's default is 3)
+
+    def __post_init__(self) -> None:
+        if self.max_epochs_per_trial < 1:
+            raise ValidationError(
+                f"max_epochs_per_trial must be >= 1, got {self.max_epochs_per_trial}"
+            )
+        if self.reduction_factor < 2:
+            raise ValidationError(
+                f"reduction_factor must be >= 2, got {self.reduction_factor}"
+            )
+
+    @property
+    def s_max(self) -> int:
+        return int(math.floor(math.log(self.max_epochs_per_trial, self.reduction_factor)))
+
+    def brackets(self) -> list[BracketSpec]:
+        """The s_max+1 brackets, most exploratory (most trials) first."""
+        eta = self.reduction_factor
+        r_max = self.max_epochs_per_trial
+        out = []
+        for s in range(self.s_max, -1, -1):
+            n = int(math.ceil((self.s_max + 1) / (s + 1) * eta**s))
+            r = max(1, int(r_max * eta**-s))
+            if n < 2:
+                n = 2
+            out.append(
+                BracketSpec(
+                    n_trials=n,
+                    reduction_factor=eta,
+                    initial_epochs=r,
+                    bracket_index=s,
+                    max_rungs=s + 1,
+                )
+            )
+        return out
+
+    def total_trial_epochs(self) -> int:
+        return sum(b.total_trial_epochs() for b in self.brackets())

@@ -1,0 +1,97 @@
+"""Static resource-partitioning baselines (paper §II-C1, §IV-B).
+
+* :func:`optimal_static_plan` — the warm start of Algorithm 1: enumerate 𝒫,
+  assign the same θ to every stage, return the best feasible plan under the
+  constraint (this is also how the LambdaML/Siren "static" baselines are
+  realized once their greedy scheduler is removed).
+* :func:`even_budget_plan` — the cluster-style "Fixed" baseline: the budget
+  is split evenly across stages and across trials within a stage, so early
+  stages (many trials) starve — the paper's resource-competition failure.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConstraintError
+from repro.analytical.pareto import ProfiledAllocation
+from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.tuning.plan import Objective, PartitionPlan, evaluate_plan
+from repro.tuning.sha import SHASpec
+
+
+def static_plan(point: ProfiledAllocation, spec: SHASpec) -> PartitionPlan:
+    """The uniform plan assigning ``point`` to all stages."""
+    return PartitionPlan.uniform(point, spec.n_stages)
+
+
+def optimal_static_plan(
+    candidates: list[ProfiledAllocation],
+    spec: SHASpec,
+    objective: Objective,
+    budget_usd: float | None = None,
+    qos_s: float | None = None,
+    platform: PlatformConfig = DEFAULT_PLATFORM,
+) -> PartitionPlan:
+    """Best uniform plan under the constraint.
+
+    For JCT-minimization the constraint is ``budget_usd``; for
+    cost-minimization it is the QoS deadline ``qos_s``. When no uniform
+    plan satisfies the constraint, the closest-to-feasible plan is returned
+    (static baselines in the paper do run — they just violate constraints).
+    """
+    best = None
+    best_key = None
+    fallback = None
+    fallback_violation = float("inf")
+    for point in candidates:
+        plan = static_plan(point, spec)
+        ev = evaluate_plan(plan, spec, platform)
+        if objective is Objective.MIN_JCT_GIVEN_BUDGET:
+            if budget_usd is None:
+                raise ConstraintError("JCT minimization needs a budget")
+            feasible = ev.cost_usd <= budget_usd
+            key = ev.jct_s
+            violation = ev.cost_usd - budget_usd
+        else:
+            if qos_s is None:
+                raise ConstraintError("cost minimization needs a QoS deadline")
+            feasible = ev.jct_s <= qos_s
+            key = ev.cost_usd
+            violation = ev.jct_s - qos_s
+        if feasible and (best_key is None or key < best_key):
+            best, best_key = plan, key
+        if not feasible and violation < fallback_violation:
+            fallback, fallback_violation = plan, violation
+    if best is not None:
+        return best
+    if fallback is not None:
+        return fallback
+    raise ConstraintError("no candidate allocations to build a static plan from")
+
+
+def even_budget_plan(
+    candidates: list[ProfiledAllocation],
+    spec: SHASpec,
+    budget_usd: float,
+    platform: PlatformConfig = DEFAULT_PLATFORM,
+) -> PartitionPlan:
+    """The "Fixed" cluster-style baseline.
+
+    Each stage receives ``budget / n_stages`` dollars, shared by that
+    stage's q_i trials over r_i epochs; every stage independently picks the
+    fastest candidate whose per-epoch cost fits its per-trial-epoch share.
+    Early stages, with exponentially more trials, get starved into the
+    cheapest (slowest) allocations — the paper's Fig. 3/11 competition
+    effect.
+    """
+    per_stage_budget = budget_usd / spec.n_stages
+    stages = []
+    cheapest = min(candidates, key=lambda p: p.cost_usd)
+    for i in range(spec.n_stages):
+        q = spec.trials_in_stage(i)
+        r = spec.epochs_in_stage(i)
+        share = per_stage_budget / (q * r)  # per-epoch dollars for one trial
+        affordable = [p for p in candidates if p.cost_usd <= share]
+        stages.append(
+            min(affordable, key=lambda p: p.time_s) if affordable else cheapest
+        )
+    return PartitionPlan(tuple(stages))

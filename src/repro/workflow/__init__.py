@@ -1,0 +1,30 @@
+"""End-to-end job runner: one call per training/tuning job per method."""
+
+from repro.workflow.job import (
+    TABLE_IV,
+    TrainingConstraints,
+    TuningConstraints,
+    training_envelope,
+    tuning_envelope,
+)
+from repro.workflow.campaign import WorkflowResult, run_workflow
+from repro.workflow.runner import (
+    TRAINING_METHODS,
+    TUNING_METHODS,
+    run_training,
+    run_tuning,
+)
+
+__all__ = [
+    "TABLE_IV",
+    "TRAINING_METHODS",
+    "TUNING_METHODS",
+    "TrainingConstraints",
+    "TuningConstraints",
+    "WorkflowResult",
+    "run_training",
+    "run_tuning",
+    "run_workflow",
+    "training_envelope",
+    "tuning_envelope",
+]

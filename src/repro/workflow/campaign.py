@@ -1,0 +1,107 @@
+"""End-to-end serverless ML workflow: tune, then train (paper Fig. 1).
+
+A full workflow spends part of its budget finding a good hyperparameter
+configuration (SHA + Algorithm 1) and the rest training that configuration
+to the target loss (Algorithm 2). The winning configuration's quality
+carries over: a better config converges in fewer epochs, so money spent on
+tuning buys a cheaper training phase — the trade the ``tuning_fraction``
+knob controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ValidationError
+from repro.common.types import JobResult
+from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.ml.models import Workload, workload as lookup_workload
+from repro.tuning.executor import TuningRunResult
+from repro.tuning.plan import Objective
+from repro.tuning.sha import SHASpec, Trial
+from repro.workflow.runner import profile_workload, run_training, run_tuning
+
+
+@dataclass(frozen=True, slots=True)
+class WorkflowResult:
+    """Outcome of one tune-then-train workflow."""
+
+    tuning: TuningRunResult
+    training: JobResult
+    winner: Trial
+    total_jct_s: float
+    total_cost_usd: float
+
+    @property
+    def within_budget(self) -> bool:
+        return self.training.converged
+
+
+def effective_workload(base: Workload, winner: Trial) -> Workload:
+    """The training-phase workload under the winning configuration.
+
+    A configuration of latent quality q converges ~1/q times as fast as the
+    nominal curve (the same model the SHA trials trained under), so the
+    training phase's expected horizon shrinks accordingly.
+    """
+    quality = max(0.05, min(1.0, winner.quality))
+    return replace(
+        base,
+        learning_rate=winner.learning_rate,
+        nominal_epochs=max(1.0, base.nominal_epochs / quality),
+    )
+
+
+def run_workflow(
+    w: Workload | str,
+    spec: SHASpec,
+    budget_usd: float,
+    tuning_fraction: float = 0.5,
+    method: str = "ce-scaling",
+    seed: int = 0,
+    platform: PlatformConfig = DEFAULT_PLATFORM,
+) -> WorkflowResult:
+    """Run the full workflow under one total budget.
+
+    ``tuning_fraction`` of the budget goes to hyperparameter tuning; the
+    remainder (plus whatever tuning left unspent) funds model training.
+    """
+    if not 0.0 < tuning_fraction < 1.0:
+        raise ValidationError(
+            f"tuning_fraction must be in (0, 1), got {tuning_fraction}"
+        )
+    if budget_usd <= 0:
+        raise ValidationError(f"budget_usd must be positive, got {budget_usd}")
+    w = lookup_workload(w) if isinstance(w, str) else w
+    profile = profile_workload(w, platform=platform)
+
+    tuning_budget = budget_usd * tuning_fraction
+    tuning_run = run_tuning(
+        w,
+        spec,
+        method=method,
+        objective=Objective.MIN_JCT_GIVEN_BUDGET,
+        budget_usd=tuning_budget,
+        seed=seed,
+        platform=platform,
+        profile=profile,
+    )
+    winner = tuning_run.result.winner
+    remaining = max(budget_usd * 0.05, budget_usd - tuning_run.result.cost_usd)
+
+    train_w = effective_workload(w, winner)
+    training_run = run_training(
+        train_w,
+        method=method,
+        objective=Objective.MIN_JCT_GIVEN_BUDGET,
+        budget_usd=remaining,
+        seed=seed,
+        platform=platform,
+    )
+    return WorkflowResult(
+        tuning=tuning_run.result,
+        training=training_run.result,
+        winner=winner,
+        total_jct_s=tuning_run.result.jct_s + training_run.result.jct_s,
+        total_cost_usd=tuning_run.result.cost_usd + training_run.result.cost_usd,
+    )

@@ -1,0 +1,97 @@
+"""Job specifications and constraint envelopes.
+
+``TABLE_IV`` mirrors the paper's experimental-configuration table. The
+envelope helpers derive realistic budget/QoS constraints from a workload's
+Pareto profile: the paper states constraints as multiples of what the
+cheapest/fastest plans need, so experiments here do the same instead of
+hard-coding dollar values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytical.profiler import ProfileResult
+from repro.ml.models import WORKLOADS, Workload
+from repro.tuning.plan import PartitionPlan, evaluate_plan
+from repro.tuning.sha import SHASpec
+
+# The paper's Table IV, by workload key (model, dataset, batch, lr, target).
+TABLE_IV: dict[str, dict] = {
+    name: {
+        "model": w.profile.family.value,
+        "dataset": w.dataset.name,
+        "batch_size": w.batch_size,
+        "learning_rate": w.learning_rate,
+        "target_loss": w.target_loss,
+    }
+    for name, w in WORKLOADS.items()
+}
+
+
+@dataclass(frozen=True, slots=True)
+class TrainingConstraints:
+    """Reference envelope for one training workload.
+
+    Attributes:
+        min_cost_usd: nominal epochs at the cheapest Pareto point.
+        min_jct_s: nominal epochs at the fastest Pareto point.
+        max_cost_usd: nominal epochs at the most expensive Pareto point.
+        max_jct_s: nominal epochs at the slowest Pareto point.
+    """
+
+    min_cost_usd: float
+    min_jct_s: float
+    max_cost_usd: float
+    max_jct_s: float
+
+    def budget(self, multiple: float = 1.5) -> float:
+        """A budget as a multiple of the cheapest possible spend."""
+        return self.min_cost_usd * multiple
+
+    def qos(self, multiple: float = 1.5) -> float:
+        """A deadline as a multiple of the fastest possible JCT."""
+        return self.min_jct_s * multiple
+
+
+def training_envelope(
+    workload: Workload, profile: ProfileResult
+) -> TrainingConstraints:
+    """Derive the training constraint envelope from a Pareto profile."""
+    e = workload.nominal_epochs
+    return TrainingConstraints(
+        min_cost_usd=e * profile.cheapest().cost_usd,
+        min_jct_s=e * profile.fastest().time_s,
+        max_cost_usd=e * max(p.cost_usd for p in profile.pareto),
+        max_jct_s=e * max(p.time_s for p in profile.pareto),
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class TuningConstraints:
+    """Reference envelope for one tuning workload under an SHA spec."""
+
+    min_cost_usd: float
+    min_jct_s: float
+
+    def budget(self, multiple: float = 1.5) -> float:
+        return self.min_cost_usd * multiple
+
+    def qos(self, multiple: float = 1.5) -> float:
+        return self.min_jct_s * multiple
+
+
+def tuning_envelope(
+    profile: ProfileResult, spec: SHASpec
+) -> TuningConstraints:
+    """Derive the tuning constraint envelope from a Pareto profile."""
+    cheapest = evaluate_plan(
+        PartitionPlan.uniform(profile.cheapest(), spec.n_stages), spec
+    )
+    fastest = evaluate_plan(
+        PartitionPlan.uniform(profile.fastest(), spec.n_stages), spec
+    )
+    return TuningConstraints(
+        min_cost_usd=cheapest.cost_usd,
+        min_jct_s=fastest.jct_s,
+    )

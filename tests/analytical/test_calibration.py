@@ -1,0 +1,64 @@
+"""Tests for the model-calibration loop (self-validation)."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.types import Allocation, StorageKind
+from repro.analytical.calibration import (
+    fit_compute_constant,
+    fit_storage_constants,
+    measure_epochs,
+)
+from repro.ml.models import workload
+
+
+class TestMeasureEpochs:
+    def test_returns_mean_per_allocation(self, lr_higgs):
+        allocs = [Allocation(2, 1769, StorageKind.VMPS)]
+        out = measure_epochs(lr_higgs, allocs, seeds=[0], epochs=2)
+        assert set(out) == set(allocs)
+        assert out[allocs[0]] > 0
+
+    def test_empty_allocations_rejected(self, lr_higgs):
+        with pytest.raises(ValidationError):
+            measure_epochs(lr_higgs, [], seeds=[0])
+
+
+class TestComputeCalibration:
+    def test_recovers_configured_constant(self, lr_higgs):
+        """The closed loop: measure the simulator, fit, match the config."""
+        calib = fit_compute_constant(lr_higgs, seeds=[0, 1, 2])
+        true = lr_higgs.profile.compute_s_per_mb
+        assert calib.compute_s_per_mb == pytest.approx(true, rel=0.10)
+        assert calib.residual_rel < 0.15
+
+    def test_works_for_surrogate_models(self, mobilenet):
+        calib = fit_compute_constant(mobilenet, seeds=[0, 1])
+        assert calib.compute_s_per_mb == pytest.approx(
+            mobilenet.profile.compute_s_per_mb, rel=0.10
+        )
+
+
+class TestStorageCalibration:
+    def test_recovers_s3_latency(self, lr_higgs):
+        """For LR's tiny model over S3 the per-transfer time is
+        latency-dominated and well above the noise floor, so the fitted
+        latency must match the configured one."""
+        from repro.config import DEFAULT_PLATFORM
+
+        calib = fit_storage_constants(lr_higgs, StorageKind.S3, seeds=[0, 1])
+        true = DEFAULT_PLATFORM.storage_config(StorageKind.S3).latency_s
+        assert calib.latency_s == pytest.approx(true, rel=0.25)
+        assert calib.residual_rel < 0.2
+
+    def test_vmps_latency_below_noise_floor(self, lr_higgs):
+        """VM-PS's 0.5 ms latency sits below this workload's measurement
+        noise: the fit must stay positive and order-of-magnitude sane, and
+        report its own uncertainty via the residual."""
+        calib = fit_storage_constants(lr_higgs, StorageKind.VMPS, seeds=[0, 1])
+        assert 0.0 < calib.latency_s < 0.01
+        assert calib.residual_rel > 0.1  # the fit knows it is noisy
+
+    def test_infeasible_service_rejected(self, mobilenet):
+        with pytest.raises(Exception):
+            fit_storage_constants(mobilenet, StorageKind.DYNAMODB, seeds=[0])

@@ -1,0 +1,103 @@
+"""Property-based tests on the analytical models' structural invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.types import Allocation, StorageKind
+from repro.analytical.costmodel import epoch_cost
+from repro.analytical.timemodel import epoch_time, is_feasible
+from repro.ml.models import workload
+
+FEASIBLE_N = st.sampled_from([1, 2, 4, 8, 16, 32, 64, 128])
+MEMORY = st.sampled_from([512, 1024, 1769, 2048, 4096, 8192])
+STORAGE = st.sampled_from(list(StorageKind))
+
+
+@st.composite
+def lr_allocations(draw):
+    return Allocation(draw(FEASIBLE_N), draw(MEMORY), draw(STORAGE))
+
+
+class TestTimeProperties:
+    @given(alloc=lr_allocations())
+    @settings(max_examples=60, deadline=None)
+    def test_components_non_negative(self, alloc):
+        w = workload("lr-higgs")
+        if not is_feasible(w, alloc):
+            return
+        t = epoch_time(w, alloc)
+        assert t.load_s >= 0 and t.compute_s >= 0 and t.sync_s >= 0
+
+    @given(n=FEASIBLE_N, m=MEMORY)
+    @settings(max_examples=40, deadline=None)
+    def test_load_and_compute_shrink_with_n(self, n, m):
+        w = workload("lr-higgs")
+        a1 = Allocation(n, m, StorageKind.S3)
+        a2 = Allocation(n * 2, m, StorageKind.S3)
+        if not (is_feasible(w, a1) and is_feasible(w, a2)):
+            return
+        t1, t2 = epoch_time(w, a1), epoch_time(w, a2)
+        assert t2.load_s <= t1.load_s
+        assert t2.compute_s <= t1.compute_s * 1.001
+
+    @given(n=FEASIBLE_N)
+    @settings(max_examples=20, deadline=None)
+    def test_vmps_sync_never_slower_than_s3(self, n):
+        w = workload("mobilenet-cifar10")
+        s3 = Allocation(n, 2048, StorageKind.S3)
+        vm = Allocation(n, 2048, StorageKind.VMPS)
+        if not (is_feasible(w, s3) and is_feasible(w, vm)):
+            return
+        assert epoch_time(w, vm).sync_s <= epoch_time(w, s3).sync_s
+
+    @given(m1=MEMORY, m2=MEMORY, n=FEASIBLE_N)
+    @settings(max_examples=40, deadline=None)
+    def test_more_memory_never_slower(self, m1, m2, n):
+        w = workload("mobilenet-cifar10")
+        lo, hi = sorted((m1, m2))
+        a_lo = Allocation(n, lo, StorageKind.S3)
+        a_hi = Allocation(n, hi, StorageKind.S3)
+        if not (is_feasible(w, a_lo) and is_feasible(w, a_hi)):
+            return
+        assert epoch_time(w, a_hi).compute_s <= epoch_time(w, a_lo).compute_s * 1.001
+
+
+class TestCostProperties:
+    @given(alloc=lr_allocations())
+    @settings(max_examples=60, deadline=None)
+    def test_components_non_negative(self, alloc):
+        w = workload("lr-higgs")
+        if not is_feasible(w, alloc):
+            return
+        c = epoch_cost(w, alloc)
+        assert c.invocation_usd >= 0
+        assert c.compute_usd >= 0
+        assert c.storage_usd >= 0
+
+    @given(n=FEASIBLE_N, m=MEMORY)
+    @settings(max_examples=40, deadline=None)
+    def test_memory_beyond_cap_strictly_more_expensive(self, n, m):
+        """Past the model's speedup cap, extra memory buys only cost."""
+        w = workload("lr-higgs")  # cap at 2 vCPUs = 3538 MB
+        if m < 4096:
+            return
+        a = Allocation(n, m, StorageKind.S3)
+        bigger = Allocation(n, 8192, StorageKind.S3)
+        if m >= 8192 or not (is_feasible(w, a) and is_feasible(w, bigger)):
+            return
+        assert epoch_cost(w, bigger).compute_usd > epoch_cost(w, a).compute_usd
+
+    @given(n=FEASIBLE_N)
+    @settings(max_examples=20, deadline=None)
+    def test_request_storage_cost_independent_of_n(self, n):
+        """Eq. (5): request count k*(10n+2) with k = D/(n*bz) makes S3's
+        storage cost roughly n-independent — parallelism is free on the
+        request side."""
+        w = workload("lr-higgs")
+        a1 = Allocation(n, 1769, StorageKind.S3)
+        a2 = Allocation(n * 2, 1769, StorageKind.S3)
+        if not (is_feasible(w, a1) and is_feasible(w, a2)):
+            return
+        c1 = epoch_cost(w, a1).storage_usd
+        c2 = epoch_cost(w, a2).storage_usd
+        assert c2 == pytest.approx(c1, rel=0.35)

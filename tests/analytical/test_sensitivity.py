@@ -1,0 +1,49 @@
+"""Tests for the sensitivity-analysis sweeps."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.types import StorageKind
+from repro.analytical.sensitivity import KNOBS, full_sweep, sweep_knob
+from repro.ml.models import workload
+
+
+class TestSweeps:
+    def test_unknown_knob(self, lr_higgs):
+        with pytest.raises(ValidationError):
+            sweep_knob(lr_higgs, "moon_phase")
+
+    def test_factor_one_matches_default(self, lr_higgs, lr_profile):
+        report = sweep_knob(lr_higgs, "s3_latency", factors=(1.0,))
+        p = report.points[0]
+        assert p.fastest == lr_profile.fastest().allocation
+        assert p.cheapest == lr_profile.cheapest().allocation
+
+    def test_lambda_price_scales_cheapest_cost(self, lr_higgs):
+        report = sweep_knob(lr_higgs, "lambda_price", factors=(1.0, 2.0))
+        base, doubled = report.points
+        # Compute is only part of the cost, so the increase is sub-2x but real.
+        assert doubled.cheapest_cost_usd > base.cheapest_cost_usd
+
+    def test_vmps_price_can_flip_decisions(self, mobilenet):
+        """Make VM-PS 20x pricier: it should stop being the cheap choice
+        somewhere on the boundary (the decision is price-sensitive)."""
+        report = sweep_knob(mobilenet, "vmps_price", factors=(1.0, 20.0))
+        base, expensive = report.points
+        assert expensive.cheapest_cost_usd >= base.cheapest_cost_usd
+
+    def test_s3_latency_affects_speed_only_if_s3_used(self, mobilenet):
+        report = sweep_knob(mobilenet, "s3_latency", factors=(0.25, 1.0, 4.0))
+        times = [p.fastest_time_s for p in report.points]
+        # The fastest point is VM-PS-backed, so it must be latency-stable.
+        assert max(times) <= min(times) * 1.01
+
+    def test_full_sweep_covers_all_knobs(self, lr_higgs):
+        reports = full_sweep(lr_higgs, factors=(0.5, 1.0))
+        assert set(reports) == set(KNOBS)
+        for report in reports.values():
+            assert len(report.points) == 2
+
+    def test_decision_stable_property(self, lr_higgs):
+        report = sweep_knob(lr_higgs, "s3_bandwidth", factors=(1.0, 1.0))
+        assert report.decision_stable

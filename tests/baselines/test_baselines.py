@@ -1,0 +1,168 @@
+"""Tests for the LambdaML, Siren, Cirrus and Fixed baselines."""
+
+import pytest
+
+from repro.common.errors import ConstraintError
+from repro.common.types import StorageKind
+from repro.analytical.pareto import pareto_front
+from repro.ml.models import workload
+from repro.tuning.plan import Objective, evaluate_plan
+from repro.tuning.sha import SHASpec
+from repro.baselines.cirrus import CirrusScheduler, cirrus_tuning_plan, vmps_only
+from repro.baselines.fixed import fixed_tuning_plan
+from repro.baselines.lambdaml import LambdaMLScheduler, lambdaml_tuning_plan
+from repro.baselines.siren import SirenPolicy, SirenScheduler, s3_only, siren_tuning_plan
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SHASpec(64, 2, 2)
+
+
+@pytest.fixture(scope="module")
+def s3_front(lr_profile):
+    return pareto_front(
+        [p for p in lr_profile.all_points if p.allocation.storage is StorageKind.S3]
+    )
+
+
+@pytest.fixture(scope="module")
+def vmps_front(lr_profile):
+    return pareto_front(
+        [p for p in lr_profile.all_points if p.allocation.storage is StorageKind.VMPS]
+    )
+
+
+class TestPinning:
+    def test_s3_only_filters(self, lr_profile):
+        pts = s3_only(lr_profile.all_points)
+        assert pts
+        assert all(p.allocation.storage is StorageKind.S3 for p in pts)
+
+    def test_vmps_only_filters(self, lr_profile):
+        pts = vmps_only(lr_profile.all_points)
+        assert all(p.allocation.storage is StorageKind.VMPS for p in pts)
+
+    def test_empty_pin_rejected(self, vmps_front):
+        with pytest.raises(ConstraintError):
+            s3_only(vmps_front)
+
+
+class TestLambdaML:
+    def test_tuning_plan_is_uniform(self, lr_profile, spec):
+        plan = lambdaml_tuning_plan(
+            lr_profile.pareto, spec, Objective.MIN_JCT_GIVEN_BUDGET, budget_usd=100.0
+        )
+        assert len({p.allocation for p in plan.stages}) == 1
+
+    def test_training_scheduler_static(self, lr_higgs, lr_profile):
+        sched = LambdaMLScheduler(
+            workload=lr_higgs, candidates=lr_profile.pareto,
+            objective=Objective.MIN_JCT_GIVEN_BUDGET, budget_usd=5.0, seed=0,
+        )
+        d0 = sched.initial_decision()
+        for _ in range(5):
+            d = sched.on_epoch_end(0.68, 0.01, 5.0)
+            assert not d.restart
+            assert d.point.allocation == d0.point.allocation
+        assert sched.n_searches == 1
+
+
+class TestSiren:
+    def test_policy_trains_and_samples_s3(self, s3_front):
+        policy = SirenPolicy(
+            candidates=s3_front, objective=Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=10.0, seed=0,
+        )
+        policy.train()
+        for _ in range(10):
+            assert policy.sample().allocation.storage is StorageKind.S3
+
+    def test_policy_concentrates_on_good_actions(self, s3_front):
+        """After CEM training the probability mass is not uniform."""
+        import numpy as np
+
+        policy = SirenPolicy(
+            candidates=s3_front, objective=Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=10.0, seed=0,
+        )
+        policy.train()
+        assert policy.probs.max() > 2.0 / len(s3_front)
+        assert np.isclose(policy.probs.sum(), 1.0)
+
+    def test_scheduler_readjusts_every_epoch(self, lr_higgs, s3_front):
+        sched = SirenScheduler(
+            workload=lr_higgs, candidates=s3_front,
+            objective=Objective.MIN_JCT_GIVEN_BUDGET, budget_usd=10.0, seed=0,
+        )
+        sched.initial_decision()
+        before = sched.n_searches
+        for _ in range(6):
+            sched.on_epoch_end(0.68, 0.01, 5.0)
+        assert sched.n_searches == before + 6
+
+    def test_tuning_plan_front_loaded(self, lr_profile, spec, s3_front):
+        cheap = min(s3_front, key=lambda p: p.cost_usd)
+        from repro.tuning.plan import PartitionPlan
+
+        budget = evaluate_plan(
+            PartitionPlan.uniform(cheap, spec.n_stages), spec
+        ).cost_usd * 1.5
+        plan = siren_tuning_plan(
+            s3_front, spec, Objective.MIN_JCT_GIVEN_BUDGET, budget_usd=budget
+        )
+        # Early stages get at least as expensive allocations as late ones.
+        assert plan.stages[0].cost_usd >= plan.stages[-1].cost_usd
+        assert all(p.allocation.storage is StorageKind.S3 for p in plan.stages)
+
+
+class TestCirrus:
+    def test_tuning_plan_vmps_only(self, lr_profile, spec, vmps_front):
+        plan = cirrus_tuning_plan(
+            vmps_front, spec, Objective.MIN_JCT_GIVEN_BUDGET, budget_usd=1e6
+        )
+        assert all(p.allocation.storage is StorageKind.VMPS for p in plan.stages)
+
+    def test_modified_adapts_static_does_not(self, lr_higgs, vmps_front):
+        static = CirrusScheduler(
+            workload=lr_higgs, candidates=vmps_front,
+            objective=Objective.MIN_JCT_GIVEN_BUDGET, budget_usd=5.0,
+            modified=False, seed=0,
+        )
+        static.initial_decision()
+        params = lr_higgs.curve_params()
+        for e in range(1, 10):
+            d = static.on_epoch_end(params.loss_at(e) * 1.5, 0.01, 5.0)
+            assert not d.restart
+
+        modified = CirrusScheduler(
+            workload=lr_higgs, candidates=vmps_front,
+            objective=Objective.MIN_JCT_GIVEN_BUDGET, budget_usd=5.0,
+            modified=True, seed=0,
+        )
+        modified.initial_decision()
+        assert modified.n_searches >= 1
+
+    def test_all_decisions_vmps(self, lr_higgs, vmps_front):
+        sched = CirrusScheduler(
+            workload=lr_higgs, candidates=vmps_front,
+            objective=Objective.MIN_JCT_GIVEN_BUDGET, budget_usd=5.0, seed=0,
+        )
+        d = sched.initial_decision()
+        assert d.point.allocation.storage is StorageKind.VMPS
+
+
+class TestFixed:
+    def test_even_split_runs(self, lr_profile, spec):
+        plan = fixed_tuning_plan(lr_profile.pareto, spec, budget_usd=50.0)
+        assert len(plan.stages) == spec.n_stages
+
+    def test_needs_budget(self, lr_profile, spec):
+        from repro.workflow.runner import make_tuning_plan
+        from repro.common.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            make_tuning_plan(
+                "fixed", lr_profile, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+                None, None,
+            )

@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analytical.profiler import ParetoProfiler, ProfileResult
+from repro.ml.models import Workload, workload
+
+
+@pytest.fixture(scope="session")
+def lr_higgs() -> Workload:
+    return workload("lr-higgs")
+
+
+@pytest.fixture(scope="session")
+def mobilenet() -> Workload:
+    return workload("mobilenet-cifar10")
+
+
+@pytest.fixture(scope="session")
+def bert() -> Workload:
+    return workload("bert-imdb")
+
+
+@pytest.fixture(scope="session")
+def lr_profile(lr_higgs) -> ProfileResult:
+    return ParetoProfiler().profile(lr_higgs)
+
+
+@pytest.fixture(scope="session")
+def mobilenet_profile(mobilenet) -> ProfileResult:
+    return ParetoProfiler().profile(mobilenet)

@@ -1,0 +1,66 @@
+"""Tests for the execution-trace recorder."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.faas.trace import TraceRecorder, trace_epochs
+
+
+class TestRecorder:
+    def test_record_and_filter(self):
+        rec = TraceRecorder()
+        rec.record("a", "compute", 0.0, 1.0, "t1")
+        rec.record("b", "sync", 1.0, 0.5, "t1")
+        assert len(rec.spans()) == 2
+        assert len(rec.spans("sync")) == 1
+
+    def test_spans_sorted_by_start(self):
+        rec = TraceRecorder()
+        rec.record("late", "c", 5.0, 1.0, "t")
+        rec.record("early", "c", 1.0, 1.0, "t")
+        assert [e.name for e in rec.spans()] == ["early", "late"]
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValidationError):
+            TraceRecorder().record("x", "c", 0.0, -1.0, "t")
+
+    def test_total_time_and_summary(self):
+        rec = TraceRecorder()
+        rec.record("a", "compute", 0.0, 2.0, "t")
+        rec.record("b", "compute", 2.0, 3.0, "t")
+        rec.record("c", "sync", 5.0, 1.0, "t")
+        assert rec.total_time("compute") == pytest.approx(5.0)
+        assert rec.summary() == {"compute": 5.0, "sync": 1.0}
+
+    def test_chrome_trace_valid_json(self):
+        rec = TraceRecorder()
+        rec.record("a", "compute", 0.0, 1.5, "group:x", epoch=1)
+        payload = json.loads(rec.to_chrome_trace())
+        events = payload["traceEvents"]
+        named = [e for e in events if e.get("ph") == "X"]
+        assert named[0]["dur"] == pytest.approx(1.5e6)
+        assert any(e.get("ph") == "M" for e in events)  # track names
+
+
+class TestTraceEpochs:
+    def test_training_run_traced(self, mobilenet, mobilenet_profile):
+        from repro.tuning.plan import Objective
+        from repro.workflow.job import training_envelope
+        from repro.workflow.runner import run_training
+
+        budget = training_envelope(mobilenet, mobilenet_profile).budget(2.5)
+        result = run_training(
+            mobilenet, budget_usd=budget, seed=0, max_epochs=6,
+            profile=mobilenet_profile,
+        ).result
+        rec = TraceRecorder()
+        end = trace_epochs(rec, result.epochs)
+        assert end > 0
+        assert rec.total_time("sync") == pytest.approx(
+            result.comm_overhead_s, rel=1e-9
+        )
+        # One load+compute+sync triple per epoch.
+        assert len(rec.spans("compute")) == len(result.epochs)
+        json.loads(rec.to_chrome_trace())  # exports cleanly

@@ -1,0 +1,75 @@
+"""Unit tests for the warm-instance pool."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.faas.function import WarmPool
+
+
+class TestWarmPool:
+    def test_all_cold_initially(self):
+        pool = WarmPool()
+        warm, cold = pool.acquire("g", 3, now=0.0)
+        assert (warm, cold) == (0, 3)
+
+    def test_release_then_reuse(self):
+        pool = WarmPool()
+        pool.acquire("g", 3, now=0.0)
+        pool.release("g", 3, now=1.0)
+        warm, cold = pool.acquire("g", 3, now=2.0)
+        assert (warm, cold) == (3, 0)
+        assert pool.warm_reuses == 3
+
+    def test_partial_reuse_on_scale_up(self):
+        pool = WarmPool()
+        pool.release("g", 2, now=0.0)
+        warm, cold = pool.acquire("g", 5, now=1.0)
+        assert (warm, cold) == (2, 3)
+
+    def test_groups_isolated(self):
+        pool = WarmPool()
+        pool.release("a", 4, now=0.0)
+        warm, cold = pool.acquire("b", 2, now=1.0)
+        assert (warm, cold) == (0, 2)
+
+    def test_ttl_expiry(self):
+        pool = WarmPool(ttl_s=10.0)
+        pool.release("g", 2, now=0.0)
+        assert pool.warm_count("g", now=5.0) == 2
+        assert pool.warm_count("g", now=11.0) == 0
+        assert pool.expired == 2
+
+    def test_prewarm(self):
+        pool = WarmPool()
+        pool.prewarm("g", 4, now=0.0)
+        warm, cold = pool.acquire("g", 4, now=1.0)
+        assert (warm, cold) == (4, 0)
+
+    def test_retire(self):
+        pool = WarmPool()
+        pool.release("g", 3, now=0.0)
+        assert pool.retire("g") == 3
+        assert pool.warm_count("g", now=0.0) == 0
+        assert pool.retire("g") == 0  # idempotent
+
+    def test_total_warm(self):
+        pool = WarmPool()
+        pool.release("a", 2, now=0.0)
+        pool.release("b", 3, now=0.0)
+        assert pool.total_warm(now=1.0) == 5
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            WarmPool(ttl_s=0)
+        with pytest.raises(ValidationError):
+            WarmPool().acquire("g", 0, now=0.0)
+        with pytest.raises(ValidationError):
+            WarmPool().release("g", 0, now=0.0)
+
+    def test_cold_start_counter(self):
+        pool = WarmPool()
+        pool.acquire("g", 4, now=0.0)
+        pool.release("g", 4, now=1.0)
+        pool.acquire("g", 6, now=2.0)
+        assert pool.cold_starts == 6  # 4 + 2
+        assert pool.warm_reuses == 4

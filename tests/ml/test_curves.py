@@ -1,0 +1,130 @@
+"""Unit and property tests for the convergence-curve machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ValidationError
+from repro.ml.curves import (
+    CurveParams,
+    LossCurveSampler,
+    exponential_decay,
+    hyperbolic,
+    inverse_power_law,
+)
+
+
+class TestCurveParams:
+    def test_rejects_inverted_endpoints(self):
+        with pytest.raises(ValidationError):
+            CurveParams(init_loss=0.1, floor_loss=0.5, alpha=1.0)
+
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ValidationError):
+            CurveParams(init_loss=1.0, floor_loss=0.1, alpha=0.0)
+
+    def test_loss_at_zero_is_init(self):
+        p = CurveParams(init_loss=1.0, floor_loss=0.1, alpha=0.5)
+        assert p.loss_at(0) == pytest.approx(1.0)
+
+    def test_loss_monotone_decreasing(self):
+        p = CurveParams(init_loss=1.0, floor_loss=0.1, alpha=0.5)
+        losses = [p.loss_at(e) for e in range(0, 100, 5)]
+        assert all(a > b for a, b in zip(losses, losses[1:]))
+
+    def test_epochs_to_inverse_of_loss_at(self):
+        p = CurveParams(init_loss=1.0, floor_loss=0.1, alpha=0.7)
+        e = p.epochs_to(0.3)
+        assert p.loss_at(e) == pytest.approx(0.3, rel=1e-9)
+
+    def test_epochs_to_target_above_init_is_zero(self):
+        p = CurveParams(init_loss=1.0, floor_loss=0.1, alpha=0.7)
+        assert p.epochs_to(2.0) == 0.0
+
+    def test_epochs_to_below_floor_raises(self):
+        p = CurveParams(init_loss=1.0, floor_loss=0.1, alpha=0.7)
+        with pytest.raises(ValidationError):
+            p.epochs_to(0.05)
+
+    def test_solve_alpha_calibration(self):
+        p = CurveParams.solve_alpha(1.0, 0.1, 0.3, nominal_epochs=25)
+        assert p.epochs_to(0.3) == pytest.approx(25, rel=1e-9)
+
+    def test_solve_alpha_rejects_bad_ordering(self):
+        with pytest.raises(ValidationError):
+            CurveParams.solve_alpha(1.0, 0.5, 0.4, 10)  # target below floor
+
+    @given(
+        init=st.floats(0.5, 10.0),
+        floor_frac=st.floats(0.01, 0.5),
+        target_frac=st.floats(0.55, 0.95),
+        nominal=st.floats(2.0, 500.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_solve_alpha_property(self, init, floor_frac, target_frac, nominal):
+        floor = init * floor_frac
+        target = floor + (init - floor) * (1 - target_frac)
+        p = CurveParams.solve_alpha(init, floor, target, nominal)
+        assert p.epochs_to(target) == pytest.approx(nominal, rel=1e-6)
+
+
+class TestFamilies:
+    def test_inverse_power_law_at_zero(self):
+        assert inverse_power_law(0.0, 0.1, 0.9, 0.5) == pytest.approx(1.0)
+
+    def test_exponential_at_zero(self):
+        assert exponential_decay(0.0, 0.1, 0.9, 0.3) == pytest.approx(1.0)
+
+    def test_hyperbolic_decreasing(self):
+        e = np.arange(0, 50, dtype=float)
+        y = hyperbolic(e, 0.1, 1.0, 0.05)
+        assert np.all(np.diff(y) < 0)
+
+
+class TestSampler:
+    def _params(self):
+        return CurveParams(init_loss=2.3, floor_loss=0.1, alpha=0.8)
+
+    def test_deterministic_per_seed(self):
+        a = LossCurveSampler(self._params(), seed=1).trajectory(20)
+        b = LossCurveSampler(self._params(), seed=1).trajectory(20)
+        np.testing.assert_array_equal(a, b)
+
+    def test_distinct_run_labels(self):
+        a = LossCurveSampler(self._params(), seed=1, run_label=0).trajectory(20)
+        b = LossCurveSampler(self._params(), seed=1, run_label=1).trajectory(20)
+        assert not np.array_equal(a, b)
+
+    def test_losses_above_floor(self):
+        traj = LossCurveSampler(self._params(), seed=2).trajectory(200)
+        assert np.all(traj > 0.1)
+
+    def test_overall_decreasing_trend(self):
+        traj = LossCurveSampler(self._params(), seed=3).trajectory(100)
+        assert traj[:10].mean() > traj[-10:].mean()
+
+    def test_epochs_to_target_positive(self):
+        s = LossCurveSampler(self._params(), seed=4)
+        assert s.epochs_to_target(0.3) >= 1
+
+    def test_anchor_target_controls_epochs(self):
+        params = self._params()
+        target = 0.3
+        nominal = params.epochs_to(target)
+        epochs = [
+            LossCurveSampler(
+                params, seed=s, run_label="t", run_sigma=0.1, anchor_target=target
+            ).epochs_to_target(target)
+            for s in range(10)
+        ]
+        # Anchored runs stay within a factor ~2 of the nominal horizon.
+        assert all(nominal / 3 < e < nominal * 3 for e in epochs)
+
+    def test_run_sigma_zero_matches_nominal(self):
+        params = self._params()
+        target = 0.3
+        s = LossCurveSampler(
+            params, seed=0, run_sigma=0.0, noise_sigma=0.0, anchor_target=target
+        )
+        e = s.epochs_to_target(target)
+        assert e == pytest.approx(params.epochs_to(target), abs=2)

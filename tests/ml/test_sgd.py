@@ -1,0 +1,111 @@
+"""Tests for the real distributed SGD engine."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.ml.models import workload
+from repro.ml.sgd import DistributedSGD, SGDConfig
+
+
+def _small_sgd(name="lr-higgs", n_workers=4, seed=0, lr=0.5):
+    w = workload(name)
+    cfg = SGDConfig(batch_size=256, learning_rate=lr, rows_per_worker=400)
+    return DistributedSGD(w, n_workers, cfg, seed=seed)
+
+
+class TestConstruction:
+    def test_rejects_nonlinear_models(self):
+        with pytest.raises(ValidationError):
+            DistributedSGD(workload("mobilenet-cifar10"), 4)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValidationError):
+            DistributedSGD(workload("lr-higgs"), 0)
+
+    def test_weights_start_zero(self):
+        sgd = _small_sgd()
+        assert np.all(sgd.weights == 0)
+
+    def test_local_batch_split(self):
+        sgd = _small_sgd(n_workers=4)
+        assert sgd.local_batch == 64
+
+
+class TestTraining:
+    def test_loss_decreases_lr(self):
+        sgd = _small_sgd("lr-higgs", lr=0.5)
+        first = sgd.run_epoch(iterations=30)
+        for _ in range(5):
+            last = sgd.run_epoch(iterations=30)
+        assert last < first
+
+    def test_loss_decreases_svm(self):
+        sgd = _small_sgd("svm-higgs", lr=0.2)
+        first = sgd.run_epoch(iterations=30)
+        for _ in range(5):
+            last = sgd.run_epoch(iterations=30)
+        assert last < first
+
+    def test_deterministic(self):
+        a = _small_sgd(seed=5)
+        b = _small_sgd(seed=5)
+        assert a.run_epoch(10) == b.run_epoch(10)
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_epoch_counter(self):
+        sgd = _small_sgd()
+        sgd.run_epoch(5)
+        sgd.run_epoch(5)
+        assert sgd.epoch == 2
+        assert len(sgd.losses) == 2
+
+    def test_full_loss_finite(self):
+        sgd = _small_sgd()
+        sgd.run_epoch(10)
+        assert np.isfinite(sgd.full_loss())
+
+    def test_sync_hook_called_per_iteration(self):
+        calls = []
+        w = workload("lr-higgs")
+        cfg = SGDConfig(batch_size=64, learning_rate=0.1, rows_per_worker=100)
+        sgd = DistributedSGD(
+            w, 3, cfg, seed=0,
+            sync_hook=lambda n_workers, model_mb: calls.append((n_workers, model_mb)),
+        )
+        sgd.run_epoch(iterations=7)
+        assert len(calls) == 7
+        assert calls[0][0] == 3
+
+    def test_initial_loss_near_log2_for_lr(self):
+        """Zero weights give logistic loss ln(2) on the first batch."""
+        sgd = _small_sgd("lr-higgs", lr=1e-9)
+        loss = sgd.run_epoch(iterations=1)
+        assert loss == pytest.approx(np.log(2), rel=0.01)
+
+
+class TestReshard:
+    def test_weights_carry_over(self):
+        sgd = _small_sgd(n_workers=2)
+        sgd.run_epoch(20)
+        clone = sgd.reshard(6, seed=1)
+        np.testing.assert_array_equal(clone.weights, sgd.weights)
+        assert clone.n_workers == 6
+        assert clone.epoch == sgd.epoch
+
+    def test_training_continues_after_reshard(self):
+        sgd = _small_sgd(n_workers=2, lr=0.5)
+        before = sgd.run_epoch(30)
+        clone = sgd.reshard(4, seed=1)
+        for _ in range(5):
+            after = clone.run_epoch(30)
+        assert after < before
+
+    def test_more_workers_average_more_gradients(self):
+        """BSP averaging across more workers lowers gradient variance, so
+        the weight trajectories must differ between worker counts."""
+        a = _small_sgd(n_workers=1, seed=2)
+        b = _small_sgd(n_workers=8, seed=2)
+        a.run_epoch(10)
+        b.run_epoch(10)
+        assert not np.allclose(a.weights, b.weights)

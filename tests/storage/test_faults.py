@@ -1,0 +1,119 @@
+"""Tests for storage fault injection and retry handling."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.types import StorageKind
+from repro.storage.catalog import make_service
+from repro.storage.faults import (
+    FaultInjector,
+    FaultyStorageService,
+    RetryPolicy,
+    StorageRequestError,
+)
+from repro.storage.sync import BSPSynchronizer
+
+
+def _faulty(kind=StorageKind.S3, failure_prob=0.0, seed=0, **kw):
+    return FaultyStorageService(
+        inner=make_service(kind),
+        injector=FaultInjector(failure_prob=failure_prob, seed=seed),
+        **kw,
+    )
+
+
+class TestRetryPolicy:
+    def test_backoff_grows(self):
+        p = RetryPolicy(base_backoff_s=0.1, backoff_factor=2.0)
+        assert p.backoff_s(1) == pytest.approx(0.1)
+        assert p.backoff_s(2) == pytest.approx(0.2)
+        assert p.backoff_s(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestFaultInjector:
+    def test_zero_probability_never_fails(self):
+        inj = FaultInjector(failure_prob=0.0)
+        assert not any(inj.should_fail() for _ in range(200))
+
+    def test_deterministic(self):
+        a = FaultInjector(failure_prob=0.3, seed=5)
+        b = FaultInjector(failure_prob=0.3, seed=5)
+        assert [a.should_fail() for _ in range(50)] == [
+            b.should_fail() for _ in range(50)
+        ]
+
+    def test_failure_rate_approximate(self):
+        inj = FaultInjector(failure_prob=0.2, seed=1)
+        rate = np.mean([inj.should_fail() for _ in range(2000)])
+        assert 0.12 < rate < 0.28
+
+    def test_burst_mode_correlates(self):
+        inj = FaultInjector(failure_prob=0.05, burst_prob=1.0, burst_length=4,
+                            seed=2)
+        outcomes = [inj.should_fail() for _ in range(500)]
+        # Every initial failure drags 3 more along.
+        assert inj.injected_faults % 1 == 0
+        assert sum(outcomes) >= 4
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            FaultInjector(failure_prob=1.0)
+
+
+class TestFaultyService:
+    def test_no_faults_passthrough(self):
+        svc = _faulty(failure_prob=0.0)
+        t = svc.put("k", np.ones(8))
+        assert t > 0
+        value, _ = svc.get("k")
+        np.testing.assert_array_equal(value, np.ones(8))
+        assert svc.retried_requests == 0
+
+    def test_transient_fault_retried_with_penalty(self):
+        svc = _faulty(failure_prob=0.4, seed=3, timeout_s=0.5)
+        clean = _faulty(failure_prob=0.0)
+        total_faulty = sum(svc.put(f"k{i}", np.ones(4)) for i in range(50))
+        total_clean = sum(clean.put(f"k{i}", np.ones(4)) for i in range(50))
+        assert svc.retried_requests > 0
+        assert total_faulty > total_clean  # timeouts + backoff cost time
+
+    def test_persistent_fault_raises(self):
+        svc = FaultyStorageService(
+            inner=make_service(StorageKind.S3),
+            injector=FaultInjector(failure_prob=0.95, burst_prob=1.0,
+                                   burst_length=10, seed=0),
+            retry=RetryPolicy(max_attempts=3),
+        )
+        with pytest.raises(StorageRequestError):
+            for i in range(30):
+                svc.put(f"k{i}", np.ones(2))
+
+    def test_failed_attempts_still_billed(self):
+        svc = _faulty(failure_prob=0.3, seed=1, retry=RetryPolicy(max_attempts=8))
+        for i in range(30):
+            svc.put(f"k{i}", np.ones(2))
+        # Billable requests exceed logical operations.
+        assert svc.metrics.requests > 30
+
+    def test_sync_survives_transient_faults(self):
+        """BSP aggregation through a flaky service stays numerically exact."""
+        svc = _faulty(StorageKind.S3, failure_prob=0.25, seed=7)
+        sync = BSPSynchronizer(svc, 4)
+        rng = np.random.default_rng(0)
+        grads = [rng.standard_normal(16) for _ in range(4)]
+        merged, report = sync.run_round(grads)
+        np.testing.assert_allclose(merged, np.mean(grads, axis=0), rtol=1e-12)
+        assert report.wall_time_s > 0
+
+    def test_wrapper_exposes_inner_surface(self):
+        svc = _faulty(StorageKind.VMPS)
+        assert svc.kind is StorageKind.VMPS
+        assert svc.supports_server_aggregation
+        svc.accrue_provisioned(60.0)
+        assert svc.cost_usd() > 0
+        assert svc.transfer_time_s(1.0) > 0

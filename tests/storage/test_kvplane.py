@@ -1,0 +1,94 @@
+"""Tests for the in-memory K/V data plane."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import StorageCapacityError, ValidationError
+from repro.storage.kvplane import KVPlane
+
+
+class TestBasicOps:
+    def test_put_get_roundtrip(self):
+        plane = KVPlane()
+        data = np.arange(10.0)
+        plane.put("k", data)
+        np.testing.assert_array_equal(plane.get("k"), data)
+
+    def test_get_returns_copy(self):
+        plane = KVPlane()
+        plane.put("k", np.zeros(3))
+        out = plane.get("k")
+        out[0] = 99
+        assert plane.get("k")[0] == 0
+
+    def test_put_stores_copy(self):
+        plane = KVPlane()
+        data = np.zeros(3)
+        plane.put("k", data)
+        data[0] = 99
+        assert plane.get("k")[0] == 0
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ValidationError):
+            KVPlane().get("missing")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValidationError):
+            KVPlane().put("", np.zeros(1))
+
+    def test_delete_idempotent(self):
+        plane = KVPlane()
+        plane.put("k", np.zeros(1))
+        plane.delete("k")
+        plane.delete("k")
+        assert not plane.exists("k")
+        assert plane.delete_count == 1
+
+    def test_keys_sorted(self):
+        plane = KVPlane()
+        for k in ("b", "a", "c"):
+            plane.put(k, np.zeros(1))
+        assert plane.keys() == ["a", "b", "c"]
+
+    def test_clear_preserves_counters(self):
+        plane = KVPlane()
+        plane.put("k", np.zeros(1))
+        plane.clear()
+        assert plane.put_count == 1
+        assert plane.keys() == []
+
+
+class TestLimitsAndMetering:
+    def test_object_limit_enforced(self):
+        plane = KVPlane(object_limit_mb=400 / 1024)  # DynamoDB's 400 KB
+        small = np.zeros(10_000)  # ~78 KB
+        plane.put("ok", small)
+        big = np.zeros(100_000)  # ~781 KB
+        with pytest.raises(StorageCapacityError):
+            plane.put("too-big", big)
+
+    def test_byte_metering(self):
+        plane = KVPlane()
+        data = np.zeros(1000)
+        plane.put("k", data)
+        plane.get("k")
+        plane.get("k")
+        assert plane.bytes_in == data.nbytes
+        assert plane.bytes_out == 2 * data.nbytes
+
+    def test_request_count(self):
+        plane = KVPlane()
+        plane.put("k", np.zeros(1))
+        plane.get("k")
+        plane.delete("k")
+        assert plane.request_count == 3
+
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=20))
+    @settings(max_examples=25, deadline=None)
+    def test_put_count_matches_puts(self, sizes):
+        plane = KVPlane()
+        for i, n in enumerate(sizes):
+            plane.put(f"k{i}", np.zeros(n))
+        assert plane.put_count == len(sizes)
+        assert plane.bytes_in == sum(8 * n for n in sizes)

@@ -1,0 +1,172 @@
+"""Tests for the simulated storage services and BSP synchronization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.types import PricingPattern, StorageKind
+from repro.config import DEFAULT_PLATFORM
+from repro.storage.catalog import StorageCatalog, make_service, table1_rows
+from repro.storage.sync import BSPSynchronizer
+
+
+class TestServices:
+    def test_factory_builds_every_kind(self):
+        for kind in StorageKind:
+            svc = make_service(kind)
+            assert svc.kind is kind
+
+    def test_vmps_supports_aggregation(self):
+        assert make_service(StorageKind.VMPS).supports_server_aggregation
+
+    def test_passive_services_cannot_aggregate(self):
+        for kind in (StorageKind.S3, StorageKind.DYNAMODB, StorageKind.ELASTICACHE):
+            svc = make_service(kind)
+            assert not svc.supports_server_aggregation
+            with pytest.raises(NotImplementedError):
+                svc.server_aggregate(["a"], "out")
+
+    def test_transfer_time_has_latency_floor(self):
+        svc = make_service(StorageKind.S3)
+        assert svc.transfer_time_s(0.0) == pytest.approx(svc.config.latency_s)
+
+    def test_transfer_time_scales_with_size(self):
+        svc = make_service(StorageKind.S3)
+        assert svc.transfer_time_s(100.0) > svc.transfer_time_s(1.0)
+
+    def test_request_pricing_accrues(self):
+        svc = make_service(StorageKind.S3)
+        svc.put("k", np.zeros(100))
+        svc.get("k")
+        assert svc.cost_usd() == pytest.approx(
+            2 * svc.config.usd_per_request, rel=1e-6
+        )
+
+    def test_runtime_pricing_accrues_per_minute(self):
+        svc = make_service(StorageKind.VMPS)
+        svc.put("k", np.zeros(100))
+        assert svc.cost_usd() == 0.0  # no provisioned time yet
+        svc.accrue_provisioned(120.0)
+        assert svc.cost_usd() == pytest.approx(3 * svc.config.usd_per_minute)
+
+    def test_dynamodb_object_limit(self):
+        svc = make_service(StorageKind.DYNAMODB)
+        with pytest.raises(Exception):
+            svc.put("big", np.zeros(200_000))  # ~1.5 MB > 400 KB
+
+    def test_vmps_server_aggregate_mean(self):
+        svc = make_service(StorageKind.VMPS)
+        svc.plane.put("a", np.array([1.0, 2.0]))
+        svc.plane.put("b", np.array([3.0, 4.0]))
+        svc.server_aggregate(["a", "b"], "mean")
+        np.testing.assert_allclose(svc.plane.get("mean"), [2.0, 3.0])
+
+    def test_catalog_caches_instances(self):
+        cat = StorageCatalog()
+        assert cat.get(StorageKind.S3) is cat.get(StorageKind.S3)
+        cat.reset()
+
+
+class TestTable1:
+    def test_rows_cover_all_services(self):
+        rows = table1_rows()
+        assert {r["service"] for r in rows} == {k.value for k in StorageKind}
+
+    def test_qualitative_match_with_paper(self):
+        rows = {r["service"]: r for r in table1_rows()}
+        assert rows["s3"]["latency"] == "High"
+        assert rows["dynamodb"]["latency"] == "Medium"
+        assert rows["elasticache"]["latency"] == "Low"
+        assert rows["vmps"]["latency"] == "Low"
+        assert rows["s3"]["elastic_scaling"] == "Auto"
+        assert rows["vmps"]["elastic_scaling"] == "Manual"
+        assert rows["s3"]["pricing_pattern"] == "Data request"
+        assert rows["elasticache"]["pricing_pattern"] == "Execution time"
+
+
+class TestBSPSync:
+    @pytest.mark.parametrize("kind", list(StorageKind))
+    @pytest.mark.parametrize("n", [1, 2, 3, 8])
+    def test_aggregation_is_exact_mean(self, kind, n):
+        svc = make_service(kind)
+        sync = BSPSynchronizer(svc, n)
+        rng = np.random.default_rng(0)
+        grads = [rng.standard_normal(64) for _ in range(n)]
+        merged, report = sync.run_round(grads)
+        np.testing.assert_allclose(merged, np.mean(grads, axis=0), rtol=1e-12)
+        assert report.wall_time_s >= 0
+
+    @pytest.mark.parametrize("n", [2, 4, 10])
+    def test_passive_transfer_count_eq3(self, n):
+        """S3's per-round transfers must follow Eq. (3): 3n - 2."""
+        svc = make_service(StorageKind.S3)
+        sync = BSPSynchronizer(svc, n)
+        _, report = sync.run_round([np.zeros(8) for _ in range(n)])
+        assert report.transfers == 3 * n - 2
+        assert svc.metrics.requests == 3 * n - 2
+
+    @pytest.mark.parametrize("n", [2, 4, 10])
+    def test_vmps_transfer_count_eq3(self, n):
+        """VM-PS per-round transfers must follow Eq. (3): 2n - 2."""
+        svc = make_service(StorageKind.VMPS)
+        sync = BSPSynchronizer(svc, n)
+        _, report = sync.run_round([np.zeros(8) for _ in range(n)])
+        assert report.transfers == 2 * n - 2
+
+    def test_single_worker_passive(self):
+        svc = make_service(StorageKind.S3)
+        sync = BSPSynchronizer(svc, 1)
+        merged, report = sync.run_round([np.ones(4)])
+        np.testing.assert_allclose(merged, np.ones(4))
+        assert report.transfers == 1  # the merged-model publish
+
+    def test_gradient_keys_cleaned_up(self):
+        svc = make_service(StorageKind.S3)
+        sync = BSPSynchronizer(svc, 4)
+        sync.run_round([np.zeros(4)] * 4)
+        assert all("grad" not in k for k in svc.plane.keys())
+
+    def test_round_index_advances(self):
+        svc = make_service(StorageKind.VMPS)
+        sync = BSPSynchronizer(svc, 2)
+        _, r0 = sync.run_round([np.zeros(2)] * 2)
+        _, r1 = sync.run_round([np.zeros(2)] * 2)
+        assert r0.merged_key != r1.merged_key
+
+    def test_wrong_gradient_count_rejected(self):
+        svc = make_service(StorageKind.S3)
+        sync = BSPSynchronizer(svc, 3)
+        with pytest.raises(Exception):
+            sync.run_round([np.zeros(2)] * 2)
+
+    @given(n=st.integers(2, 6), dim=st.integers(1, 32))
+    @settings(max_examples=20, deadline=None)
+    def test_mean_property_random_shapes(self, n, dim):
+        svc = make_service(StorageKind.ELASTICACHE)
+        sync = BSPSynchronizer(svc, n)
+        rng = np.random.default_rng(n * 100 + dim)
+        grads = [rng.standard_normal(dim) for _ in range(n)]
+        merged, _ = sync.run_round(grads)
+        np.testing.assert_allclose(merged, np.mean(grads, axis=0), rtol=1e-10)
+
+    def test_sgd_integration_through_storage(self):
+        """End to end: distributed SGD synchronizing real bytes through the
+        simulated VM-PS matches in-memory averaging numerically."""
+        from repro.ml.models import workload
+        from repro.ml.sgd import DistributedSGD, SGDConfig
+
+        svc = make_service(StorageKind.VMPS)
+        sync = BSPSynchronizer(svc, 3)
+        w = workload("lr-higgs")
+        cfg = SGDConfig(batch_size=96, learning_rate=0.2, rows_per_worker=120)
+
+        reference = DistributedSGD(w, 3, cfg, seed=9)
+        reference.run_epoch(iterations=5)
+
+        routed = DistributedSGD(
+            w, 3, cfg, seed=9,
+            sync_hook=lambda n, mb: sync.run_round([np.zeros(4)] * n),
+        )
+        routed.run_epoch(iterations=5)
+        np.testing.assert_allclose(reference.weights, routed.weights)
+        assert svc.metrics.requests > 0

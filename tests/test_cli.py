@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "lr-higgs"])
+        assert args.method == "ce-scaling"
+        assert args.budget_multiple == 2.5
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "lr-higgs", "--method", "magic"])
+
+
+class TestCommands:
+    def test_list_workloads(self, capsys):
+        assert main(["list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "lr-higgs" in out and "bert-imdb" in out
+
+    def test_experiments_listing(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig09" in out and "table2" in out
+
+    def test_profile(self, capsys):
+        assert main(["profile", "mobilenet-cifar10"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto boundary" in out
+        assert "vmps" in out
+
+    def test_profile_pinned(self, capsys):
+        assert main(["profile", "lr-higgs", "--storage", "elasticache"]) == 0
+        out = capsys.readouterr().out
+        assert "elasticache" in out
+        assert "vmps" not in out
+
+    def test_train_smoke(self, capsys):
+        assert main(["train", "mobilenet-cifar10", "--budget-multiple", "2.5"]) == 0
+        out = capsys.readouterr().out
+        assert "JCT" in out and "converged=True" in out
+
+    def test_train_qos_mode(self, capsys):
+        assert main(
+            ["train", "mobilenet-cifar10", "--qos-multiple", "3.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "min cost" in out
+
+    def test_tune_smoke(self, capsys):
+        assert main(["tune", "lr-higgs", "--trials", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "winner" in out
+
+    def test_workflow_smoke(self, capsys):
+        assert main(
+            ["workflow", "mobilenet-cifar10", "--trials", "16", "--budget", "25"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "tuning" in out and "training" in out and "total" in out
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "table1", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_unknown_workload_raises(self):
+        from repro.common.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            main(["profile", "alexnet-imagenet"])

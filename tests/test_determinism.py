@@ -1,0 +1,89 @@
+"""Cross-component determinism: one seed reproduces everything bit-exactly.
+
+Reproducibility is a deliverable of this repository: every stochastic
+component draws from CRC32-labelled seed streams (`common.rng.stream_for`),
+so results are identical across processes and platforms. These tests pin
+that contract at every layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.types import StorageKind
+from repro.ml.curves import LossCurveSampler
+from repro.ml.models import workload
+from repro.tuning.plan import Objective
+from repro.tuning.sha import SHAEngine, SHASpec
+from repro.workflow.job import training_envelope, tuning_envelope
+from repro.workflow.runner import profile_workload, run_training, run_tuning
+
+
+class TestLayerDeterminism:
+    def test_curve_sampler_bit_exact(self, mobilenet):
+        kw = dict(seed=11, run_label="d", anchor_target=mobilenet.target_loss)
+        a = LossCurveSampler(mobilenet.curve_params(), **kw).trajectory(50)
+        b = LossCurveSampler(mobilenet.curve_params(), **kw).trajectory(50)
+        np.testing.assert_array_equal(a, b)
+
+    def test_profiling_deterministic(self, lr_higgs):
+        a = profile_workload(lr_higgs)
+        b = profile_workload(lr_higgs)
+        assert [p.allocation for p in a.pareto] == [p.allocation for p in b.pareto]
+        assert [p.time_s for p in a.pareto] == [p.time_s for p in b.pareto]
+
+    def test_sha_trial_population_deterministic(self, lr_higgs):
+        a = SHAEngine(SHASpec(32, 2, 2), lr_higgs, seed=4)
+        b = SHAEngine(SHASpec(32, 2, 2), lr_higgs, seed=4)
+        assert [t.learning_rate for t in a.trials] == [
+            t.learning_rate for t in b.trials
+        ]
+
+    @pytest.mark.parametrize("method", ["ce-scaling", "siren", "cirrus"])
+    def test_training_bit_exact_per_method(self, method, mobilenet, mobilenet_profile):
+        budget = training_envelope(mobilenet, mobilenet_profile).budget(2.5)
+        kw = dict(
+            method=method, objective=Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=budget, seed=9, max_epochs=15, profile=mobilenet_profile,
+        )
+        a = run_training(mobilenet, **kw).result
+        b = run_training(mobilenet, **kw).result
+        assert a.jct_s == b.jct_s
+        assert a.cost_usd == b.cost_usd
+        assert [e.allocation for e in a.epochs] == [e.allocation for e in b.epochs]
+        assert [e.loss for e in a.epochs] == [e.loss for e in b.epochs]
+
+    def test_tuning_bit_exact(self, lr_higgs, lr_profile):
+        spec = SHASpec(32, 2, 2)
+        budget = tuning_envelope(lr_profile, spec).budget(1.3)
+        kw = dict(
+            method="ce-scaling", objective=Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=budget, seed=5, profile=lr_profile,
+        )
+        a = run_tuning(lr_higgs, spec, **kw)
+        b = run_tuning(lr_higgs, spec, **kw)
+        assert a.result.jct_s == b.result.jct_s
+        assert a.result.winner.index == b.result.winner.index
+        assert [p.allocation for p in a.plan.stages] == [
+            p.allocation for p in b.plan.stages
+        ]
+
+    def test_seeds_actually_differ(self, mobilenet, mobilenet_profile):
+        """Determinism must come from the seed, not from ignoring it."""
+        budget = training_envelope(mobilenet, mobilenet_profile).budget(2.5)
+        results = {
+            seed: run_training(
+                mobilenet, budget_usd=budget, seed=seed, max_epochs=20,
+                profile=mobilenet_profile,
+            ).result.jct_s
+            for seed in (1, 2, 3)
+        }
+        assert len(set(results.values())) == 3
+
+    def test_storage_pin_does_not_leak_state(self, mobilenet):
+        """Profiling with a pin never mutates the default profile."""
+        base_before = profile_workload(mobilenet)
+        profile_workload(mobilenet, storage_pin=StorageKind.S3)
+        base_after = profile_workload(mobilenet)
+        assert [p.allocation for p in base_before.pareto] == [
+            p.allocation for p in base_after.pareto
+        ]

@@ -1,0 +1,168 @@
+"""Tests for the online and offline epoch predictors."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import PredictionError
+from repro.ml.curves import CurveParams, LossCurveSampler
+from repro.ml.models import workload
+from repro.training.offline_predictor import OfflinePredictor
+from repro.training.online_predictor import OnlinePredictor, _fit_ipl_grid
+
+
+def _clean_curve(n, l_inf=0.1, a=2.0, alpha=0.8):
+    e = np.arange(1, n + 1, dtype=float)
+    return e, l_inf + a * (e + 1) ** (-alpha)
+
+
+class TestOnlinePredictor:
+    def test_needs_min_points(self):
+        p = OnlinePredictor(target_loss=0.5)
+        p.observe(1.0)
+        with pytest.raises(PredictionError):
+            p.predict_total_epochs()
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(PredictionError):
+            OnlinePredictor(target_loss=0.0)
+
+    def test_rejects_unknown_family(self):
+        with pytest.raises(PredictionError):
+            OnlinePredictor(target_loss=0.5, families=("cubic-spline",))
+
+    def test_exact_on_clean_ipl(self):
+        params = CurveParams(init_loss=2.1, floor_loss=0.1, alpha=0.8)
+        target = 0.3
+        true = params.epochs_to(target)
+        p = OnlinePredictor(target_loss=target)
+        for e in range(1, int(true * 0.5)):
+            p.observe(params.loss_at(e))
+        assert p.predict_total_epochs() == pytest.approx(true, rel=0.15)
+
+    def test_already_converged_returns_crossing_epoch(self):
+        p = OnlinePredictor(target_loss=0.5)
+        for loss in (0.9, 0.7, 0.4, 0.3, 0.2):
+            p.observe(loss)
+        assert p.predict_total_epochs() == 3.0
+
+    def test_prediction_never_below_observations(self):
+        params = CurveParams(init_loss=2.1, floor_loss=0.5, alpha=0.8)
+        p = OnlinePredictor(target_loss=0.51)
+        for e in range(1, 30):
+            p.observe(params.loss_at(e))
+        assert p.predict_total_epochs() >= p.n_observations
+
+    def test_prior_improves_early_accuracy(self):
+        """With four noisy points, the prior-informed fit must be closer to
+        the truth than the prior-free fit, on average."""
+        w = workload("mobilenet-cifar10")
+        prior_errs, free_errs = [], []
+        for seed in range(10):
+            sampler = LossCurveSampler(
+                w.curve_params(), seed=seed, run_label=("train", w.name),
+                anchor_target=w.target_loss,
+            )
+            true = LossCurveSampler(
+                w.curve_params(), seed=seed, run_label=("train", w.name),
+                anchor_target=w.target_loss,
+            ).epochs_to_target(w.target_loss)
+            losses = [sampler.next_loss() for _ in range(6)]
+            for errs, prior in ((prior_errs, w.curve_params()), (free_errs, None)):
+                p = OnlinePredictor(w.target_loss, prior=prior)
+                for loss in losses:
+                    p.observe(loss)
+                try:
+                    errs.append(abs(p.predict_total_epochs() - true) / true)
+                except PredictionError:
+                    errs.append(5.0)
+        assert np.mean(prior_errs) < np.mean(free_errs)
+
+    def test_error_decreases_with_observations(self):
+        """Fig. 4b's shape: late-run predictions beat early-run predictions."""
+        w = workload("resnet50-cifar10")
+        early, late = [], []
+        for seed in range(8):
+            true = LossCurveSampler(
+                w.curve_params(), seed=seed, run_label=("train", w.name),
+                anchor_target=w.target_loss,
+            ).epochs_to_target(w.target_loss)
+            sampler = LossCurveSampler(
+                w.curve_params(), seed=seed, run_label=("train", w.name),
+                anchor_target=w.target_loss,
+            )
+            p = OnlinePredictor(w.target_loss, prior=w.curve_params())
+            for e in range(1, int(true * 0.9)):
+                p.observe(sampler.next_loss())
+                if e == max(4, int(true * 0.2)):
+                    early.append(abs(p.predict_total_epochs() - true) / true)
+            late.append(abs(p.predict_total_epochs() - true) / true)
+        assert np.mean(late) < np.mean(early)
+
+    def test_grid_fit_recovers_parameters(self):
+        e, y = _clean_curve(40, l_inf=0.2, a=1.5, alpha=0.6)
+        fit = _fit_ipl_grid(e, y)
+        floor, a, alpha = fit.params
+        assert alpha == pytest.approx(0.6, rel=0.15)
+        assert floor == pytest.approx(0.2, abs=0.08)
+
+
+class TestOfflinePredictor:
+    def test_prediction_positive(self):
+        w = workload("lr-higgs")
+        assert OfflinePredictor(w, seed=0).predict_total_epochs() >= 1
+
+    def test_deterministic_per_seed(self):
+        w = workload("lr-higgs")
+        assert (
+            OfflinePredictor(w, seed=3).predict_total_epochs()
+            == OfflinePredictor(w, seed=3).predict_total_epochs()
+        )
+
+    def test_error_band_matches_fig4a(self):
+        """Mean offline error across seeds should be substantial (tens of
+        percent) but not absurd — the paper's ~40% band, loosely."""
+        w = workload("mobilenet-cifar10")
+        errs = []
+        for seed in range(12):
+            true = LossCurveSampler(
+                w.curve_params(), seed=seed, run_label=("train", w.name),
+                anchor_target=w.target_loss,
+            ).epochs_to_target(w.target_loss)
+            pred = OfflinePredictor(w, seed=seed).predict_total_epochs()
+            errs.append(abs(pred - true) / true)
+        mean = float(np.mean(errs))
+        assert 0.10 < mean < 1.0
+
+    def test_offline_worse_than_late_online(self):
+        """Finding 2: online prediction (late in training) beats offline."""
+        w = workload("mobilenet-cifar10")
+        off_errs, on_errs = [], []
+        for seed in range(10):
+            true = LossCurveSampler(
+                w.curve_params(), seed=seed, run_label=("train", w.name),
+                anchor_target=w.target_loss,
+            ).epochs_to_target(w.target_loss)
+            off = OfflinePredictor(w, seed=seed).predict_total_epochs()
+            off_errs.append(abs(off - true) / true)
+            sampler = LossCurveSampler(
+                w.curve_params(), seed=seed, run_label=("train", w.name),
+                anchor_target=w.target_loss,
+            )
+            p = OnlinePredictor(w.target_loss, prior=w.curve_params())
+            for _ in range(max(4, int(true * 0.7))):
+                p.observe(sampler.next_loss())
+            on_errs.append(abs(p.predict_total_epochs() - true) / true)
+        assert np.mean(on_errs) < np.mean(off_errs)
+
+    def test_bad_sample_fraction_rejected(self):
+        w = workload("lr-higgs")
+        with pytest.raises(PredictionError):
+            OfflinePredictor(w, sample_fraction=0.0).run_pilot()
+
+    def test_pilot_trajectory_length(self):
+        w = workload("lr-higgs")
+        assert len(OfflinePredictor(w, pilot_epochs=7).run_pilot()) == 7
+
+    def test_extrapolate_variant_positive(self):
+        w = workload("mobilenet-cifar10")
+        assert OfflinePredictor(w, seed=1).extrapolate_from_pilot() > 0

@@ -1,0 +1,80 @@
+"""Tests for the asynchronous SHA engine."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.ml.models import workload
+from repro.tuning.asha import ASHAEngine, ASHASpec
+
+
+class TestASHASpec:
+    def test_epochs_to_reach_geometric(self):
+        spec = ASHASpec(n_trials=16, max_rung=3, reduction_factor=2,
+                        epochs_per_rung=1)
+        assert spec.epochs_to_reach(0) == 1
+        assert spec.epochs_to_reach(1) == 3
+        assert spec.epochs_to_reach(3) == 15
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            ASHASpec(n_trials=1)
+        with pytest.raises(ValidationError):
+            ASHASpec(n_trials=8, max_rung=0)
+        with pytest.raises(ValidationError):
+            ASHASpec(n_trials=8).epochs_to_reach(9)
+
+
+class TestASHAEngine:
+    def _engine(self, n=32, seed=0, max_rung=3):
+        return ASHAEngine(
+            ASHASpec(n_trials=n, max_rung=max_rung), workload("lr-higgs"),
+            seed=seed,
+        )
+
+    def test_steps_sample_then_promote(self):
+        eng = self._engine(n=8)
+        for _ in range(8):
+            eng.step()
+        assert len(eng.trials) >= 4  # sampling happened
+        assert eng.steps == 8
+
+    def test_run_returns_completed_trial(self):
+        eng = self._engine(n=16)
+        best = eng.run()
+        assert eng.rung_of[best.index] == eng.spec.max_rung
+        assert best.epochs_trained == eng.spec.epochs_to_reach(eng.spec.max_rung)
+
+    def test_no_barriers_trials_at_mixed_rungs(self):
+        eng = self._engine(n=32)
+        for _ in range(40):
+            eng.step()
+        rungs = {r for r in eng.rung_of.values() if r >= 0}
+        assert len(rungs) >= 2  # asynchronous progress
+
+    def test_deterministic(self):
+        a = self._engine(n=16, seed=3).run()
+        b = self._engine(n=16, seed=3).run()
+        assert a.index == b.index
+
+    def test_promotes_better_than_median(self):
+        wins = 0
+        for seed in range(6):
+            eng = self._engine(n=32, seed=seed)
+            best = eng.run()
+            median_q = float(np.median([t.quality for t in eng.trials]))
+            wins += best.quality >= median_q
+        assert wins >= 5
+
+    def test_promotion_fraction(self):
+        """At most ~1/eta of rung-0 evaluations reach rung 1."""
+        eng = self._engine(n=32, max_rung=2)
+        eng.run()
+        r0 = len(eng.rung_scores[0])
+        r1 = len(eng.rung_scores[1])
+        assert r1 <= r0 // 2 + 1
+
+    def test_finished_guard(self):
+        eng = self._engine(n=4, max_rung=1)
+        eng.run()
+        assert eng.finished

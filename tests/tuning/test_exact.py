@@ -1,0 +1,90 @@
+"""Tests for the exact DP reference solver."""
+
+import pytest
+
+from repro.common.errors import ConstraintError, ValidationError
+from repro.tuning.exact import solve_exact
+from repro.tuning.greedy_planner import GreedyHeuristicPlanner
+from repro.tuning.plan import Objective, PartitionPlan, evaluate_plan
+from repro.tuning.sha import SHASpec
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SHASpec(64, 2, 2)
+
+
+@pytest.fixture(scope="module")
+def cheap_ev(lr_profile, spec):
+    return evaluate_plan(
+        PartitionPlan.uniform(lr_profile.cheapest(), spec.n_stages), spec
+    )
+
+
+class TestSolveExact:
+    def test_respects_budget(self, lr_profile, spec, cheap_ev):
+        budget = cheap_ev.cost_usd * 1.4
+        res = solve_exact(
+            lr_profile.pareto, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=budget,
+        )
+        assert res.cost_usd <= budget + 1e-9
+
+    def test_respects_qos(self, lr_profile, spec, cheap_ev):
+        qos = cheap_ev.jct_s * 0.5
+        res = solve_exact(
+            lr_profile.pareto, spec, Objective.MIN_COST_GIVEN_QOS, qos_s=qos
+        )
+        assert res.jct_s <= qos + 1e-9
+
+    def test_at_least_as_good_as_uniform(self, lr_profile, spec, cheap_ev):
+        budget = cheap_ev.cost_usd * 1.5
+        res = solve_exact(
+            lr_profile.pareto, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=budget, grid=800,
+        )
+        # Any feasible uniform plan bounds the optimum from above.
+        from repro.tuning.static_planner import optimal_static_plan
+
+        static = optimal_static_plan(
+            lr_profile.pareto, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=budget,
+        )
+        assert res.jct_s <= evaluate_plan(static, spec).jct_s * 1.05
+
+    def test_greedy_close_to_dp(self, lr_profile, spec, cheap_ev):
+        qos = cheap_ev.jct_s * 0.4
+        greedy = GreedyHeuristicPlanner().plan(
+            lr_profile.pareto, spec, Objective.MIN_COST_GIVEN_QOS, qos_s=qos
+        )
+        exact = solve_exact(
+            lr_profile.pareto, spec, Objective.MIN_COST_GIVEN_QOS, qos_s=qos
+        )
+        assert greedy.evaluation.cost_usd <= exact.cost_usd * 1.10
+
+    def test_infeasible_constraint_raises(self, lr_profile, spec):
+        with pytest.raises(ConstraintError):
+            solve_exact(
+                lr_profile.pareto, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+                budget_usd=1e-9,
+            )
+
+    def test_missing_constraint_raises(self, lr_profile, spec):
+        with pytest.raises(ConstraintError):
+            solve_exact(lr_profile.pareto, spec, Objective.MIN_COST_GIVEN_QOS)
+
+    def test_empty_candidates(self, spec):
+        with pytest.raises(ValidationError):
+            solve_exact([], spec, Objective.MIN_JCT_GIVEN_BUDGET, budget_usd=1.0)
+
+    def test_finer_grid_no_worse(self, lr_profile, spec, cheap_ev):
+        budget = cheap_ev.cost_usd * 1.3
+        coarse = solve_exact(
+            lr_profile.pareto, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=budget, grid=150,
+        )
+        fine = solve_exact(
+            lr_profile.pareto, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=budget, grid=1200,
+        )
+        assert fine.jct_s <= coarse.jct_s * 1.02

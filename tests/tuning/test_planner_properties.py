@@ -1,0 +1,84 @@
+"""Property-based tests on Algorithm 1's guarantees."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tuning.greedy_planner import GreedyHeuristicPlanner
+from repro.tuning.plan import Objective, PartitionPlan, evaluate_plan
+from repro.tuning.sha import SHASpec
+
+
+@pytest.fixture(scope="module")
+def ladder(lr_profile):
+    return sorted(lr_profile.pareto, key=lambda p: p.cost_usd)
+
+
+class TestPlannerProperties:
+    @given(
+        mult=st.floats(1.05, 4.0),
+        trials=st.sampled_from([32, 128, 512]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_budget_always_respected(self, ladder, mult, trials):
+        spec = SHASpec(trials, 2, 2)
+        cheap = evaluate_plan(PartitionPlan.uniform(ladder[0], spec.n_stages), spec)
+        budget = cheap.cost_usd * mult
+        res = GreedyHeuristicPlanner().plan(
+            ladder, spec, Objective.MIN_JCT_GIVEN_BUDGET, budget_usd=budget
+        )
+        assert res.feasible
+        assert res.evaluation.cost_usd <= budget * (1 + 1e-9)
+
+    @given(
+        mult=st.floats(1.05, 4.0),
+        trials=st.sampled_from([32, 128, 512]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_never_worse_than_static(self, ladder, mult, trials):
+        """The paper's Remark, across random budgets and SHA sizes."""
+        spec = SHASpec(trials, 2, 2)
+        cheap = evaluate_plan(PartitionPlan.uniform(ladder[0], spec.n_stages), spec)
+        res = GreedyHeuristicPlanner().plan(
+            ladder, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=cheap.cost_usd * mult,
+        )
+        assert res.evaluation.jct_s <= res.static_evaluation.jct_s * (1 + 1e-9)
+
+    @given(frac=st.floats(0.2, 1.0), trials=st.sampled_from([32, 128]))
+    @settings(max_examples=15, deadline=None)
+    def test_qos_always_respected(self, ladder, frac, trials):
+        spec = SHASpec(trials, 2, 2)
+        cheap = evaluate_plan(PartitionPlan.uniform(ladder[0], spec.n_stages), spec)
+        qos = cheap.jct_s * frac
+        res = GreedyHeuristicPlanner().plan(
+            ladder, spec, Objective.MIN_COST_GIVEN_QOS, qos_s=qos
+        )
+        if res.feasible:
+            assert res.evaluation.jct_s <= qos * (1 + 1e-9)
+            assert res.evaluation.cost_usd <= res.static_evaluation.cost_usd * (
+                1 + 1e-9
+            )
+
+    @given(eta=st.sampled_from([2, 3, 4]))
+    @settings(max_examples=6, deadline=None)
+    def test_reduction_factor_agnostic(self, ladder, eta):
+        spec = SHASpec(81 if eta == 3 else 64, eta, 2)
+        cheap = evaluate_plan(PartitionPlan.uniform(ladder[0], spec.n_stages), spec)
+        res = GreedyHeuristicPlanner().plan(
+            ladder, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=cheap.cost_usd * 1.3,
+        )
+        assert len(res.plan.stages) == spec.n_stages
+        assert res.evaluation.cost_usd <= cheap.cost_usd * 1.3 + 1e-9
+
+    def test_plan_evaluation_matches_public_evaluator(self, ladder):
+        """The planner's cached evaluator must agree with evaluate_plan."""
+        spec = SHASpec(64, 2, 2)
+        cheap = evaluate_plan(PartitionPlan.uniform(ladder[0], spec.n_stages), spec)
+        res = GreedyHeuristicPlanner().plan(
+            ladder, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=cheap.cost_usd * 1.5,
+        )
+        public = evaluate_plan(res.plan, spec)
+        assert res.evaluation.jct_s == pytest.approx(public.jct_s, rel=1e-12)
+        assert res.evaluation.cost_usd == pytest.approx(public.cost_usd, rel=1e-12)

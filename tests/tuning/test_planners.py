@@ -1,0 +1,172 @@
+"""Tests for the partitioning plan, static planners and Algorithm 1."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConstraintError, ValidationError
+from repro.tuning.greedy_planner import GreedyHeuristicPlanner
+from repro.tuning.plan import Objective, PartitionPlan, evaluate_plan, stage_waves
+from repro.tuning.sha import SHASpec
+from repro.tuning.static_planner import (
+    even_budget_plan,
+    optimal_static_plan,
+    static_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SHASpec(256, 2, 2)
+
+
+@pytest.fixture(scope="module")
+def ladder(lr_profile):
+    return sorted(lr_profile.pareto, key=lambda p: p.cost_usd)
+
+
+class TestPlanEvaluation:
+    def test_uniform_plan_shape(self, ladder, spec):
+        plan = PartitionPlan.uniform(ladder[0], spec.n_stages)
+        assert len(plan.stages) == spec.n_stages
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ValidationError):
+            PartitionPlan(())
+
+    def test_wrong_stage_count_rejected(self, ladder, spec):
+        plan = PartitionPlan.uniform(ladder[0], 3)
+        with pytest.raises(ValidationError):
+            evaluate_plan(plan, spec)
+
+    def test_jct_is_sum_of_stage_times(self, ladder, spec):
+        plan = PartitionPlan.uniform(ladder[0], spec.n_stages)
+        ev = evaluate_plan(plan, spec)
+        assert ev.jct_s == pytest.approx(sum(ev.stage_jct_s))
+        assert ev.cost_usd == pytest.approx(sum(ev.stage_cost_usd))
+
+    def test_stage_cost_scales_with_trials(self, ladder, spec):
+        plan = PartitionPlan.uniform(ladder[0], spec.n_stages)
+        ev = evaluate_plan(plan, spec)
+        # Uniform allocation: stage cost ratio equals trial-count ratio.
+        assert ev.stage_cost_usd[0] / ev.stage_cost_usd[1] == pytest.approx(2.0)
+
+    def test_waves_respect_concurrency(self):
+        assert stage_waves(16384, 10) == math.ceil(163840 / 3000)
+        assert stage_waves(10, 10) == 1
+
+    def test_replace_stage(self, ladder, spec):
+        plan = PartitionPlan.uniform(ladder[0], spec.n_stages)
+        other = plan.replace_stage(2, ladder[-1])
+        assert other.stages[2] is ladder[-1]
+        assert plan.stages[2] is ladder[0]
+
+
+class TestStaticPlanners:
+    def test_static_plan_uniform(self, ladder, spec):
+        plan = static_plan(ladder[3], spec)
+        assert all(p is ladder[3] for p in plan.stages)
+
+    def test_optimal_static_min_jct(self, ladder, spec):
+        cheap_ev = evaluate_plan(static_plan(ladder[0], spec), spec)
+        budget = cheap_ev.cost_usd * 1.5
+        plan = optimal_static_plan(
+            ladder, spec, Objective.MIN_JCT_GIVEN_BUDGET, budget_usd=budget
+        )
+        ev = evaluate_plan(plan, spec)
+        assert ev.cost_usd <= budget
+        # Must beat the naive cheapest choice on JCT.
+        assert ev.jct_s <= cheap_ev.jct_s
+
+    def test_optimal_static_min_cost(self, ladder, spec):
+        fast_ev = evaluate_plan(static_plan(ladder[-1], spec), spec)
+        qos = fast_ev.jct_s * 2.0
+        plan = optimal_static_plan(
+            ladder, spec, Objective.MIN_COST_GIVEN_QOS, qos_s=qos
+        )
+        ev = evaluate_plan(plan, spec)
+        assert ev.jct_s <= qos
+        assert ev.cost_usd <= fast_ev.cost_usd
+
+    def test_infeasible_falls_back_to_closest(self, ladder, spec):
+        plan = optimal_static_plan(
+            ladder, spec, Objective.MIN_JCT_GIVEN_BUDGET, budget_usd=1e-9
+        )
+        ev = evaluate_plan(plan, spec)
+        # Best effort: the cheapest uniform plan.
+        assert ev.cost_usd == pytest.approx(
+            evaluate_plan(static_plan(ladder[0], spec), spec).cost_usd
+        )
+
+    def test_missing_constraint_rejected(self, ladder, spec):
+        with pytest.raises(ConstraintError):
+            optimal_static_plan(ladder, spec, Objective.MIN_JCT_GIVEN_BUDGET)
+
+    def test_even_budget_starves_early_stages(self, ladder, spec):
+        cheap_ev = evaluate_plan(static_plan(ladder[0], spec), spec)
+        plan = even_budget_plan(ladder, spec, cheap_ev.cost_usd * 1.5)
+        # Early stages (many trials) get cheaper points than late stages.
+        assert plan.stages[0].cost_usd <= plan.stages[-1].cost_usd
+
+
+class TestGreedyPlanner:
+    def test_never_worse_than_static(self, ladder, spec):
+        """The paper's Remark: the greedy result is never worse than the
+        optimal static warm start."""
+        cheap_ev = evaluate_plan(static_plan(ladder[0], spec), spec)
+        for mult in (1.1, 1.5, 3.0):
+            res = GreedyHeuristicPlanner().plan(
+                ladder, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+                budget_usd=cheap_ev.cost_usd * mult,
+            )
+            assert res.evaluation.jct_s <= res.static_evaluation.jct_s + 1e-9
+            assert res.evaluation.cost_usd <= cheap_ev.cost_usd * mult + 1e-9
+
+    def test_improves_under_tight_budget(self, ladder, spec):
+        cheap_ev = evaluate_plan(static_plan(ladder[0], spec), spec)
+        res = GreedyHeuristicPlanner().plan(
+            ladder, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=cheap_ev.cost_usd * 1.1,
+        )
+        assert res.evaluation.jct_s < res.static_evaluation.jct_s * 0.95
+
+    def test_cost_min_respects_qos(self, ladder, spec):
+        cheap_ev = evaluate_plan(static_plan(ladder[0], spec), spec)
+        qos = cheap_ev.jct_s * 0.5
+        res = GreedyHeuristicPlanner().plan(
+            ladder, spec, Objective.MIN_COST_GIVEN_QOS, qos_s=qos
+        )
+        assert res.evaluation.jct_s <= qos + 1e-9
+        assert res.evaluation.cost_usd <= res.static_evaluation.cost_usd + 1e-9
+
+    def test_early_stages_not_richer_than_late(self, ladder, spec):
+        """CE's signature shape: per-trial spend grows toward late stages."""
+        cheap_ev = evaluate_plan(static_plan(ladder[0], spec), spec)
+        res = GreedyHeuristicPlanner().plan(
+            ladder, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=cheap_ev.cost_usd * 1.2,
+        )
+        first = res.plan.stages[0].cost_usd
+        last = res.plan.stages[-1].cost_usd
+        assert last >= first
+
+    def test_missing_constraint_rejected(self, ladder, spec):
+        with pytest.raises(ConstraintError):
+            GreedyHeuristicPlanner().plan(
+                ladder, spec, Objective.MIN_COST_GIVEN_QOS
+            )
+
+    def test_infeasible_budget_flagged(self, ladder, spec):
+        res = GreedyHeuristicPlanner().plan(
+            ladder, spec, Objective.MIN_JCT_GIVEN_BUDGET, budget_usd=1e-9
+        )
+        assert not res.feasible
+
+    def test_stats_populated(self, ladder, spec):
+        cheap_ev = evaluate_plan(static_plan(ladder[0], spec), spec)
+        res = GreedyHeuristicPlanner().plan(
+            ladder, spec, Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=cheap_ev.cost_usd * 1.5,
+        )
+        assert res.stats.candidates_evaluated > 0
+        assert res.stats.wall_time_s > 0
