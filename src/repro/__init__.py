@@ -20,10 +20,18 @@ Layer map (bottom-up):
 * ``repro.baselines`` — LambdaML, Siren, Cirrus, Fixed.
 * ``repro.workflow`` — one-call job runners.
 * ``repro.experiments`` — one module per paper table/figure.
+* ``repro.telemetry`` — metrics registry, live span tracing, run reports.
 """
 
 from repro.common.types import Allocation, JobResult, PricingPattern, StorageKind
 from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.telemetry import (
+    MetricsRegistry,
+    RunReport,
+    Tracer,
+    set_registry,
+    set_tracer,
+)
 from repro.analytical.profiler import ParetoProfiler, ProfileResult
 from repro.ml.models import WORKLOADS, Workload, workload
 from repro.training.adaptive_scheduler import AdaptiveScheduler
@@ -42,6 +50,7 @@ __all__ = [
     "DEFAULT_PLATFORM",
     "GreedyHeuristicPlanner",
     "JobResult",
+    "MetricsRegistry",
     "Objective",
     "OfflinePredictor",
     "OnlinePredictor",
@@ -49,12 +58,16 @@ __all__ = [
     "PlatformConfig",
     "PricingPattern",
     "ProfileResult",
+    "RunReport",
     "SHASpec",
     "StorageKind",
+    "Tracer",
     "WORKLOADS",
     "Workload",
     "__version__",
     "run_training",
     "run_tuning",
+    "set_registry",
+    "set_tracer",
     "workload",
 ]

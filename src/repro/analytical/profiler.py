@@ -19,6 +19,7 @@ from repro.analytical.pareto import ProfiledAllocation, pareto_front
 from repro.analytical.space import AllocationSpace, default_space
 from repro.analytical.timemodel import epoch_time
 from repro.ml.models import Workload
+from repro.telemetry import get_registry
 
 
 @dataclass
@@ -90,6 +91,16 @@ class ParetoProfiler:
         front = pareto_front(points) if self.use_pareto else sorted(
             points, key=lambda p: p.time_s
         )
+        registry = get_registry()
+        registry.counter(
+            "repro_profiler_points_evaluated_total",
+            "Allocation-grid points evaluated by the Pareto profiler",
+        ).inc(evaluated)
+        registry.gauge(
+            "repro_profiler_pareto_pruning_ratio",
+            "Fraction of feasible points the boundary keeps "
+            "(drives Fig. 21's scheduling-overhead cut)",
+        ).set(len(front) / max(1, len(points)))
         return ProfileResult(
             all_points=points,
             pareto=front,

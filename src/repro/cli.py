@@ -5,6 +5,8 @@ Usage examples::
     python -m repro list-workloads
     python -m repro profile mobilenet-cifar10
     python -m repro train lr-higgs --budget 2.0 --method ce-scaling
+    python -m repro train lr-higgs --telemetry out.json --trace out.trace.json
+    python -m repro report out.json
     python -m repro tune lr-higgs --trials 256 --budget-multiple 1.3
     python -m repro experiment fig09 --scale small
     python -m repro experiments
@@ -18,6 +20,9 @@ import sys
 from repro.common.types import StorageKind
 from repro.common.units import format_duration, format_usd
 from repro.ml.models import WORKLOADS, workload
+from repro.telemetry.exporters import from_json_payload
+from repro.telemetry.report import RunReport
+from repro.telemetry.session import TelemetrySession
 from repro.tuning.plan import Objective
 from repro.tuning.sha import SHASpec
 from repro.experiments.registry import REGISTRY, run_experiment
@@ -35,6 +40,32 @@ def _parse_storage(value: str | None) -> StorageKind | None:
     if value is None:
         return None
     return StorageKind(value)
+
+
+def _session(args, command: str) -> TelemetrySession:
+    """Telemetry capture scoped to one CLI command (no-op without flags)."""
+    return TelemetrySession(
+        metrics_path=getattr(args, "telemetry", None),
+        trace_path=getattr(args, "trace", None),
+        meta={
+            "command": command,
+            "workload": getattr(args, "workload", ""),
+            "method": getattr(args, "method", ""),
+            "seed": getattr(args, "seed", 0),
+        },
+    )
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", metavar="PATH",
+        help="write JSON telemetry (metrics + run summary) to PATH; "
+             "inspect later with `repro report PATH`",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="write a Chrome trace (load in Perfetto) to PATH",
+    )
 
 
 def cmd_list_workloads(_args) -> int:
@@ -61,23 +92,39 @@ def cmd_profile(args) -> int:
 
 def cmd_train(args) -> int:
     w = workload(args.workload)
-    profile = profile_workload(w, storage_pin=_parse_storage(args.storage))
-    env = training_envelope(w, profile)
-    if args.qos_multiple is not None:
-        objective = Objective.MIN_COST_GIVEN_QOS
-        budget, qos = None, env.qos(args.qos_multiple)
-        print(f"objective: min cost, QoS {format_duration(qos)}")
-    else:
-        objective = Objective.MIN_JCT_GIVEN_BUDGET
-        budget = args.budget if args.budget else env.budget(args.budget_multiple)
-        qos = None
-        print(f"objective: min JCT, budget {format_usd(budget)}")
-    run = run_training(
-        w, method=args.method, objective=objective, budget_usd=budget,
-        qos_s=qos, seed=args.seed, profile=profile,
-        storage_pin=_parse_storage(args.storage),
-    )
-    r = run.result
+    with _session(args, "train") as session:
+        profile = profile_workload(w, storage_pin=_parse_storage(args.storage))
+        env = training_envelope(w, profile)
+        if args.qos_multiple is not None:
+            objective = Objective.MIN_COST_GIVEN_QOS
+            budget, qos = None, env.qos(args.qos_multiple)
+            print(f"objective: min cost, QoS {format_duration(qos)}")
+        else:
+            objective = Objective.MIN_JCT_GIVEN_BUDGET
+            budget = (
+                args.budget if args.budget is not None
+                else env.budget(args.budget_multiple)
+            )
+            qos = None
+            print(f"objective: min JCT, budget {format_usd(budget)}")
+        run = run_training(
+            w, method=args.method, objective=objective, budget_usd=budget,
+            qos_s=qos, seed=args.seed, profile=profile,
+            storage_pin=_parse_storage(args.storage),
+        )
+        r = run.result
+        session.set_run_summary(
+            {
+                "jct_s": r.jct_s,
+                "cost_usd": r.cost_usd,
+                "converged": r.converged,
+                "n_epochs": len(r.epochs),
+                "n_restarts": r.n_restarts,
+                "comm_overhead_s": r.comm_overhead_s,
+                "scheduling_overhead_s": r.scheduling_overhead_s,
+                "storage_cost_usd": r.storage_cost_usd,
+            }
+        )
     print(f"method={args.method}  converged={r.converged}  "
           f"epochs={len(r.epochs)}  restarts={r.n_restarts}")
     print(f"JCT  {format_duration(r.jct_s)}   cost {format_usd(r.cost_usd)}")
@@ -90,15 +137,25 @@ def cmd_train(args) -> int:
 def cmd_tune(args) -> int:
     w = workload(args.workload)
     spec = SHASpec(args.trials, args.eta, args.epochs_per_stage)
-    profile = profile_workload(w)
-    env = tuning_envelope(profile, spec)
-    budget = env.budget(args.budget_multiple)
-    run = run_tuning(
-        w, spec, method=args.method,
-        objective=Objective.MIN_JCT_GIVEN_BUDGET,
-        budget_usd=budget, seed=args.seed, profile=profile,
-    )
-    r = run.result
+    with _session(args, "tune") as session:
+        profile = profile_workload(w)
+        env = tuning_envelope(profile, spec)
+        budget = env.budget(args.budget_multiple)
+        run = run_tuning(
+            w, spec, method=args.method,
+            objective=Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=budget, seed=args.seed, profile=profile,
+        )
+        r = run.result
+        session.set_run_summary(
+            {
+                "jct_s": r.jct_s,
+                "cost_usd": r.cost_usd,
+                "comm_overhead_s": r.comm_overhead_s,
+                "scheduling_overhead_s": r.scheduling_overhead_s,
+                "n_stages": len(r.stages),
+            }
+        )
     print(f"SHA {spec.n_trials} trials / {spec.n_stages} stages; "
           f"budget {format_usd(budget)}")
     print(f"method={args.method}  JCT {format_duration(r.jct_s)}  "
@@ -112,10 +169,26 @@ def cmd_workflow(args) -> int:
     from repro.workflow.campaign import run_workflow
 
     spec = SHASpec(args.trials, args.eta, args.epochs_per_stage)
-    result = run_workflow(
-        args.workload, spec, budget_usd=args.budget,
-        tuning_fraction=args.tuning_fraction, seed=args.seed,
-    )
+    with _session(args, "workflow") as session:
+        result = run_workflow(
+            args.workload, spec, budget_usd=args.budget,
+            tuning_fraction=args.tuning_fraction, seed=args.seed,
+        )
+        session.set_run_summary(
+            {
+                "jct_s": result.total_jct_s,
+                "cost_usd": result.total_cost_usd,
+                "converged": result.training.converged,
+                "comm_overhead_s": (
+                    result.tuning.comm_overhead_s
+                    + result.training.comm_overhead_s
+                ),
+                "scheduling_overhead_s": (
+                    result.tuning.scheduling_overhead_s
+                    + result.training.scheduling_overhead_s
+                ),
+            }
+        )
     print(f"tuning : JCT {format_duration(result.tuning.jct_s)}  "
           f"cost {format_usd(result.tuning.cost_usd)}  "
           f"winner lr={result.winner.learning_rate:.2e} "
@@ -126,6 +199,19 @@ def cmd_workflow(args) -> int:
     print(f"total  : JCT {format_duration(result.total_jct_s)}  "
           f"cost {format_usd(result.total_cost_usd)} / "
           f"{format_usd(args.budget)}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from pathlib import Path
+
+    payload = from_json_payload(Path(args.path).read_text())
+    if args.format == "prometheus":
+        from repro.telemetry.exporters import payload_to_snapshots, to_prometheus_text
+
+        print(to_prometheus_text(payload_to_snapshots(payload["metrics"])), end="")
+    else:
+        print(RunReport.from_payload(payload).render())
     return 0
 
 
@@ -168,6 +254,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="switch to cost-min with this deadline multiple")
     p.add_argument("--storage", choices=[s.value for s in StorageKind])
     p.add_argument("--seed", type=int, default=0)
+    _add_telemetry_flags(p)
     p.set_defaults(fn=cmd_train)
 
     p = sub.add_parser("tune", help="run one hyperparameter-tuning job")
@@ -178,6 +265,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs-per-stage", type=int, default=2)
     p.add_argument("--budget-multiple", type=float, default=1.3)
     p.add_argument("--seed", type=int, default=0)
+    _add_telemetry_flags(p)
     p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser("workflow", help="run the full tune-then-train pipeline")
@@ -188,7 +276,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--eta", type=int, default=2)
     p.add_argument("--epochs-per-stage", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    _add_telemetry_flags(p)
     p.set_defaults(fn=cmd_workflow)
+
+    p = sub.add_parser(
+        "report", help="print the breakdown report for a saved telemetry file"
+    )
+    p.add_argument("path", help="JSON file written by --telemetry")
+    p.add_argument("--format", default="table", choices=("table", "prometheus"),
+                   help="breakdown tables or Prometheus text exposition")
+    p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("experiment", help="regenerate one paper figure/table")
     p.add_argument("experiment")

@@ -119,6 +119,10 @@ class EpochRecord:
     loss: float
     scheduling_overhead_s: float = 0.0
     restarted: bool = False
+    # Delayed-restart startup overlapped with this (running) epoch — the
+    # part of the switch Fig. 8 hides off the critical path. Not included
+    # in scheduling_overhead_s, which is the *visible* overhead only.
+    hidden_restart_overlap_s: float = 0.0
 
 
 @dataclass(slots=True)

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.common.units import gb_seconds
 from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.telemetry import get_registry
 
 
 @dataclass(frozen=True, slots=True)
@@ -37,12 +38,25 @@ class BillingMeter:
     bills: list[InvocationBill] = field(default_factory=list)
     storage_usd: float = 0.0
 
+    def __post_init__(self) -> None:
+        registry = get_registry()
+        self._m_gb_seconds = registry.counter(
+            "repro_faas_billed_gb_seconds_total",
+            "GB-seconds billed across all invocations",
+        )
+        self._m_billed_usd = registry.counter(
+            "repro_faas_billed_usd_total",
+            "Money billed, by cost component",
+            labelnames=("component",),
+        )
+
     def bill_invocation(self, memory_mb: int, duration_s: float) -> InvocationBill:
         """Bill one invocation: duration rounded up to the billing
-        granularity, priced per GB-second, plus the request fee."""
+        granularity (minimum one unit, as Lambda bills), priced per
+        GB-second, plus the request fee."""
         pricing = self.platform.pricing
         gran = pricing.billing_granularity_s
-        billed = math.ceil(max(duration_s, 0.0) / gran) * gran
+        billed = max(1, math.ceil(max(duration_s, 0.0) / gran)) * gran
         bill = InvocationBill(
             memory_mb=memory_mb,
             duration_s=duration_s,
@@ -51,11 +65,16 @@ class BillingMeter:
             invocation_usd=pricing.usd_per_invocation,
         )
         self.bills.append(bill)
+        self._m_gb_seconds.inc(gb_seconds(memory_mb, billed))
+        self._m_billed_usd.labels(component="compute").inc(bill.compute_usd)
+        self._m_billed_usd.labels(component="invocation").inc(bill.invocation_usd)
         return bill
 
     def bill_storage(self, usd: float) -> None:
         """Add an external-storage charge."""
-        self.storage_usd += max(0.0, usd)
+        usd = max(0.0, usd)
+        self.storage_usd += usd
+        self._m_billed_usd.labels(component="storage").inc(usd)
 
     @property
     def invocation_count(self) -> int:

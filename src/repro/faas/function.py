@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import ValidationError
+from repro.telemetry import get_registry
 
 
 @dataclass(slots=True)
@@ -43,10 +44,29 @@ class WarmPool:
     def __post_init__(self) -> None:
         if self.ttl_s <= 0:
             raise ValidationError(f"ttl_s must be positive, got {self.ttl_s}")
+        registry = get_registry()
+        self._m_hits = registry.counter(
+            "repro_faas_warm_pool_hits_total",
+            "Invocations served by a warm instance",
+        )
+        self._m_misses = registry.counter(
+            "repro_faas_warm_pool_misses_total",
+            "Invocations that needed a cold start",
+        )
+        self._m_evictions = registry.counter(
+            "repro_faas_warm_pool_evictions_total",
+            "Warm instances reclaimed after idling past the TTL",
+        )
+        self._m_prewarmed = registry.counter(
+            "repro_faas_warm_pool_prewarmed_total",
+            "Instances provisioned ahead of need (delayed restart)",
+        )
 
     def _expire(self, now: float) -> None:
         for group, instances in list(self._groups.items()):
             kept = [i for i in instances if now - i.last_used_at <= self.ttl_s]
+            if len(kept) < len(instances):
+                self._m_evictions.inc(len(instances) - len(kept))
             self.expired += len(instances) - len(kept)
             if kept:
                 self._groups[group] = kept
@@ -78,6 +98,10 @@ class WarmPool:
             del self._groups[group]
         self.cold_starts += cold
         self.warm_reuses += warm
+        if warm:
+            self._m_hits.inc(warm)
+        if cold:
+            self._m_misses.inc(cold)
         return warm, cold
 
     def release(self, group: str, n: int, now: float) -> None:
@@ -92,6 +116,7 @@ class WarmPool:
 
     def prewarm(self, group: str, n: int, now: float) -> None:
         """Provision ``n`` instances ahead of time (delayed restart)."""
+        self._m_prewarmed.inc(n)
         self.release(group, n, now)
 
     def retire(self, group: str) -> int:

@@ -23,6 +23,7 @@ from repro.faas.billing import BillingMeter
 from repro.faas.events import Acquire, Join, Release, Resource, Simulator
 from repro.faas.function import WarmPool
 from repro.faas.noise import NoiseModel
+from repro.telemetry import get_registry, get_tracer
 
 
 @dataclass(frozen=True, slots=True)
@@ -76,6 +77,34 @@ class FaaSPlatform:
         self.meter = BillingMeter(platform=self.platform)
         self._noise = NoiseModel(self.seed, "platform", self.platform)
         self.pool = WarmPool(ttl_s=self.warm_ttl_s)
+        registry = get_registry()
+        self.tracer = get_tracer()
+        self._m_invocations = registry.counter(
+            "repro_faas_invocations_total", "Function invocations executed"
+        )
+        self._m_cold_starts = registry.counter(
+            "repro_faas_cold_starts_total", "Function cold starts paid"
+        )
+        self._m_cold_seconds = registry.counter(
+            "repro_faas_cold_start_seconds_total",
+            "Critical-path cold-start time (cold functions of one epoch "
+            "start in parallel, so each cold epoch pays one window)",
+        )
+        self._m_queue_wait = registry.histogram(
+            "repro_faas_queue_wait_seconds",
+            "Gang wait for account-concurrency slots, per epoch",
+        )
+        self._m_epoch_wall = registry.histogram(
+            "repro_faas_epoch_wall_seconds", "Wall time of executed epochs"
+        )
+        self._m_occupancy = registry.gauge(
+            "repro_faas_concurrency_in_use",
+            "Concurrency slots held by the most recent epoch's gang",
+        )
+        self._m_occupancy_peak = registry.gauge(
+            "repro_faas_concurrency_peak_in_use",
+            "Highest simultaneous concurrency-slot usage seen so far",
+        )
 
     # ------------------------------------------------------------------ warm pool
     def is_warm(self, group: str) -> bool:
@@ -166,6 +195,39 @@ class FaaSPlatform:
             compute_s=float(max(durations)) - cold_s - spec.load_s * load_factor,
             sync_s=sync_s,
         )
+        queue_wait = max(waits) if waits else 0.0
+        self._m_invocations.inc(spec.n_functions)
+        if n_cold:
+            self._m_cold_starts.inc(n_cold)
+            self._m_cold_seconds.inc(cold_s)
+        self._m_queue_wait.observe(queue_wait)
+        self._m_epoch_wall.observe(wall)
+        self._m_occupancy.set(spec.n_functions)
+        self._m_occupancy_peak.set(self.concurrency.peak_in_use)
+        tracer = self.tracer
+        if tracer.enabled:
+            track = f"group:{spec.group}"
+            body_start = start + queue_wait
+            if queue_wait > 0:
+                tracer.span(
+                    "queue-wait", "queue", start, queue_wait, track,
+                    gang=spec.n_functions,
+                )
+            if n_cold:
+                tracer.span(
+                    "cold-start", "cold", body_start, cold_s, track,
+                    cold=n_cold, warm=n_warm,
+                )
+            load_end = body_start + cold_s + measured.load_s
+            tracer.span(
+                "load", "load", body_start + cold_s, measured.load_s, track
+            )
+            tracer.span(
+                "compute", "compute", load_end,
+                max(0.0, outcome["barrier_at"] - load_end), track,
+                barrier=True,
+            )
+            tracer.span("sync", "sync", outcome["barrier_at"], sync_s, track)
         return InvocationResult(
             wall_time_s=wall,
             time=measured,

@@ -118,6 +118,16 @@ def trace_epochs(recorder: TraceRecorder, epochs: Iterable, start_at: float = 0.
             "sync", "sync", t + e.time.load_s + e.time.compute_s,
             e.time.sync_s, track, epoch=e.index,
         )
+        # Delayed restart launches the new functions *during* this epoch so
+        # they are ready when it ends (Fig. 8): the hidden startup occupies
+        # the epoch's trailing window, not time after it.
+        hidden = getattr(e, "hidden_restart_overlap_s", 0.0)
+        if hidden:
+            overlap = min(hidden, e.time.total_s)
+            recorder.record(
+                "restart-overlap", "scheduling", t + e.time.total_s - overlap,
+                overlap, "scheduler", epoch=e.index, hidden=True,
+            )
         if e.scheduling_overhead_s:
             recorder.record(
                 "restart", "scheduling", t + e.time.total_s,

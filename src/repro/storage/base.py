@@ -10,6 +10,7 @@ from repro.common.types import PricingPattern, StorageKind
 from repro.common.units import mb_from_bytes
 from repro.config import StorageServiceConfig
 from repro.storage.kvplane import KVPlane
+from repro.telemetry import get_registry
 
 
 @dataclass
@@ -46,6 +47,22 @@ class ExternalStorageService:
 
     def __post_init__(self) -> None:
         self.plane.object_limit_mb = self.config.object_limit_mb
+        registry = get_registry()
+        self._m_requests = registry.counter(
+            "repro_storage_requests_total",
+            "Data-plane requests, by service and operation",
+            labelnames=("kind", "op"),
+        )
+        self._m_bytes = registry.counter(
+            "repro_storage_transferred_mb_total",
+            "Megabytes moved through each service",
+            labelnames=("kind",),
+        )
+        self._m_latency = registry.histogram(
+            "repro_storage_op_latency_seconds",
+            "Simulated per-operation transfer time, by service",
+            labelnames=("kind",),
+        )
 
     @property
     def kind(self) -> StorageKind:
@@ -60,24 +77,28 @@ class ExternalStorageService:
         """Simulated time to move one object: latency + size / bandwidth."""
         return self.config.latency_s + object_mb / self.config.bandwidth_mb_s
 
-    def _account_request(self, object_mb: float) -> float:
+    def _account_request(self, object_mb: float, op: str = "other") -> float:
         self.metrics.requests += 1
         self.metrics.transferred_mb += object_mb
         t = self.transfer_time_s(object_mb)
         self.metrics.busy_time_s += t
         if self.config.pricing is PricingPattern.REQUEST:
             self.metrics.request_cost_usd += self.config.request_price_usd(object_mb)
+        kind = self.kind.value
+        self._m_requests.labels(kind=kind, op=op).inc()
+        self._m_bytes.labels(kind=kind).inc(object_mb)
+        self._m_latency.labels(kind=kind).observe(t)
         return t
 
     def put(self, key: str, value: np.ndarray) -> float:
         """Store an object; returns the simulated transfer time (seconds)."""
         self.plane.put(key, value)
-        return self._account_request(mb_from_bytes(np.asarray(value).nbytes))
+        return self._account_request(mb_from_bytes(np.asarray(value).nbytes), op="put")
 
     def get(self, key: str) -> tuple[np.ndarray, float]:
         """Fetch an object; returns (value, simulated transfer time)."""
         arr = self.plane.get(key)
-        return arr, self._account_request(mb_from_bytes(arr.nbytes))
+        return arr, self._account_request(mb_from_bytes(arr.nbytes), op="get")
 
     def accrue_provisioned(self, seconds: float) -> None:
         """Record provisioned time for runtime-charged services."""

@@ -53,4 +53,7 @@ class VMPSService(ExternalStorageService):
         self.plane.put_count -= 1
         self.plane.bytes_in -= mean.nbytes
         total_mb = sum(a.nbytes for a in arrays) / 2**20
-        return total_mb / self.aggregate_mb_per_s
+        t = total_mb / self.aggregate_mb_per_s
+        self._m_requests.labels(kind=self.kind.value, op="aggregate").inc()
+        self._m_latency.labels(kind=self.kind.value).observe(t)
+        return t

@@ -1,0 +1,189 @@
+"""RunReport — aggregate a telemetry capture into the paper's breakdowns.
+
+Answers the questions the paper's figures ask of a run: where did the time
+go (cold starts vs communication vs scheduling — Fig. 8/12/21) and where
+did the money go (invocation fees vs GB-seconds vs storage — Fig. 13 /
+Table II). Built either live from a :class:`MetricsRegistry` or from a
+saved JSON capture (the ``repro report`` subcommand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.telemetry.exporters import payload_to_snapshots
+from repro.telemetry.metrics import MetricSnapshot
+
+
+def _scalar(snapshots: dict[str, MetricSnapshot], name: str) -> float:
+    """Sum of a counter/gauge family's sample values (0.0 when absent)."""
+    snap = snapshots.get(name)
+    if snap is None:
+        return 0.0
+    return sum(s.value for s in snap.samples)
+
+
+def _labeled(snapshots: dict[str, MetricSnapshot], name: str) -> dict[str, float]:
+    """Per-child values of a single-label family, keyed by label value."""
+    snap = snapshots.get(name)
+    if snap is None:
+        return {}
+    out: dict[str, float] = {}
+    for s in snap.samples:
+        key = "/".join(s.labels[n] for n in snap.labelnames) or "(all)"
+        out[key] = out.get(key, 0.0) + s.value
+    return out
+
+
+def _histogram_sum(snapshots: dict[str, MetricSnapshot], name: str) -> float:
+    snap = snapshots.get(name)
+    if snap is None:
+        return 0.0
+    return sum(s.sum for s in snap.samples)
+
+
+@dataclass(frozen=True, slots=True)
+class BreakdownRow:
+    """One line of a report section: a quantity and its share of the total."""
+
+    label: str
+    value: float
+    share: float | None  # fraction of the section total, None when undefined
+    unit: str
+
+
+@dataclass
+class RunReport:
+    """Time/cost/activity breakdowns for one captured run."""
+
+    meta: dict = field(default_factory=dict)
+    run: dict = field(default_factory=dict)
+    time_rows: list[BreakdownRow] = field(default_factory=list)
+    cost_rows: list[BreakdownRow] = field(default_factory=list)
+    activity_rows: list[BreakdownRow] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ builders
+    @classmethod
+    def from_snapshots(
+        cls,
+        snapshots: list[MetricSnapshot],
+        run: dict | None = None,
+        meta: dict | None = None,
+    ) -> "RunReport":
+        run = dict(run or {})
+        meta = dict(meta or {})
+        by_name = {s.name: s for s in snapshots}
+
+        jct = float(run.get("jct_s", 0.0))
+        cold_s = _scalar(by_name, "repro_faas_cold_start_seconds_total")
+        queue_s = _histogram_sum(by_name, "repro_faas_queue_wait_seconds")
+        comm_s = float(run.get("comm_overhead_s", 0.0))
+        sched_s = float(run.get("scheduling_overhead_s", 0.0))
+        hidden_s = _scalar(by_name, "repro_scheduler_restart_hidden_seconds_total")
+
+        def pct(x: float) -> float | None:
+            return x / jct if jct > 0 else None
+
+        time_rows = [
+            BreakdownRow("total JCT", jct, None, "s"),
+            BreakdownRow("cold starts", cold_s, pct(cold_s), "s"),
+            BreakdownRow("gang queue wait", queue_s, pct(queue_s), "s"),
+            BreakdownRow("communication (sync)", comm_s, pct(comm_s), "s"),
+            BreakdownRow("scheduling overhead", sched_s, pct(sched_s), "s"),
+            BreakdownRow("restart overhead hidden", hidden_s, None, "s"),
+        ]
+
+        billed = _labeled(by_name, "repro_faas_billed_usd_total")
+        total_cost = float(run.get("cost_usd", sum(billed.values())))
+
+        def cpct(x: float) -> float | None:
+            return x / total_cost if total_cost > 0 else None
+
+        cost_rows = [BreakdownRow("total cost", total_cost, None, "USD")]
+        for component in ("invocation", "compute", "storage"):
+            usd = billed.get(component, 0.0)
+            cost_rows.append(
+                BreakdownRow(f"{component} cost", usd, cpct(usd), "USD")
+            )
+
+        activity_rows = [
+            BreakdownRow(
+                "invocations",
+                _scalar(by_name, "repro_faas_invocations_total"), None, "",
+            ),
+            BreakdownRow(
+                "cold starts",
+                _scalar(by_name, "repro_faas_cold_starts_total"), None, "",
+            ),
+            BreakdownRow(
+                "warm-pool hits",
+                _scalar(by_name, "repro_faas_warm_pool_hits_total"), None, "",
+            ),
+            BreakdownRow(
+                "warm-pool evictions",
+                _scalar(by_name, "repro_faas_warm_pool_evictions_total"), None, "",
+            ),
+            BreakdownRow(
+                "billed GB-seconds",
+                _scalar(by_name, "repro_faas_billed_gb_seconds_total"), None, "",
+            ),
+            BreakdownRow(
+                "storage requests",
+                _scalar(by_name, "repro_storage_requests_total"), None, "",
+            ),
+            BreakdownRow(
+                "scheduler reallocations",
+                _scalar(by_name, "repro_scheduler_reallocations_total"), None, "",
+            ),
+            BreakdownRow(
+                "planner candidates evaluated",
+                _scalar(by_name, "repro_planner_candidates_evaluated_total"),
+                None, "",
+            ),
+        ]
+        return cls(
+            meta=meta, run=run, time_rows=time_rows,
+            cost_rows=cost_rows, activity_rows=activity_rows,
+        )
+
+    @classmethod
+    def from_registry(
+        cls, registry, run: dict | None = None, meta: dict | None = None
+    ) -> "RunReport":
+        return cls.from_snapshots(registry.snapshot(), run=run, meta=meta)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "RunReport":
+        return cls.from_snapshots(
+            payload_to_snapshots(payload.get("metrics", [])),
+            run=payload.get("run", {}),
+            meta=payload.get("meta", {}),
+        )
+
+    # ------------------------------------------------------------------ rendering
+    def render(self) -> str:
+        lines: list[str] = []
+        header = " ".join(
+            f"{k}={self.meta[k]}"
+            for k in ("command", "workload", "method", "seed")
+            if k in self.meta
+        )
+        lines.append(f"run report{': ' + header if header else ''}")
+        for title, rows in (
+            ("time breakdown", self.time_rows),
+            ("cost breakdown", self.cost_rows),
+            ("activity", self.activity_rows),
+        ):
+            lines.append("")
+            lines.append(title)
+            width = max(len(r.label) for r in rows)
+            for r in rows:
+                share = f"  ({r.share * 100.0:5.1f}%)" if r.share is not None else ""
+                if r.unit == "USD":
+                    value = f"${r.value:.6f}"
+                elif r.unit == "s":
+                    value = f"{r.value:12.3f} s"
+                else:
+                    value = f"{r.value:12.1f}"
+                lines.append(f"  {r.label.ljust(width)}  {value}{share}")
+        return "\n".join(lines)

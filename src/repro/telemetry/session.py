@@ -1,0 +1,84 @@
+"""Scoped telemetry capture: install collectors, run, export, restore.
+
+The CLI's ``--telemetry PATH`` / ``--trace PATH`` flags wrap each command
+in a :class:`TelemetrySession`; libraries embedding the reproduction can do
+the same around any block of work::
+
+    with TelemetrySession(metrics_path="out.json", trace_path="out.trace.json",
+                          meta={"command": "train"}) as session:
+        run = run_training("lr-higgs", budget_usd=2.0)
+        session.set_run_summary({"jct_s": run.result.jct_s, ...})
+
+On exit the session writes the JSON telemetry document (metrics + run
+summary, readable by ``repro report``) and the Chrome trace, then restores
+whatever collectors were installed before — sessions nest safely.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.telemetry import get_registry, get_tracer, set_registry, set_tracer
+from repro.telemetry.exporters import to_json
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Tracer
+
+
+class TelemetrySession:
+    """Context manager that captures metrics and/or spans to files.
+
+    Either path may be ``None``; with both ``None`` the session installs
+    nothing and writes nothing (so callers never need to branch).
+    """
+
+    def __init__(
+        self,
+        metrics_path: str | Path | None = None,
+        trace_path: str | Path | None = None,
+        meta: dict | None = None,
+    ) -> None:
+        self.metrics_path = Path(metrics_path) if metrics_path else None
+        self.trace_path = Path(trace_path) if trace_path else None
+        self.meta = dict(meta or {})
+        self.registry: MetricsRegistry | None = None
+        self.tracer: Tracer | None = None
+        self._run_summary: dict = {}
+        self._prev_registry = None
+        self._prev_tracer = None
+
+    @property
+    def active(self) -> bool:
+        return self.metrics_path is not None or self.trace_path is not None
+
+    def set_run_summary(self, summary: dict) -> None:
+        """Attach the run's headline numbers to the JSON document."""
+        self._run_summary = dict(summary)
+
+    def __enter__(self) -> "TelemetrySession":
+        if self.metrics_path is not None:
+            self._prev_registry = get_registry()
+            self.registry = MetricsRegistry()
+            set_registry(self.registry)
+        if self.trace_path is not None:
+            self._prev_tracer = get_tracer()
+            self.tracer = Tracer()
+            set_tracer(self.tracer)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.registry is not None:
+            set_registry(self._prev_registry)
+        if self.tracer is not None:
+            set_tracer(self._prev_tracer)
+        if exc_type is not None:
+            return  # don't write partial captures over a crash
+        if self.registry is not None and self.metrics_path is not None:
+            self.metrics_path.write_text(
+                to_json(
+                    self.registry.snapshot(),
+                    run=self._run_summary,
+                    meta=self.meta,
+                )
+            )
+        if self.tracer is not None and self.trace_path is not None:
+            self.trace_path.write_text(self.tracer.to_chrome_trace())

@@ -1,0 +1,81 @@
+"""Live span tracing: feed the TraceRecorder *during* simulation.
+
+``repro.faas.trace.trace_epochs`` reconstructs a timeline from
+``EpochRecord``s after a run; the :class:`Tracer` instead lets the platform
+and executors emit spans as they happen, so the trace shows what the
+post-hoc reconstruction cannot — gang queue waits, cold-start windows, the
+delayed-restart overlap hidden under a running epoch.
+
+Timebase: spans are recorded in the platform simulator's clock plus a
+cumulative *offset*. Scheduling work (prediction refits, planner searches,
+visible restart overhead) takes zero simulator time but real job time; the
+executor advances the offset by those amounts so the live trace lines up
+with the job's JCT, exactly like the post-hoc reconstruction.
+"""
+
+from __future__ import annotations
+
+
+class Tracer:
+    """Collects live spans onto a :class:`repro.faas.trace.TraceRecorder`."""
+
+    def __init__(self, recorder=None) -> None:
+        # Imported lazily: faas modules import telemetry at module level,
+        # so a module-level import here would be mutually recursive.
+        from repro.faas.trace import TraceRecorder
+
+        self.recorder = recorder if recorder is not None else TraceRecorder()
+        self.offset_s = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def span(
+        self,
+        name: str,
+        category: str,
+        start_s: float,
+        duration_s: float,
+        track: str,
+        **args,
+    ) -> None:
+        """Record one completed span at ``start_s`` (simulator clock)."""
+        self.recorder.record(
+            name, category, start_s + self.offset_s, duration_s, track, **args
+        )
+
+    def advance(self, dt_s: float) -> None:
+        """Shift subsequent spans right by ``dt_s`` job-time seconds."""
+        self.offset_s += dt_s
+
+    def now(self, sim_now_s: float) -> float:
+        """Job-time coordinate of the simulator clock value ``sim_now_s``."""
+        return sim_now_s + self.offset_s
+
+    def to_chrome_trace(self) -> str:
+        return self.recorder.to_chrome_trace()
+
+
+class NullTracer:
+    """The default tracer: drops everything."""
+
+    offset_s = 0.0
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def span(self, name, category, start_s, duration_s, track, **args) -> None:
+        pass
+
+    def advance(self, dt_s: float) -> None:
+        pass
+
+    def now(self, sim_now_s: float) -> float:
+        return sim_now_s
+
+    def to_chrome_trace(self) -> str:
+        from repro.faas.trace import TraceRecorder
+
+        return TraceRecorder().to_chrome_trace()

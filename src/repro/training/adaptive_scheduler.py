@@ -25,6 +25,7 @@ from repro.tuning.plan import Objective
 from repro.ml.models import Workload
 from repro.training.offline_predictor import OfflinePredictor
 from repro.training.online_predictor import OnlinePredictor
+from repro.telemetry import get_registry
 
 
 @dataclass(frozen=True, slots=True)
@@ -152,12 +153,39 @@ class AdaptiveScheduler:
         self.total_search_overhead_s = 0.0
         self._prediction_history: list[float] = []
         self._drift_streak = 0
+        registry = get_registry()
+        self._m_predictions = registry.counter(
+            "repro_scheduler_prediction_updates_total",
+            "Successful online prediction refits",
+        )
+        self._m_drift = registry.histogram(
+            "repro_scheduler_prediction_drift",
+            "Relative drift of each new prediction vs the acted-on one",
+            buckets=(0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0),
+        )
+        self._m_predicted_epochs = registry.gauge(
+            "repro_scheduler_predicted_total_epochs",
+            "Latest predicted total-epoch horizon",
+        )
+        self._m_searches = registry.counter(
+            "repro_scheduler_searches_total",
+            "Allocation re-selections over the candidate set",
+        )
+        self._m_reallocations = registry.counter(
+            "repro_scheduler_reallocations_total",
+            "Decisions that switched the allocation (restarts)",
+        )
+        self._m_holds = registry.counter(
+            "repro_scheduler_holds_total",
+            "Epoch-end decisions that kept the current allocation",
+        )
 
     # ------------------------------------------------------------------ internals
     def _search_overhead(self) -> float:
         self.n_searches += 1
         overhead = self.per_candidate_eval_s * len(self.candidates)
         self.total_search_overhead_s += overhead
+        self._m_searches.inc()
         return overhead
 
     def _remaining_budget(self) -> float | None:
@@ -212,6 +240,7 @@ class AdaptiveScheduler:
             new_prediction = float(sorted(recent)[len(recent) // 2])
         except PredictionError:
             # Too few points / degenerate fit: keep the current plan.
+            self._m_holds.inc()
             return SchedulerDecision(
                 point=self.current,
                 restart=False,
@@ -221,6 +250,9 @@ class AdaptiveScheduler:
         drift = abs(new_prediction - self.predicted_total_epochs) / max(
             self.predicted_total_epochs, 1e-9
         )
+        self._m_predictions.inc()
+        self._m_drift.observe(drift)
+        self._m_predicted_epochs.set(new_prediction)
         self._drift_streak = self._drift_streak + 1 if drift > self.delta else 0
         remaining_now = new_prediction - self.epochs_done
         # Act on drift only when (a) it persisted for two consecutive
@@ -231,6 +263,7 @@ class AdaptiveScheduler:
             self._drift_streak < 2 or remaining_now <= 3.0
         ) and not self.adjust_every_epoch
         if hold:
+            self._m_holds.inc()
             return SchedulerDecision(
                 point=self.current,
                 restart=False,
@@ -242,6 +275,10 @@ class AdaptiveScheduler:
         remaining = max(1.0, new_prediction - self.epochs_done)
         new_point = self._select(remaining)
         restart = new_point.allocation != self.current.allocation
+        if restart:
+            self._m_reallocations.inc()
+        else:
+            self._m_holds.inc()
         self.current = new_point
         return SchedulerDecision(
             point=new_point,

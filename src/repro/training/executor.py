@@ -31,6 +31,7 @@ from repro.ml.models import Workload
 from repro.ml.sgd import DistributedSGD, SGDConfig
 from repro.tuning.plan import Objective
 from repro.training.delayed_restart import DelayedRestartPlanner
+from repro.telemetry import get_registry, get_tracer
 
 
 class LossProvider(Protocol):
@@ -156,11 +157,27 @@ class TrainingExecutor:
         w = spec.workload
         platform = FaaSPlatform(platform=self.platform_config, seed=spec.seed)
         provider = spec.make_loss_provider()
+        registry = get_registry()
+        tracer = get_tracer()
+        m_hidden = registry.counter(
+            "repro_scheduler_restart_hidden_seconds_total",
+            "Restart lead time overlapped with running epochs (Fig. 8)",
+        )
+        m_visible = registry.counter(
+            "repro_scheduler_restart_visible_seconds_total",
+            "Restart lead time left on the critical path",
+        )
         decision = self.scheduler.initial_decision()
         point: ProfiledAllocation = decision.point
         generation = 0
         jct = decision.search_overhead_s
         sched_overhead = decision.search_overhead_s
+        if decision.search_overhead_s:
+            tracer.span(
+                "initial-search", "scheduling", platform.sim.now,
+                decision.search_overhead_s, "scheduler",
+            )
+            tracer.advance(decision.search_overhead_s)
         cost = 0.0
         records: list[EpochRecord] = []
         n_restarts = 0
@@ -172,6 +189,7 @@ class TrainingExecutor:
             alloc = point.allocation
             group = f"{alloc.describe()}#g{generation}"
             base = epoch_time(w, alloc, self.platform_config)
+            epoch_start = platform.sim.now
             result = platform.execute_epoch(
                 EpochExecution(
                     group=group,
@@ -190,6 +208,11 @@ class TrainingExecutor:
             loss = provider.epoch_loss(alloc.n_functions)
             jct += epoch_wall
             cost += epoch_cost
+            tracer.span(
+                "epoch", "epoch", epoch_start, epoch_wall, "epochs",
+                epoch=epoch_idx, allocation=alloc.describe(), loss=loss,
+                cost_usd=epoch_cost,
+            )
             records.append(
                 EpochRecord(
                     index=epoch_idx,
@@ -218,12 +241,40 @@ class TrainingExecutor:
             decision = self.scheduler.on_epoch_end(loss, epoch_cost, epoch_wall)
             jct += decision.search_overhead_s
             sched_overhead += decision.search_overhead_s
+            if decision.search_overhead_s:
+                tracer.span(
+                    "search", "scheduling", platform.sim.now,
+                    decision.search_overhead_s, "scheduler", epoch=epoch_idx,
+                )
+                tracer.advance(decision.search_overhead_s)
             if decision.restart:
                 n_restarts += 1
                 new_alloc = decision.point.allocation
                 plan = self.restart_planner.plan_restart(w, new_alloc, epoch_wall)
                 jct += plan.visible_overhead_s
                 sched_overhead += plan.visible_overhead_s
+                m_hidden.inc(plan.hidden_overhead_s)
+                m_visible.inc(plan.visible_overhead_s)
+                if plan.hidden_overhead_s > 0:
+                    # The new functions started during the epoch that just
+                    # ran, timed to finish loading as it ended (Fig. 8); the
+                    # offset already includes this epoch's search overhead,
+                    # so subtract it to land the window inside the epoch.
+                    overlap = min(plan.hidden_overhead_s, epoch_wall)
+                    tracer.span(
+                        "restart-overlap", "scheduling",
+                        platform.sim.now - overlap - decision.search_overhead_s,
+                        overlap, "scheduler",
+                        epoch=epoch_idx, hidden=True,
+                        target=new_alloc.describe(),
+                    )
+                if plan.visible_overhead_s > 0:
+                    tracer.span(
+                        "restart", "scheduling", platform.sim.now,
+                        plan.visible_overhead_s, "scheduler",
+                        epoch=epoch_idx, target=new_alloc.describe(),
+                    )
+                    tracer.advance(plan.visible_overhead_s)
                 platform.retire(group)
                 generation += 1
                 new_group = f"{new_alloc.describe()}#g{generation}"
@@ -236,6 +287,7 @@ class TrainingExecutor:
                 records[-1].scheduling_overhead_s = (
                     decision.search_overhead_s + plan.visible_overhead_s
                 )
+                records[-1].hidden_restart_overlap_s = plan.hidden_overhead_s
             point = decision.point
 
         return JobResult(

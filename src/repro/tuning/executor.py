@@ -19,6 +19,7 @@ from repro.config import DEFAULT_PLATFORM, PlatformConfig
 from repro.tuning.plan import PartitionPlan, stage_waves
 from repro.tuning.sha import SHAEngine, SHASpec, StageShape, Trial
 from repro.ml.models import Workload
+from repro.telemetry import get_tracer
 
 
 @dataclass(frozen=True, slots=True)
@@ -115,6 +116,11 @@ class TuningExecutor:
                     sync_s=sync_s,
                     waves=waves,
                 )
+            )
+            get_tracer().span(
+                "stage", "stage", total_jct, stage_jct, "stages",
+                stage=i, trials=q, epochs_per_trial=r, waves=waves,
+                allocation=point.allocation.describe(), cost_usd=stage_cost,
             )
             total_jct += stage_jct
             total_cost += stage_cost

@@ -46,6 +46,7 @@ from repro.tuning.plan import (
 )
 from repro.tuning.sha import SHASpec, StageShape
 from repro.tuning.static_planner import optimal_static_plan, static_plan
+from repro.telemetry import get_registry
 
 
 @dataclass
@@ -225,6 +226,7 @@ class GreedyHeuristicPlanner:
         stats = PlannerStats()
         ladder = sorted(candidates, key=lambda p: p.cost_usd)
         self._build_cache(ladder, spec)
+        registry = get_registry()
 
         warm = optimal_static_plan(
             ladder, spec, objective, budget_usd=budget_usd, qos_s=qos_s,
@@ -249,6 +251,19 @@ class GreedyHeuristicPlanner:
                 ):
                     best, best_ev = cand, cand_ev
         stats.wall_time_s = _time.perf_counter() - start
+        registry.counter(
+            "repro_planner_candidates_evaluated_total",
+            "Plan evaluations performed by the knapsack heuristic",
+        ).inc(stats.candidates_evaluated)
+        registry.counter(
+            "repro_planner_greedy_iterations_total",
+            "Recycle/reinvest and spend-remainder rounds",
+        ).inc(stats.greedy_iterations)
+        registry.histogram(
+            "repro_planner_wall_seconds",
+            "Host wall-clock time per planning pass",
+            buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
+        ).observe(stats.wall_time_s)
         return PlannerResult(
             plan=best,
             evaluation=best_ev,

@@ -49,6 +49,38 @@ class TestBillingMeter:
         meter.bill_storage(-1.0)
         assert meter.storage_usd == 0.0
 
+    def test_zero_duration_bills_one_granularity_unit(self):
+        """Lambda bills a minimum of one granularity unit per invocation."""
+        meter = BillingMeter()
+        gran = DEFAULT_PLATFORM.pricing.billing_granularity_s
+        bill = meter.bill_invocation(1024, 0.0)
+        assert bill.billed_duration_s == pytest.approx(gran)
+        assert bill.compute_usd > 0.0
+
+    def test_negative_duration_clamps_to_one_unit(self):
+        meter = BillingMeter()
+        gran = DEFAULT_PLATFORM.pricing.billing_granularity_s
+        bill = meter.bill_invocation(1024, -3.0)
+        assert bill.billed_duration_s == pytest.approx(gran)
+
+    def test_rounding_matches_ceil(self):
+        import math
+
+        meter = BillingMeter()
+        gran = DEFAULT_PLATFORM.pricing.billing_granularity_s
+        for duration in (0.0001, 0.0015, 0.01, 0.9999, 1.0, 7.3):
+            bill = meter.bill_invocation(512, duration)
+            assert bill.billed_duration_s == pytest.approx(
+                math.ceil(duration / gran) * gran
+            ), duration
+
+    def test_exact_multiple_not_rounded_up(self):
+        """A duration landing exactly on a boundary bills that amount."""
+        meter = BillingMeter()
+        gran = DEFAULT_PLATFORM.pricing.billing_granularity_s
+        bill = meter.bill_invocation(1024, 5 * gran)
+        assert bill.billed_duration_s == pytest.approx(5 * gran)
+
 
 class TestNoiseModel:
     def test_deterministic(self):

@@ -44,6 +44,48 @@ class TestRecorder:
         assert any(e.get("ph") == "M" for e in events)  # track names
 
 
+class TestChromeTraceExport:
+    def _recorder(self):
+        rec = TraceRecorder()
+        rec.record("load", "load", 0.0, 1.0, "group:b", epoch=1)
+        rec.record("compute", "compute", 1.0, 4.0, "group:a", epoch=1)
+        rec.record("restart", "scheduling", 5.0, 0.5, "scheduler")
+        return rec
+
+    def test_round_trips_through_json(self):
+        rec = self._recorder()
+        payload = json.loads(rec.to_chrome_trace())
+        again = json.loads(rec.to_chrome_trace())
+        assert payload == again
+        spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+        assert [(e["name"], e["ts"], e["dur"]) for e in spans] == [
+            ("load", 0.0, 1.0e6),
+            ("compute", 1.0e6, 4.0e6),
+            ("restart", 5.0e6, 0.5e6),
+        ]
+        assert spans[0]["args"] == {"epoch": 1}
+
+    def test_track_tid_mapping_deterministic(self):
+        """tids follow the sorted track names, independent of record order."""
+        payload = json.loads(self._recorder().to_chrome_trace())
+        meta = {
+            e["args"]["name"]: e["tid"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M"
+        }
+        assert meta == {"group:a": 1, "group:b": 2, "scheduler": 3}
+
+    def test_meta_thread_names_cover_every_track(self):
+        rec = self._recorder()
+        payload = json.loads(rec.to_chrome_trace())
+        events = payload["traceEvents"]
+        named_tids = {e["tid"] for e in events if e["ph"] == "M"}
+        span_tids = {e["tid"] for e in events if e["ph"] == "X"}
+        assert span_tids <= named_tids
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert names == {e.track for e in rec.events}
+
+
 class TestTraceEpochs:
     def test_training_run_traced(self, mobilenet, mobilenet_profile):
         from repro.tuning.plan import Objective
@@ -64,3 +106,69 @@ class TestTraceEpochs:
         # One load+compute+sync triple per epoch.
         assert len(rec.spans("compute")) == len(result.epochs)
         json.loads(rec.to_chrome_trace())  # exports cleanly
+
+    def test_restart_overlap_recorded_over_running_epoch(self):
+        """The delayed-restart prewarm window (Fig. 8) overlaps the epoch it
+        ran under — it must end exactly where that epoch ends, before any
+        visible restart span."""
+        from repro.common.types import (
+            Allocation,
+            EpochCostBreakdown,
+            EpochRecord,
+            EpochTimeBreakdown,
+            StorageKind,
+        )
+
+        alloc = Allocation(
+            n_functions=4, memory_mb=1769, storage=StorageKind.VMPS
+        )
+        cost = EpochCostBreakdown(0.0, 0.0, 0.0)
+        epochs = [
+            EpochRecord(
+                index=1, allocation=alloc, cost=cost, loss=1.0,
+                time=EpochTimeBreakdown(load_s=1.0, compute_s=8.0, sync_s=1.0),
+                scheduling_overhead_s=2.0, restarted=True,
+                hidden_restart_overlap_s=3.0,
+            ),
+            EpochRecord(
+                index=2, allocation=alloc, cost=cost, loss=0.5,
+                time=EpochTimeBreakdown(load_s=1.0, compute_s=8.0, sync_s=1.0),
+            ),
+        ]
+        rec = TraceRecorder()
+        trace_epochs(rec, epochs)
+        (overlap,) = [e for e in rec.spans() if e.name == "restart-overlap"]
+        (restart,) = [e for e in rec.spans() if e.name == "restart"]
+        # Epoch 1 spans [0, 10): the 3 s prewarm hides under its tail.
+        assert overlap.start_s == pytest.approx(7.0)
+        assert overlap.duration_s == pytest.approx(3.0)
+        assert overlap.args["hidden"] is True
+        # The visible overhead sits after the epoch, on the critical path.
+        assert restart.start_s == pytest.approx(10.0)
+        assert restart.duration_s == pytest.approx(2.0)
+
+    def test_restart_overlap_clamped_to_epoch_length(self):
+        from repro.common.types import (
+            Allocation,
+            EpochCostBreakdown,
+            EpochRecord,
+            EpochTimeBreakdown,
+            StorageKind,
+        )
+
+        alloc = Allocation(
+            n_functions=2, memory_mb=1769, storage=StorageKind.S3
+        )
+        epochs = [
+            EpochRecord(
+                index=1, allocation=alloc,
+                cost=EpochCostBreakdown(0.0, 0.0, 0.0), loss=1.0,
+                time=EpochTimeBreakdown(load_s=0.5, compute_s=1.0, sync_s=0.5),
+                hidden_restart_overlap_s=99.0,  # longer than the epoch
+            ),
+        ]
+        rec = TraceRecorder()
+        trace_epochs(rec, epochs)
+        (overlap,) = [e for e in rec.spans() if e.name == "restart-overlap"]
+        assert overlap.start_s == pytest.approx(0.0)
+        assert overlap.duration_s == pytest.approx(2.0)

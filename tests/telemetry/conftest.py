@@ -1,0 +1,32 @@
+"""Telemetry-test fixtures: install real collectors, restore no-ops after."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+    set_registry,
+    set_tracer,
+)
+
+
+@pytest.fixture
+def registry():
+    prev = get_registry()
+    reg = MetricsRegistry()
+    set_registry(reg)
+    yield reg
+    set_registry(prev)
+
+
+@pytest.fixture
+def tracer():
+    prev = get_tracer()
+    t = Tracer()
+    set_tracer(t)
+    yield t
+    set_tracer(prev)

@@ -1,0 +1,93 @@
+"""Telemetry must be strictly observational.
+
+Acceptance criterion of the observability PR: the same seed produces
+byte-identical simulation results whether telemetry collectors are
+installed or not. Instruments never consume RNG draws and never branch
+simulation logic, so enabling them cannot perturb a run.
+"""
+
+import json
+
+from repro.telemetry import (
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+    set_registry,
+    set_tracer,
+)
+from repro.tuning.plan import Objective
+from repro.workflow.job import training_envelope
+from repro.workflow.runner import run_training
+
+
+def _run(workload, profile):
+    budget = training_envelope(workload, profile).budget(2.5)
+    return run_training(
+        workload,
+        method="ce-scaling",
+        objective=Objective.MIN_JCT_GIVEN_BUDGET,
+        budget_usd=budget,
+        seed=9,
+        max_epochs=15,
+        profile=profile,
+    ).result
+
+
+def _fingerprint(result) -> str:
+    """A byte-exact serialization of everything the simulation produced."""
+    return json.dumps(
+        {
+            "jct_s": result.jct_s,
+            "cost_usd": result.cost_usd,
+            "epochs": [
+                [
+                    e.index,
+                    e.allocation.describe(),
+                    e.loss,
+                    e.cost.total_usd,
+                    e.time.total_s,
+                    e.scheduling_overhead_s,
+                    e.hidden_restart_overlap_s,
+                ]
+                for e in result.epochs
+            ],
+        },
+        sort_keys=True,
+    )
+
+
+class TestTelemetryDeterminism:
+    def test_results_identical_with_telemetry_on_and_off(
+        self, mobilenet, mobilenet_profile
+    ):
+        baseline = _fingerprint(_run(mobilenet, mobilenet_profile))
+
+        prev_reg, prev_tracer = get_registry(), get_tracer()
+        set_registry(MetricsRegistry())
+        set_tracer(Tracer())
+        try:
+            instrumented = _fingerprint(_run(mobilenet, mobilenet_profile))
+        finally:
+            set_registry(prev_reg)
+            set_tracer(prev_tracer)
+
+        assert instrumented == baseline
+
+    def test_metrics_only_run_matches_too(self, mobilenet, mobilenet_profile):
+        baseline = _fingerprint(_run(mobilenet, mobilenet_profile))
+        prev = get_registry()
+        set_registry(MetricsRegistry())
+        try:
+            assert _fingerprint(_run(mobilenet, mobilenet_profile)) == baseline
+        finally:
+            set_registry(prev)
+
+    def test_instrumented_run_actually_recorded(
+        self, mobilenet, mobilenet_profile, registry, tracer
+    ):
+        """Guard against the trivial pass: the collectors saw the run."""
+        _run(mobilenet, mobilenet_profile)
+        inv = registry.get("repro_faas_invocations_total")
+        assert inv is not None and inv.value > 0
+        assert len(tracer.recorder.events) > 0

@@ -1,0 +1,94 @@
+"""Tests for the RunReport aggregator and its text rendering."""
+
+import json
+
+import pytest
+
+from repro.telemetry.exporters import from_json_payload, to_json
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.report import RunReport
+
+
+def _registry_for_run() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("repro_faas_cold_start_seconds_total").inc(5.0)
+    reg.counter("repro_faas_invocations_total").inc(120)
+    reg.counter("repro_faas_cold_starts_total").inc(10)
+    reg.counter("repro_faas_billed_gb_seconds_total").inc(333.0)
+    usd = reg.counter("repro_faas_billed_usd_total", labelnames=("component",))
+    usd.labels(component="invocation").inc(0.01)
+    usd.labels(component="compute").inc(0.08)
+    usd.labels(component="storage").inc(0.01)
+    reg.histogram("repro_faas_queue_wait_seconds", buckets=(1.0,)).observe(2.5)
+    reg.counter("repro_scheduler_reallocations_total").inc(3)
+    reg.counter("repro_scheduler_restart_hidden_seconds_total").inc(4.0)
+    return reg
+
+
+RUN = {"jct_s": 100.0, "cost_usd": 0.1, "comm_overhead_s": 20.0,
+       "scheduling_overhead_s": 2.0}
+
+
+class TestRunReport:
+    def test_time_shares_are_fractions_of_jct(self):
+        report = RunReport.from_registry(_registry_for_run(), run=RUN)
+        rows = {r.label: r for r in report.time_rows}
+        assert rows["total JCT"].value == 100.0
+        assert rows["cold starts"].share == 0.05
+        assert rows["gang queue wait"].value == 2.5
+        assert rows["communication (sync)"].share == 0.2
+        assert rows["scheduling overhead"].share == 0.02
+        assert rows["restart overhead hidden"].value == 4.0
+
+    def test_cost_split_by_component(self):
+        report = RunReport.from_registry(_registry_for_run(), run=RUN)
+        rows = {r.label: r for r in report.cost_rows}
+        assert rows["total cost"].value == 0.1
+        assert rows["compute cost"].share == pytest.approx(0.8)
+        assert rows["invocation cost"].share == pytest.approx(0.1)
+        assert rows["storage cost"].share == pytest.approx(0.1)
+
+    def test_activity_counts(self):
+        report = RunReport.from_registry(_registry_for_run(), run=RUN)
+        rows = {r.label: r.value for r in report.activity_rows}
+        assert rows["invocations"] == 120
+        assert rows["cold starts"] == 10
+        assert rows["scheduler reallocations"] == 3
+        assert rows["billed GB-seconds"] == 333.0
+
+    def test_total_cost_falls_back_to_billed_sum(self):
+        run = {k: v for k, v in RUN.items() if k != "cost_usd"}
+        report = RunReport.from_registry(_registry_for_run(), run=run)
+        rows = {r.label: r for r in report.cost_rows}
+        assert rows["total cost"].value == pytest.approx(0.1)
+
+    def test_empty_capture_renders_without_error(self):
+        text = RunReport.from_registry(MetricsRegistry()).render()
+        assert "time breakdown" in text
+        for row in RunReport.from_registry(MetricsRegistry()).time_rows:
+            assert row.share is None  # no JCT ⇒ shares undefined
+
+    def test_round_trip_through_json_document(self):
+        reg = _registry_for_run()
+        doc = to_json(reg.snapshot(), run=RUN, meta={"command": "train"})
+        report = RunReport.from_payload(from_json_payload(doc))
+        direct = RunReport.from_registry(reg, run=RUN, meta={"command": "train"})
+        assert report.render() == direct.render()
+
+    def test_render_contains_sections_and_percent(self):
+        text = RunReport.from_registry(
+            _registry_for_run(), run=RUN,
+            meta={"command": "train", "workload": "lr-higgs"},
+        ).render()
+        assert "command=train workload=lr-higgs" in text
+        assert "time breakdown" in text
+        assert "cost breakdown" in text
+        assert "activity" in text
+        assert "(  5.0%)" in text  # cold-start share of JCT
+        assert "$0.100000" in text
+
+    def test_render_is_json_free_plain_text(self):
+        text = RunReport.from_registry(_registry_for_run(), run=RUN).render()
+        for line in text.splitlines():
+            assert not line.startswith("{")
+        json.dumps(text)  # printable

@@ -81,3 +81,64 @@ class TestCommands:
 
         with pytest.raises(ValidationError):
             main(["profile", "alexnet-imagenet"])
+
+
+class TestTelemetryFlags:
+    def test_train_capture_then_report(self, tmp_path, capsys):
+        """Acceptance path: train --telemetry/--trace, then repro report."""
+        import json
+
+        metrics = tmp_path / "out.json"
+        trace = tmp_path / "out.trace.json"
+        assert main(
+            [
+                "train", "lr-higgs", "--budget-multiple", "2.5",
+                "--telemetry", str(metrics), "--trace", str(trace),
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        doc = json.loads(metrics.read_text())
+        assert doc["schema"] == "repro-telemetry/v1"
+        assert doc["meta"]["workload"] == "lr-higgs"
+        assert doc["run"]["jct_s"] > 0
+        names = {m["name"] for m in doc["metrics"]}
+        assert "repro_faas_invocations_total" in names
+
+        chrome = json.loads(trace.read_text())
+        spans = [e for e in chrome["traceEvents"] if e.get("ph") == "X"]
+        assert spans and all("ts" in e and "dur" in e for e in spans)
+
+        assert main(["report", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "time breakdown" in out
+        assert "cost breakdown" in out
+        assert "cold starts" in out
+
+    def test_telemetry_off_leaves_no_files(self, tmp_path, capsys):
+        assert main(["train", "lr-higgs", "--budget-multiple", "2.5"]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_tune_capture(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "tune.json"
+        assert main(
+            ["tune", "lr-higgs", "--trials", "16", "--telemetry", str(metrics)]
+        ) == 0
+        doc = json.loads(metrics.read_text())
+        assert doc["meta"]["command"] == "tune"
+        assert doc["run"]["jct_s"] > 0
+
+    def test_report_prometheus_output(self, tmp_path, capsys):
+        metrics = tmp_path / "out.json"
+        assert main(
+            [
+                "train", "lr-higgs", "--budget-multiple", "2.5",
+                "--telemetry", str(metrics),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", str(metrics), "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_faas_invocations_total counter" in out

@@ -28,6 +28,7 @@ def _load(name: str):
         "distributed_sgd_on_storage",
         "bohb_tuning",
         "full_workflow",
+        "telemetry_capture",
     ],
 )
 def test_example_runs(name, capsys):
