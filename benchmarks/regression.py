@@ -1,0 +1,207 @@
+#!/usr/bin/env python
+"""Performance-regression harness over the experiment registry.
+
+Runs every registered experiment (or a chosen subset) at a fixed scale and
+seed, recording per-experiment wall-clock time plus the key telemetry
+counters into a versioned JSON document (schema ``repro-bench/v1``,
+default ``benchmarks/results/bench.json``). When a committed baseline
+exists, the harness compares against it *before* overwriting and exits
+non-zero if any experiment slowed down beyond the threshold::
+
+    PYTHONPATH=src python benchmarks/regression.py                 # compare + record
+    PYTHONPATH=src python benchmarks/regression.py --update-baseline
+    PYTHONPATH=src python benchmarks/regression.py --experiments fig03,table2
+    PYTHONPATH=src python benchmarks/regression.py --warn-only     # CI smoke mode
+
+Wall-clock comparisons use a threshold ratio (default 1.5x) and skip
+experiments whose baseline ran faster than ``MIN_COMPARABLE_WALL_S`` —
+sub-50 ms timings are scheduler noise, not signal. Telemetry counters are
+deterministic for a (scale, seed) pair, so a counter mismatch means the
+simulation itself changed; that is reported as a drift note (and should
+come with a baseline update in the same change), but only *timing*
+regressions fail the run.
+
+``--inject-slowdown FACTOR`` multiplies the measured wall times before
+comparison — a synthetic regression used by the harness's own tests and
+for verifying a CI wiring end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.registry import REGISTRY, run_experiment  # noqa: E402
+from repro.telemetry import get_registry, set_registry  # noqa: E402
+from repro.telemetry.metrics import MetricsRegistry  # noqa: E402
+
+JSON_SCHEMA = "repro-bench/v1"
+DEFAULT_RESULTS = REPO_ROOT / "benchmarks" / "results" / "bench.json"
+
+#: Counters whose totals are recorded per experiment. Deterministic for a
+#: fixed (scale, seed), so they double as a cheap behavioral fingerprint.
+TRACKED_COUNTERS = (
+    "repro_faas_invocations_total",
+    "repro_faas_cold_starts_total",
+    "repro_scheduler_reallocations_total",
+    "repro_scheduler_searches_total",
+    "repro_planner_candidates_evaluated_total",
+    "repro_profiler_points_evaluated_total",
+)
+
+#: Baselines faster than this are pure timer noise; their wall-clock is
+#: recorded but never compared.
+MIN_COMPARABLE_WALL_S = 0.05
+
+
+def measure(experiment: str, scale: str, seed: int, rounds: int) -> dict:
+    """Best-of-``rounds`` wall time + telemetry counter totals."""
+    walls: list[float] = []
+    counters: dict[str, float] = {}
+    for _ in range(rounds):
+        registry = MetricsRegistry()
+        prev = get_registry()
+        set_registry(registry)
+        start = time.perf_counter()
+        try:
+            run_experiment(experiment, scale=scale, seed=seed)
+        finally:
+            set_registry(prev)
+        walls.append(time.perf_counter() - start)
+        counters = {
+            snap.name: sum(s.value for s in snap.samples)
+            for snap in registry.snapshot()
+            if snap.name in TRACKED_COUNTERS
+        }
+    return {"wall_s": round(min(walls), 4), "counters": counters}
+
+
+def run_suite(
+    experiments: list[str], scale: str, seed: int, rounds: int,
+    slowdown: float = 1.0,
+) -> dict:
+    results: dict[str, dict] = {}
+    for exp in experiments:
+        entry = measure(exp, scale, seed, rounds)
+        if slowdown != 1.0:
+            entry["wall_s"] = round(entry["wall_s"] * slowdown, 4)
+        results[exp] = entry
+        print(f"  {exp:20s} {entry['wall_s']:9.3f} s")
+    return {
+        "schema": JSON_SCHEMA,
+        "scale": scale,
+        "seed": seed,
+        "rounds": rounds,
+        "experiments": results,
+    }
+
+
+def compare(current: dict, baseline: dict, threshold: float
+            ) -> tuple[list[str], list[str]]:
+    """Returns (timing regressions, informational drift notes)."""
+    regressions: list[str] = []
+    notes: list[str] = []
+    if baseline.get("scale") != current["scale"] or baseline.get("seed") != current["seed"]:
+        notes.append(
+            f"baseline ran at scale={baseline.get('scale')} seed={baseline.get('seed')}; "
+            f"current is scale={current['scale']} seed={current['seed']} — skipping compare"
+        )
+        return regressions, notes
+    base_entries = baseline.get("experiments", {})
+    for exp, entry in current["experiments"].items():
+        base = base_entries.get(exp)
+        if base is None:
+            notes.append(f"{exp}: new experiment, no baseline entry")
+            continue
+        wall, base_wall = entry["wall_s"], base["wall_s"]
+        if base_wall >= MIN_COMPARABLE_WALL_S and wall > base_wall * threshold:
+            regressions.append(
+                f"{exp}: {wall:.3f} s vs baseline {base_wall:.3f} s "
+                f"({wall / base_wall:.2f}x > {threshold:.2f}x threshold)"
+            )
+        for name, value in entry["counters"].items():
+            base_value = base.get("counters", {}).get(name)
+            if base_value is not None and base_value != value:
+                notes.append(
+                    f"{exp}: counter {name} changed "
+                    f"{base_value:g} -> {value:g} (behavioral drift; "
+                    "update the baseline if intended)"
+                )
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--experiments",
+        help="comma-separated experiment ids (default: the full registry)",
+    )
+    parser.add_argument("--scale", default="tiny",
+                        choices=("tiny", "small", "paper"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rounds", type=int, default=1,
+                        help="timing rounds per experiment (best-of)")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="fail when wall time exceeds baseline x this")
+    parser.add_argument("--out", type=Path, default=DEFAULT_RESULTS,
+                        help="where to write the bench document")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline to compare against (default: --out)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="record without comparing")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0 (CI smoke mode)")
+    parser.add_argument("--inject-slowdown", type=float, default=1.0,
+                        metavar="FACTOR",
+                        help="multiply measured wall times (self-test hook)")
+    args = parser.parse_args(argv)
+
+    available = REGISTRY.available()
+    if args.experiments:
+        experiments = [e.strip() for e in args.experiments.split(",") if e.strip()]
+        unknown = sorted(set(experiments) - set(available))
+        if unknown:
+            parser.error(f"unknown experiments: {', '.join(unknown)}")
+    else:
+        experiments = list(available)
+
+    baseline_path = args.baseline if args.baseline is not None else args.out
+    baseline = None
+    if not args.update_baseline and baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+
+    print(f"benchmarking {len(experiments)} experiment(s) at scale={args.scale} "
+          f"seed={args.seed} rounds={args.rounds}")
+    current = run_suite(
+        experiments, args.scale, args.seed, args.rounds,
+        slowdown=args.inject_slowdown,
+    )
+
+    exit_code = 0
+    if baseline is None:
+        print("no baseline to compare against; recording only")
+    else:
+        regressions, notes = compare(current, baseline, args.threshold)
+        for note in notes:
+            print(f"note: {note}")
+        if regressions:
+            for regression in regressions:
+                print(f"REGRESSION: {regression}")
+            exit_code = 0 if args.warn_only else 1
+        else:
+            print(f"no regressions vs {baseline_path}")
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

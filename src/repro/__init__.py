@@ -21,10 +21,12 @@ Layer map (bottom-up):
 * ``repro.workflow`` — one-call job runners.
 * ``repro.experiments`` — one module per paper table/figure.
 * ``repro.telemetry`` — metrics registry, live span tracing, run reports.
+* ``repro.diagnostics`` — critical path, stragglers, drift, regret.
 """
 
 from repro.common.types import Allocation, JobResult, PricingPattern, StorageKind
 from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.diagnostics import DiagnosticsReport, RunObservation, diagnose
 from repro.telemetry import (
     MetricsRegistry,
     RunReport,
@@ -48,6 +50,7 @@ __all__ = [
     "AdaptiveScheduler",
     "Allocation",
     "DEFAULT_PLATFORM",
+    "DiagnosticsReport",
     "GreedyHeuristicPlanner",
     "JobResult",
     "MetricsRegistry",
@@ -58,6 +61,7 @@ __all__ = [
     "PlatformConfig",
     "PricingPattern",
     "ProfileResult",
+    "RunObservation",
     "RunReport",
     "SHASpec",
     "StorageKind",
@@ -65,6 +69,7 @@ __all__ = [
     "WORKLOADS",
     "Workload",
     "__version__",
+    "diagnose",
     "run_training",
     "run_tuning",
     "set_registry",

@@ -115,6 +115,41 @@ def fit_compute_constant(
     )
 
 
+def fit_compute_constant_from_epochs(
+    workload: Workload,
+    samples: list[tuple[Allocation, float]],
+    platform: PlatformConfig = DEFAULT_PLATFORM,
+) -> ComputeCalibration | None:
+    """Refit u's base constant from *already executed* epochs.
+
+    The diagnostics drift audit feeds this with (allocation, observed
+    compute seconds) pairs from a finished run, closing the calibration
+    loop without extra measurement runs: ``compute = (D/n) * c / speedup(m)``
+    solved for ``c`` by least squares over the observed epochs.
+
+    Returns ``None`` when no usable samples exist (e.g. every observed
+    compute time is zero, as in a trace without compute spans).
+    """
+    xs, ys = [], []
+    for alloc, compute_s in samples:
+        if compute_s <= 0:
+            continue
+        partition_mb = workload.dataset_mb / alloc.n_functions
+        speed = compute_speedup(workload, alloc.memory_mb, platform)
+        xs.append(partition_mb / speed)
+        ys.append(compute_s)
+    if not xs:
+        return None
+    xs_arr, ys_arr = np.asarray(xs), np.asarray(ys)
+    c = float((xs_arr @ ys_arr) / (xs_arr @ xs_arr))
+    resid = float(
+        np.linalg.norm(ys_arr - c * xs_arr) / max(np.linalg.norm(ys_arr), 1e-12)
+    )
+    return ComputeCalibration(
+        compute_s_per_mb=c, residual_rel=resid, n_samples=len(xs)
+    )
+
+
 def fit_storage_constants(
     workload: Workload,
     kind: StorageKind,

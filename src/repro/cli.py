@@ -7,6 +7,8 @@ Usage examples::
     python -m repro train lr-higgs --budget 2.0 --method ce-scaling
     python -m repro train lr-higgs --telemetry out.json --trace out.trace.json
     python -m repro report out.json
+    python -m repro diagnose lr-higgs --budget 2.0
+    python -m repro diagnose out.json --trace out.trace.json --format json
     python -m repro tune lr-higgs --trials 256 --budget-multiple 1.3
     python -m repro experiment fig09 --scale small
     python -m repro experiments
@@ -123,6 +125,11 @@ def cmd_train(args) -> int:
                 "comm_overhead_s": r.comm_overhead_s,
                 "scheduling_overhead_s": r.scheduling_overhead_s,
                 "storage_cost_usd": r.storage_cost_usd,
+                # Constraint context, so `repro diagnose` on this capture
+                # can re-judge the scheduler's decisions (ex-post regret).
+                "objective": objective.value,
+                "budget_usd": budget,
+                "qos_s": qos,
             }
         )
     print(f"method={args.method}  converged={r.converged}  "
@@ -210,8 +217,81 @@ def cmd_report(args) -> int:
         from repro.telemetry.exporters import payload_to_snapshots, to_prometheus_text
 
         print(to_prometheus_text(payload_to_snapshots(payload["metrics"])), end="")
+    elif args.format == "json":
+        print(RunReport.from_payload(payload).to_json(), end="")
     else:
         print(RunReport.from_payload(payload).render())
+    return 0
+
+
+def _parse_stragglers(values: list[str]) -> dict[int, float]:
+    """Parse repeated ``RANK:FACTOR`` fault-injection flags."""
+    out: dict[int, float] = {}
+    for item in values:
+        rank, _, factor = item.partition(":")
+        try:
+            out[int(rank)] = float(factor)
+        except ValueError:
+            raise SystemExit(f"--straggler expects RANK:FACTOR, got {item!r}")
+    return out
+
+
+def cmd_diagnose(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.diagnostics import RunObservation, diagnose
+    from repro.telemetry import get_registry, set_registry
+    from repro.telemetry.metrics import MetricsRegistry
+
+    target = Path(args.target)
+    candidates = None
+    if target.exists():
+        # Capture mode: a telemetry JSON written by --telemetry, plus
+        # (optionally) the matching Chrome trace for the epoch timeline.
+        payload = from_json_payload(target.read_text())
+        trace = json.loads(Path(args.trace).read_text()) if args.trace else None
+        obs = RunObservation.from_capture(payload, trace)
+    else:
+        # Live mode: run the training job here, then diagnose it in full
+        # fidelity (per-worker timings, restart split, Pareto candidates).
+        w = workload(args.target)
+        profile = profile_workload(w, storage_pin=_parse_storage(args.storage))
+        env = training_envelope(w, profile)
+        if args.qos_multiple is not None:
+            objective = Objective.MIN_COST_GIVEN_QOS
+            budget, qos = None, env.qos(args.qos_multiple)
+        else:
+            objective = Objective.MIN_JCT_GIVEN_BUDGET
+            budget = (
+                args.budget if args.budget is not None
+                else env.budget(args.budget_multiple)
+            )
+            qos = None
+        registry = MetricsRegistry()
+        prev = get_registry()
+        set_registry(registry)
+        try:
+            run = run_training(
+                w, method=args.method, objective=objective, budget_usd=budget,
+                qos_s=qos, seed=args.seed, profile=profile,
+                storage_pin=_parse_storage(args.storage),
+                straggler_factors=_parse_stragglers(args.straggler),
+            )
+        finally:
+            set_registry(prev)
+        obs = RunObservation.from_training_run(run, registry=registry)
+        candidates = run.profile.candidates
+    report = diagnose(
+        obs, candidates=candidates, top_k=args.top_k, z=args.z,
+        drift_threshold=args.drift_threshold,
+    )
+    if args.out:
+        Path(args.out).write_text(report.to_json())
+    if args.format == "json":
+        print(report.to_json(), end="")
+    else:
+        print(report.render())
     return 0
 
 
@@ -283,9 +363,45 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="print the breakdown report for a saved telemetry file"
     )
     p.add_argument("path", help="JSON file written by --telemetry")
-    p.add_argument("--format", default="table", choices=("table", "prometheus"),
-                   help="breakdown tables or Prometheus text exposition")
+    p.add_argument("--format", default="table",
+                   choices=("table", "json", "prometheus"),
+                   help="breakdown tables, versioned JSON, or Prometheus "
+                        "text exposition")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "diagnose",
+        help="critical path, stragglers, model drift, and regret for a run",
+        description="Diagnose a run: TARGET is either a workload name (the "
+                    "job runs here, then gets diagnosed) or a telemetry JSON "
+                    "file saved with --telemetry (pair with --trace for the "
+                    "epoch timeline).",
+    )
+    p.add_argument("target", metavar="TARGET",
+                   help="workload name, or path to a saved telemetry JSON")
+    p.add_argument("--trace", metavar="PATH",
+                   help="Chrome trace saved alongside the telemetry capture")
+    p.add_argument("--method", default="ce-scaling", choices=TRAINING_METHODS)
+    p.add_argument("--budget", type=float, help="absolute budget in USD")
+    p.add_argument("--budget-multiple", type=float, default=2.5)
+    p.add_argument("--qos-multiple", type=float,
+                   help="switch to cost-min with this deadline multiple")
+    p.add_argument("--storage", choices=[s.value for s in StorageKind])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--straggler", action="append", default=[],
+                   metavar="RANK:FACTOR",
+                   help="inject a compute slowdown on one worker rank "
+                        "(repeatable; live mode only)")
+    p.add_argument("--format", default="table", choices=("table", "json"))
+    p.add_argument("--out", metavar="PATH",
+                   help="also write the JSON document to PATH")
+    p.add_argument("--top-k", type=int, default=5,
+                   help="bottleneck spans to report")
+    p.add_argument("--z", type=float, default=4.0,
+                   help="straggler threshold in robust sigmas")
+    p.add_argument("--drift-threshold", type=float, default=0.15,
+                   help="relative residual band for the model-drift audit")
+    p.set_defaults(fn=cmd_diagnose)
 
     p = sub.add_parser("experiment", help="regenerate one paper figure/table")
     p.add_argument("experiment")

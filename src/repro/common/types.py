@@ -75,6 +75,24 @@ class Allocation:
         """Compact human-readable form, e.g. ``10fn/1769MB/s3``."""
         return f"{self.n_functions}fn/{self.memory_mb}MB/{self.storage.value}"
 
+    @classmethod
+    def parse(cls, text: str) -> "Allocation":
+        """Inverse of :meth:`describe` — used to recover θ from trace spans.
+
+        Group labels carry a ``#g<generation>`` suffix; it is ignored.
+        """
+        body = text.split("#", 1)[0]
+        parts = body.split("/")
+        if len(parts) != 3 or not parts[0].endswith("fn") or not parts[1].endswith("MB"):
+            raise ValidationError(f"cannot parse allocation from {text!r}")
+        try:
+            n = int(parts[0][:-2])
+            memory = int(parts[1][:-2])
+            storage = StorageKind(parts[2])
+        except (KeyError, ValueError) as exc:
+            raise ValidationError(f"cannot parse allocation from {text!r}") from exc
+        return cls(n, memory, storage)
+
 
 @dataclass(frozen=True, slots=True)
 class EpochTimeBreakdown:
@@ -123,6 +141,20 @@ class EpochRecord:
     # part of the switch Fig. 8 hides off the critical path. Not included
     # in scheduling_overhead_s, which is the *visible* overhead only.
     hidden_restart_overlap_s: float = 0.0
+    # Critical-path components outside t'(θ): the cold-start window paid by
+    # this epoch's gang (zero when warm) and the wait for account-concurrency
+    # slots. ``time.total_s`` deliberately excludes both so it stays
+    # comparable to the analytical Eq. (2) estimate.
+    cold_start_s: float = 0.0
+    queue_wait_s: float = 0.0
+    # Per-worker body durations (cold start + load + jittered compute), in
+    # rank order — the straggler detector's input.
+    worker_durations_s: tuple[float, ...] = ()
+
+    @property
+    def wall_s(self) -> float:
+        """Critical-path wall time of this epoch (incl. cold start + queue)."""
+        return self.queue_wait_s + self.cold_start_s + self.time.total_s
 
 
 @dataclass(slots=True)

@@ -1,0 +1,189 @@
+"""Ex-post regret: were the scheduler's allocation choices right in hindsight?
+
+Algorithm 2 selects allocations against a *predicted* epoch horizon. Once
+the run is over the true horizon is known, so every decision can be
+re-evaluated: given the epochs that actually remained and the budget (or
+deadline slack) actually left at that point, which Pareto point 𝒫 would
+:func:`~repro.training.adaptive_scheduler.select_best_allocation` have
+picked? The gap between the chosen and hindsight-best point, integrated
+over the epochs the choice governed, is the decision's regret.
+
+Regret here isolates *prediction* error from *selection* error: the same
+selection rule is replayed with perfect information, so any gap is
+attributable to the online predictor's horizon estimate (or to a baseline
+scheduler's cruder policy), not to the greedy selection itself.
+
+Time and cost regret are reported separately; under a single-objective
+constraint one of them can legitimately be negative (e.g. the chosen point
+was slower but cheaper than the hindsight-best under a JCT objective).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConstraintError, InfeasibleAllocationError
+from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.analytical.costmodel import epoch_cost
+from repro.analytical.pareto import ProfiledAllocation
+from repro.analytical.timemodel import epoch_time
+from repro.diagnostics.timeline import RunObservation
+from repro.ml.models import Workload, workload as lookup_workload
+from repro.training.adaptive_scheduler import select_best_allocation
+from repro.tuning.plan import Objective
+
+
+@dataclass(frozen=True, slots=True)
+class RegretPoint:
+    """One scheduling decision, re-judged with the observed horizon."""
+
+    decided_before_epoch: int  # the first epoch the decision governed
+    segment_epochs: int  # how many epochs ran under it
+    remaining_epochs: int  # true remaining horizon at decision time
+    chosen: str
+    hindsight_best: str
+    chosen_epoch_time_s: float
+    best_epoch_time_s: float
+    chosen_epoch_cost_usd: float
+    best_epoch_cost_usd: float
+    time_regret_s: float  # (chosen - best) epoch time × segment length
+    cost_regret_usd: float
+
+    @property
+    def optimal(self) -> bool:
+        return self.chosen == self.hindsight_best
+
+
+@dataclass(frozen=True, slots=True)
+class RegretAudit:
+    """All decision regrets for one run."""
+
+    points: tuple[RegretPoint, ...]
+    objective: Objective
+    total_time_regret_s: float
+    total_cost_regret_usd: float
+    decisions_optimal: int
+    skipped: int  # decisions that could not be re-evaluated
+
+    @property
+    def decisions_total(self) -> int:
+        return len(self.points)
+
+
+def audit_regret(
+    obs: RunObservation,
+    candidates: list[ProfiledAllocation],
+    workload: Workload | str | None = None,
+    platform: PlatformConfig = DEFAULT_PLATFORM,
+) -> RegretAudit:
+    """Re-judge every allocation decision against the observed horizon.
+
+    Decisions are the initial selection plus every epoch where the
+    allocation changed. Each is replayed through the paper's own
+    ``select_best_allocation`` with the *true* remaining epoch count and
+    the budget/deadline slack actually left at that point.
+    """
+    if obs.objective is None:
+        raise ConstraintError("observation carries no objective; cannot audit regret")
+    if not candidates:
+        raise ConstraintError("regret audit needs a non-empty candidate set")
+    if isinstance(workload, str):
+        workload = lookup_workload(workload)
+    elif workload is None and obs.workload_name:
+        workload = lookup_workload(obs.workload_name)
+    epochs = obs.epochs
+    total = len(epochs)
+    by_alloc = {p.allocation: p for p in candidates}
+
+    # Decision boundaries: epoch positions (0-based) whose allocation
+    # differs from the previous epoch's, plus position 0.
+    boundaries = [
+        i
+        for i, e in enumerate(epochs)
+        if i == 0 or e.alloc_label.split("#")[0] != epochs[i - 1].alloc_label.split("#")[0]
+    ]
+    points: list[RegretPoint] = []
+    skipped = 0
+    time_total = cost_total = 0.0
+    optimal = 0
+    for b_idx, start in enumerate(boundaries):
+        end = boundaries[b_idx + 1] if b_idx + 1 < len(boundaries) else total
+        segment = end - start
+        remaining = total - start
+        spent = sum(e.cost_usd or 0.0 for e in epochs[:start])
+        elapsed = sum(e.wall_s for e in epochs[:start])
+        budget_rem = (
+            max(0.0, obs.budget_usd - spent) if obs.budget_usd is not None else None
+        )
+        qos_rem = max(0.0, obs.qos_s - elapsed) if obs.qos_s is not None else None
+        chosen_point = _resolve_point(
+            epochs[start].allocation, by_alloc, workload, platform
+        )
+        if chosen_point is None:
+            skipped += 1
+            continue
+        try:
+            best = select_best_allocation(
+                candidates,
+                obs.objective,
+                float(remaining),
+                budget_usd=budget_rem,
+                qos_s=qos_rem,
+            )
+        except ConstraintError:
+            skipped += 1
+            continue
+        time_regret = segment * (chosen_point.time_s - best.time_s)
+        cost_regret = segment * (chosen_point.cost_usd - best.cost_usd)
+        point = RegretPoint(
+            decided_before_epoch=epochs[start].index,
+            segment_epochs=segment,
+            remaining_epochs=remaining,
+            chosen=chosen_point.allocation.describe(),
+            hindsight_best=best.allocation.describe(),
+            chosen_epoch_time_s=chosen_point.time_s,
+            best_epoch_time_s=best.time_s,
+            chosen_epoch_cost_usd=chosen_point.cost_usd,
+            best_epoch_cost_usd=best.cost_usd,
+            time_regret_s=time_regret,
+            cost_regret_usd=cost_regret,
+        )
+        points.append(point)
+        time_total += time_regret
+        cost_total += cost_regret
+        if point.optimal:
+            optimal += 1
+    return RegretAudit(
+        points=tuple(points),
+        objective=obs.objective,
+        total_time_regret_s=time_total,
+        total_cost_regret_usd=cost_total,
+        decisions_optimal=optimal,
+        skipped=skipped,
+    )
+
+
+def _resolve_point(
+    allocation,
+    by_alloc: dict,
+    workload: Workload | None,
+    platform: PlatformConfig,
+) -> ProfiledAllocation | None:
+    """The chosen allocation as a profiled point, on the candidates' basis.
+
+    Prefers the exact candidate (identical analytical estimates); falls
+    back to evaluating Eq. (2)/(4) directly when the chosen θ is not on
+    the audited front (e.g. a baseline's storage-pinned pick).
+    """
+    if allocation is None:
+        return None
+    if allocation in by_alloc:
+        return by_alloc[allocation]
+    if workload is None:
+        return None
+    try:
+        t = epoch_time(workload, allocation, platform)
+        c = epoch_cost(workload, allocation, platform=platform)
+    except InfeasibleAllocationError:
+        return None
+    return ProfiledAllocation(allocation=allocation, time=t, cost=c)

@@ -1,0 +1,334 @@
+"""Normalized run observations — the diagnostics engine's input.
+
+Every analysis in this package consumes one :class:`RunObservation`: a
+per-epoch timeline plus the run's constraint context. Observations are
+built from either
+
+* a **live run** (:meth:`RunObservation.from_training_run`) — full
+  fidelity, straight from the executor's :class:`EpochRecord`s; or
+* a **saved capture** (:meth:`RunObservation.from_capture`) — the JSON
+  telemetry document written by ``--telemetry`` plus, optionally, the
+  Chrome trace written by ``--trace``, from which the epoch timeline is
+  reconstructed span by span.
+
+Reconstruction reads the executor's ``epoch`` spans (track ``epochs``) as
+windows and assigns the platform's load/compute/sync/cold/queue/worker
+spans to them by containment; scheduler spans attach via their ``epoch``
+argument. A trace produced by the post-hoc ``trace_epochs`` reconstruction
+(no ``epochs`` track) degrades gracefully to its load/compute/sync spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ValidationError
+from repro.common.types import Allocation, EpochRecord
+from repro.tuning.plan import Objective
+
+
+@dataclass(frozen=True, slots=True)
+class EpochObservation:
+    """One executed epoch, as seen by the diagnostics engine."""
+
+    index: int
+    alloc_label: str
+    allocation: Allocation | None
+    load_s: float
+    compute_s: float
+    sync_s: float
+    cold_start_s: float
+    queue_wait_s: float
+    wall_s: float
+    loss: float | None = None
+    cost_usd: float | None = None
+    scheduling_overhead_s: float = 0.0
+    hidden_restart_overlap_s: float = 0.0
+    restarted: bool = False
+    worker_durations_s: tuple[float, ...] = ()
+
+    @property
+    def model_time_s(self) -> float:
+        """The part of the epoch the analytical t'(θ) models (no cold/queue)."""
+        return self.load_s + self.compute_s + self.sync_s
+
+
+@dataclass
+class RunObservation:
+    """A full run: epoch timeline + constraint context + overhead totals."""
+
+    epochs: list[EpochObservation]
+    jct_s: float
+    cost_usd: float | None = None
+    meta: dict = field(default_factory=dict)
+    workload_name: str | None = None
+    objective: Objective | None = None
+    budget_usd: float | None = None
+    qos_s: float | None = None
+    scheduling_overhead_s: float = 0.0
+    hidden_restart_s: float = 0.0
+    visible_restart_s: float | None = None
+    n_restarts: int = 0
+    converged: bool | None = None
+
+    # ------------------------------------------------------------------ builders
+    @classmethod
+    def from_training_run(cls, run, registry=None) -> "RunObservation":
+        """Full-fidelity observation from a live :class:`TrainingRun`.
+
+        ``registry`` (a :class:`MetricsRegistry` that was installed while
+        the run executed) supplies the hidden/visible restart split; without
+        it the hidden side still comes from the epoch records.
+        """
+        result = run.result
+        epochs = [_epoch_from_record(r) for r in result.epochs]
+        hidden = sum(r.hidden_restart_overlap_s for r in result.epochs)
+        visible = _counter_value(registry, "repro_scheduler_restart_visible_seconds_total")
+        w = getattr(run, "workload", None)
+        return cls(
+            epochs=epochs,
+            jct_s=result.jct_s,
+            cost_usd=result.cost_usd,
+            meta={
+                "method": run.method,
+                "workload": w.name if w is not None else "",
+                "seed": getattr(run, "seed", 0),
+            },
+            workload_name=w.name if w is not None else None,
+            objective=getattr(run, "objective", None),
+            budget_usd=getattr(run, "budget_usd", None),
+            qos_s=getattr(run, "qos_s", None),
+            scheduling_overhead_s=result.scheduling_overhead_s,
+            hidden_restart_s=hidden,
+            visible_restart_s=visible,
+            n_restarts=result.n_restarts,
+            converged=result.converged,
+        )
+
+    @classmethod
+    def from_capture(
+        cls, telemetry: dict, trace: dict | None = None
+    ) -> "RunObservation":
+        """Observation from a saved telemetry JSON (+ optional Chrome trace)."""
+        run = dict(telemetry.get("run", {}))
+        meta = dict(telemetry.get("meta", {}))
+        metrics = _metric_totals(telemetry.get("metrics", []))
+        epochs: list[EpochObservation] = []
+        if trace is not None:
+            epochs = _epochs_from_trace(trace)
+        objective = None
+        if run.get("objective"):
+            objective = Objective(run["objective"])
+        jct = float(run.get("jct_s", 0.0))
+        if jct == 0.0 and epochs:
+            jct = sum(e.wall_s + e.scheduling_overhead_s for e in epochs)
+        return cls(
+            epochs=epochs,
+            jct_s=jct,
+            cost_usd=run.get("cost_usd"),
+            meta=meta,
+            workload_name=meta.get("workload") or None,
+            objective=objective,
+            budget_usd=run.get("budget_usd"),
+            qos_s=run.get("qos_s"),
+            scheduling_overhead_s=float(run.get("scheduling_overhead_s", 0.0)),
+            hidden_restart_s=metrics.get(
+                "repro_scheduler_restart_hidden_seconds_total", 0.0
+            ),
+            visible_restart_s=metrics.get(
+                "repro_scheduler_restart_visible_seconds_total"
+            ),
+            n_restarts=int(run.get("n_restarts", 0)),
+            converged=run.get("converged"),
+        )
+
+
+# --------------------------------------------------------------------------- helpers
+def _epoch_from_record(r: EpochRecord) -> EpochObservation:
+    return EpochObservation(
+        index=r.index,
+        alloc_label=r.allocation.describe(),
+        allocation=r.allocation,
+        load_s=r.time.load_s,
+        compute_s=r.time.compute_s,
+        sync_s=r.time.sync_s,
+        cold_start_s=r.cold_start_s,
+        queue_wait_s=r.queue_wait_s,
+        wall_s=r.wall_s,
+        loss=r.loss,
+        cost_usd=r.cost.total_usd,
+        scheduling_overhead_s=r.scheduling_overhead_s,
+        hidden_restart_overlap_s=r.hidden_restart_overlap_s,
+        restarted=r.restarted,
+        worker_durations_s=tuple(r.worker_durations_s),
+    )
+
+
+def _counter_value(registry, name: str) -> float | None:
+    if registry is None:
+        return None
+    metric = registry.get(name)
+    if metric is None:
+        return None
+    return float(metric.value)
+
+
+def _metric_totals(metrics: list[dict]) -> dict[str, float]:
+    """Summed sample values per family from a telemetry JSON payload."""
+    out: dict[str, float] = {}
+    for entry in metrics:
+        if entry.get("type") == "histogram":
+            total = sum(float(s.get("sum", 0.0)) for s in entry.get("samples", []))
+        else:
+            total = sum(float(s.get("value", 0.0)) for s in entry.get("samples", []))
+        out[entry["name"]] = total
+    return out
+
+
+def _chrome_spans(trace: dict) -> list[dict]:
+    """Normalize Chrome trace events to second-based span dicts."""
+    events = trace.get("traceEvents", [])
+    tracks = {
+        e["tid"]: e["args"]["name"]
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "thread_name"
+    }
+    spans = []
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        spans.append(
+            {
+                "name": e.get("name", ""),
+                "cat": e.get("cat", ""),
+                "start_s": float(e.get("ts", 0.0)) / 1e6,
+                "duration_s": float(e.get("dur", 0.0)) / 1e6,
+                "track": tracks.get(e.get("tid"), str(e.get("tid"))),
+                "args": dict(e.get("args", {})),
+            }
+        )
+    spans.sort(key=lambda s: (s["start_s"], s["track"], s["name"]))
+    return spans
+
+
+def _parse_alloc(label: str) -> Allocation | None:
+    try:
+        return Allocation.parse(label)
+    except ValidationError:
+        return None
+
+
+def _epochs_from_trace(trace: dict) -> list[EpochObservation]:
+    spans = _chrome_spans(trace)
+    windows = [s for s in spans if s["cat"] == "epoch"]
+    if windows:
+        return _epochs_from_windows(spans, windows)
+    return _epochs_from_args(spans)
+
+
+def _epochs_from_windows(
+    spans: list[dict], windows: list[dict]
+) -> list[EpochObservation]:
+    """Reconstruct epochs from executor ``epoch`` spans + contained spans."""
+    sched = _scheduling_by_epoch(spans)
+    out: list[EpochObservation] = []
+    eps = 1e-9
+    for w in sorted(windows, key=lambda s: s["start_s"]):
+        idx = int(w["args"].get("epoch", len(out) + 1))
+        t0, t1 = w["start_s"], w["start_s"] + w["duration_s"]
+        inside = [
+            s
+            for s in spans
+            if s["cat"] in ("load", "compute", "sync", "cold", "queue", "worker")
+            and t0 - eps <= s["start_s"] < t1 - eps
+        ]
+        by_cat: dict[str, float] = {}
+        for s in inside:
+            by_cat[s["cat"]] = by_cat.get(s["cat"], 0.0) + s["duration_s"]
+        workers = sorted(
+            (s for s in inside if s["cat"] == "worker"),
+            key=lambda s: int(s["args"].get("rank", 0)),
+        )
+        label = str(w["args"].get("allocation", ""))
+        visible_s, hidden_s, restarted = sched.get(idx, (0.0, 0.0, False))
+        out.append(
+            EpochObservation(
+                index=idx,
+                alloc_label=label,
+                allocation=_parse_alloc(label) if label else None,
+                load_s=by_cat.get("load", 0.0),
+                compute_s=by_cat.get("compute", 0.0),
+                sync_s=by_cat.get("sync", 0.0),
+                cold_start_s=by_cat.get("cold", 0.0),
+                queue_wait_s=by_cat.get("queue", 0.0),
+                wall_s=w["duration_s"],
+                loss=_maybe_float(w["args"].get("loss")),
+                cost_usd=_maybe_float(w["args"].get("cost_usd")),
+                scheduling_overhead_s=visible_s,
+                hidden_restart_overlap_s=hidden_s,
+                restarted=restarted,
+                worker_durations_s=tuple(s["duration_s"] for s in workers),
+            )
+        )
+    return out
+
+
+def _epochs_from_args(spans: list[dict]) -> list[EpochObservation]:
+    """Fallback for post-hoc traces: group load/compute/sync by epoch arg."""
+    per_epoch: dict[int, dict] = {}
+    for s in spans:
+        if s["cat"] not in ("load", "compute", "sync"):
+            continue
+        if "epoch" not in s["args"]:
+            continue
+        idx = int(s["args"]["epoch"])
+        entry = per_epoch.setdefault(
+            idx, {"load": 0.0, "compute": 0.0, "sync": 0.0, "track": s["track"]}
+        )
+        entry[s["cat"]] += s["duration_s"]
+    sched = _scheduling_by_epoch(spans)
+    out = []
+    for idx in sorted(per_epoch):
+        e = per_epoch[idx]
+        label = e["track"].removeprefix("group:")
+        visible_s, hidden_s, restarted = sched.get(idx, (0.0, 0.0, False))
+        out.append(
+            EpochObservation(
+                index=idx,
+                alloc_label=label,
+                allocation=_parse_alloc(label),
+                load_s=e["load"],
+                compute_s=e["compute"],
+                sync_s=e["sync"],
+                cold_start_s=0.0,
+                queue_wait_s=0.0,
+                wall_s=e["load"] + e["compute"] + e["sync"],
+                scheduling_overhead_s=visible_s,
+                hidden_restart_overlap_s=hidden_s,
+                restarted=restarted,
+            )
+        )
+    return out
+
+
+def _scheduling_by_epoch(spans: list[dict]) -> dict[int, tuple[float, float, bool]]:
+    """epoch -> (visible scheduling s, hidden overlap s, restarted) from
+    scheduler-track spans, keyed by their ``epoch`` argument."""
+    out: dict[int, tuple[float, float, bool]] = {}
+    for s in spans:
+        if s["cat"] != "scheduling" or "epoch" not in s["args"]:
+            continue
+        idx = int(s["args"]["epoch"])
+        visible, hidden, restarted = out.get(idx, (0.0, 0.0, False))
+        if s["args"].get("hidden"):
+            hidden += s["duration_s"]
+        else:
+            visible += s["duration_s"]
+            if s["name"] == "restart":
+                restarted = True
+        out[idx] = (visible, hidden, restarted)
+    return out
+
+
+def _maybe_float(value) -> float | None:
+    return None if value is None else float(value)

@@ -58,6 +58,11 @@ class InvocationResult:
     cold_starts: int
     queue_wait_s: float
     billed_usd: float
+    # Per-worker body durations (cold start + load + jittered compute) in
+    # rank order; the barrier makes max(worker_durations_s) the gang's
+    # effective load+compute window. Feeds the straggler diagnostics.
+    worker_durations_s: tuple[float, ...] = ()
+    cold_start_s: float = 0.0
 
 
 @dataclass
@@ -68,6 +73,11 @@ class FaaSPlatform:
     seed: int = 0
 
     warm_ttl_s: float = 900.0
+    # Fault seeding: rank -> multiplicative compute slowdown, applied on top
+    # of the noise model. Empty by default, so normal runs are untouched; a
+    # test (or a chaos experiment) injects {2: 5.0} to make worker 2 a 5x
+    # straggler that the diagnostics layer must flag.
+    straggler_factors: dict[int, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.sim = Simulator()
@@ -146,19 +156,24 @@ class FaaSPlatform:
             else 0.0
         )
         compute_factors = noise.compute_factors(spec.n_functions)
+        for rank, factor in self.straggler_factors.items():
+            if 0 <= rank < spec.n_functions:
+                compute_factors[rank] *= factor
         load_factor = noise.network_factor()
         sync_factor = noise.network_factor()
 
         waits: list[float] = []
-        durations: list[float] = []
+        starts = [0.0] * spec.n_functions
+        durations = [0.0] * spec.n_functions
 
         def function_proc(rank: int):
             body_start = sim.now
+            starts[rank] = body_start
             if rank >= n_warm:  # the cold subset pays the cold start
                 yield cold_s
             yield spec.load_s * load_factor
             yield spec.compute_s * float(compute_factors[rank])
-            durations.append(sim.now - body_start)
+            durations[rank] = sim.now - body_start
 
         outcome: dict[str, float] = {}
 
@@ -228,10 +243,17 @@ class FaaSPlatform:
                 barrier=True,
             )
             tracer.span("sync", "sync", outcome["barrier_at"], sync_s, track)
+            for rank in range(spec.n_functions):
+                tracer.span(
+                    f"worker-{rank}", "worker", starts[rank], durations[rank],
+                    track, rank=rank, cold=rank >= n_warm,
+                )
         return InvocationResult(
             wall_time_s=wall,
             time=measured,
             cold_starts=n_cold,
-            queue_wait_s=max(waits) if waits else 0.0,
+            queue_wait_s=queue_wait,
             billed_usd=billed,
+            worker_durations_s=tuple(durations),
+            cold_start_s=cold_s,
         )

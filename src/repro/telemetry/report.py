@@ -9,10 +9,13 @@ saved JSON capture (the ``repro report`` subcommand).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.telemetry.exporters import payload_to_snapshots
 from repro.telemetry.metrics import MetricSnapshot
+
+JSON_SCHEMA = "repro-report/v1"
 
 
 def _scalar(snapshots: dict[str, MetricSnapshot], name: str) -> float:
@@ -99,8 +102,15 @@ class RunReport:
         def cpct(x: float) -> float | None:
             return x / total_cost if total_cost > 0 else None
 
+        # Cost components come from the observed labels of the billing
+        # counter, so a capture from a build with extra components (e.g. a
+        # future egress charge) reports them instead of dropping them. The
+        # canonical Eq. (4) components always appear, even at zero, to keep
+        # reports comparable across runs.
+        canonical = ("invocation", "compute", "storage")
+        components = list(canonical) + sorted(set(billed) - set(canonical))
         cost_rows = [BreakdownRow("total cost", total_cost, None, "USD")]
-        for component in ("invocation", "compute", "storage"):
+        for component in components:
             usd = billed.get(component, 0.0)
             cost_rows.append(
                 BreakdownRow(f"{component} cost", usd, cpct(usd), "USD")
@@ -159,6 +169,33 @@ class RunReport:
             run=payload.get("run", {}),
             meta=payload.get("meta", {}),
         )
+
+    # ------------------------------------------------------------------ export
+    def to_payload(self) -> dict:
+        """The report as a versioned, JSON-serializable document."""
+
+        def rows(items: list[BreakdownRow]) -> list[dict]:
+            return [
+                {
+                    "label": r.label,
+                    "value": r.value,
+                    "share": r.share,
+                    "unit": r.unit,
+                }
+                for r in items
+            ]
+
+        return {
+            "schema": JSON_SCHEMA,
+            "meta": dict(sorted(self.meta.items())),
+            "run": dict(sorted(self.run.items())),
+            "time": rows(self.time_rows),
+            "cost": rows(self.cost_rows),
+            "activity": rows(self.activity_rows),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
 
     # ------------------------------------------------------------------ rendering
     def render(self) -> str:

@@ -61,6 +61,9 @@ class NullTracer:
     """The default tracer: drops everything."""
 
     offset_s = 0.0
+    # The empty Chrome trace is a constant; build it once per process
+    # instead of allocating a TraceRecorder on every call.
+    _empty_trace: str | None = None
 
     @property
     def enabled(self) -> bool:
@@ -76,6 +79,8 @@ class NullTracer:
         return sim_now_s
 
     def to_chrome_trace(self) -> str:
-        from repro.faas.trace import TraceRecorder
+        if NullTracer._empty_trace is None:
+            from repro.faas.trace import TraceRecorder
 
-        return TraceRecorder().to_chrome_trace()
+            NullTracer._empty_trace = TraceRecorder().to_chrome_trace()
+        return NullTracer._empty_trace

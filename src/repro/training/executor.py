@@ -146,6 +146,8 @@ class TrainingExecutor:
     platform_config: PlatformConfig = field(default_factory=lambda: DEFAULT_PLATFORM)
     restart_planner: DelayedRestartPlanner | None = None
     budget_overrun_tolerance: float = 1.5
+    # Fault seeding forwarded to the platform: rank -> compute slowdown.
+    straggler_factors: dict[int, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.restart_planner is None:
@@ -155,7 +157,11 @@ class TrainingExecutor:
         """Run to convergence (or cap/budget exhaustion); returns the result."""
         spec = self.spec
         w = spec.workload
-        platform = FaaSPlatform(platform=self.platform_config, seed=spec.seed)
+        platform = FaaSPlatform(
+            platform=self.platform_config,
+            seed=spec.seed,
+            straggler_factors=self.straggler_factors,
+        )
         provider = spec.make_loss_provider()
         registry = get_registry()
         tracer = get_tracer()
@@ -227,6 +233,9 @@ class TrainingExecutor:
                         storage_usd=stor_usd,
                     ),
                     loss=loss,
+                    cold_start_s=result.cold_start_s,
+                    queue_wait_s=result.queue_wait_s,
+                    worker_durations_s=result.worker_durations_s,
                 )
             )
             if loss <= w.target_loss:

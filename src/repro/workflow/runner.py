@@ -65,6 +65,14 @@ class TrainingRun:
     result: JobResult
     profile: ProfileResult
     scheduler: object
+    # Constraint context, carried so downstream analysis (the diagnostics
+    # engine's ex-post regret audit) can re-evaluate decisions without
+    # re-deriving what the job was asked to optimize.
+    workload: Workload | None = None
+    objective: Objective | None = None
+    budget_usd: float | None = None
+    qos_s: float | None = None
+    seed: int = 0
 
 
 def make_training_scheduler(
@@ -128,6 +136,7 @@ def run_training(
     max_epochs: int = 400,
     use_real_sgd: bool = False,
     profile: ProfileResult | None = None,
+    straggler_factors: dict[int, float] | None = None,
 ) -> TrainingRun:
     """Run one model-training job end to end.
 
@@ -160,9 +169,12 @@ def run_training(
         scheduler=scheduler,
         platform_config=platform,
         restart_planner=DelayedRestartPlanner(platform=platform, enabled=delayed_restart),
+        straggler_factors=dict(straggler_factors or {}),
     )
     return TrainingRun(
-        method=method, result=executor.run(), profile=profile, scheduler=scheduler
+        method=method, result=executor.run(), profile=profile, scheduler=scheduler,
+        workload=w, objective=objective, budget_usd=budget_usd, qos_s=qos_s,
+        seed=seed,
     )
 
 

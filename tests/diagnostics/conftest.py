@@ -1,0 +1,18 @@
+"""Diagnostics-test fixtures: one shared training run, diagnosed many ways."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workflow.runner import run_training
+from repro.diagnostics import RunObservation
+
+
+@pytest.fixture(scope="session")
+def lr_run(lr_higgs, lr_profile):
+    return run_training(lr_higgs, budget_usd=2.0, seed=0, profile=lr_profile)
+
+
+@pytest.fixture(scope="session")
+def lr_obs(lr_run) -> RunObservation:
+    return RunObservation.from_training_run(lr_run)

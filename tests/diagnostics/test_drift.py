@@ -1,0 +1,84 @@
+"""Model-drift audit: Fig. 19/20 as a reusable check."""
+
+import dataclasses
+
+import pytest
+
+from repro.diagnostics import audit_model_drift
+
+
+class TestCalibratedRun:
+    def test_residuals_within_paper_bands(self, lr_obs):
+        """Acceptance: on a calibrated simulator the aggregate residuals sit
+        at the paper's Fig. 19/20 validation-error level (single digits)."""
+        audit = audit_model_drift(lr_obs)
+        assert audit.points
+        assert audit.aggregate_time_residual < 0.10
+        assert audit.aggregate_cost_residual < 0.10
+        assert not audit.drifting
+        assert audit.refit_compute_s_per_mb is None
+
+    def test_per_epoch_residuals_positive_and_bounded(self, lr_obs):
+        audit = audit_model_drift(lr_obs)
+        assert 0.0 < audit.mean_time_residual < 0.5
+        assert audit.max_time_residual >= audit.mean_time_residual
+
+    def test_workload_resolved_from_observation(self, lr_obs):
+        """The observation's metadata names the workload; no explicit arg."""
+        a = audit_model_drift(lr_obs)
+        b = audit_model_drift(lr_obs, workload="lr-higgs")
+        assert a.aggregate_time_residual == b.aggregate_time_residual
+
+
+class TestDriftingRun:
+    @pytest.fixture(scope="class")
+    def drifted_obs(self, lr_obs):
+        """An observation whose measured compute is 2x the model's view —
+        the situation after a platform slowdown the constants don't know."""
+        epochs = [
+            dataclasses.replace(
+                e,
+                compute_s=e.compute_s * 2.0,
+                wall_s=e.wall_s + e.compute_s,
+            )
+            for e in lr_obs.epochs
+        ]
+        return dataclasses.replace(
+            lr_obs, epochs=epochs, jct_s=lr_obs.jct_s + sum(
+                e.compute_s for e in lr_obs.epochs
+            )
+        )
+
+    def test_systematic_drift_flagged(self, drifted_obs):
+        audit = audit_model_drift(drifted_obs)
+        assert audit.drifting
+        assert audit.aggregate_time_residual > 0.15
+        assert audit.flagged
+
+    def test_refit_recovers_true_constant(self, drifted_obs, lr_higgs):
+        """The recalibration hook must land near the doubled constant."""
+        audit = audit_model_drift(drifted_obs)
+        configured = lr_higgs.profile.compute_s_per_mb
+        assert audit.configured_compute_s_per_mb == pytest.approx(configured)
+        assert audit.refit_compute_s_per_mb == pytest.approx(
+            2.0 * configured, rel=0.1
+        )
+
+    def test_threshold_tunable(self, drifted_obs):
+        assert not audit_model_drift(drifted_obs, threshold=10.0).drifting
+
+
+class TestEdgeCases:
+    def test_unknown_workload_raises(self, lr_obs):
+        obs = dataclasses.replace(lr_obs, workload_name=None, meta={})
+        with pytest.raises(ValueError):
+            audit_model_drift(obs)
+
+    def test_unparseable_allocations_skipped(self, lr_obs):
+        epochs = [
+            dataclasses.replace(e, allocation=None) for e in lr_obs.epochs
+        ]
+        obs = dataclasses.replace(lr_obs, epochs=epochs)
+        audit = audit_model_drift(obs)
+        assert audit.points == ()
+        assert audit.skipped_epochs == len(lr_obs.epochs)

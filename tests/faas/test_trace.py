@@ -86,9 +86,85 @@ class TestChromeTraceExport:
         assert names == {e.track for e in rec.events}
 
 
+class TestDeterministicOrdering:
+    def test_equal_starts_tie_broken_by_track(self):
+        rec = TraceRecorder()
+        rec.record("on-b", "c", 1.0, 1.0, "track-b")
+        rec.record("on-a", "c", 1.0, 1.0, "track-a")
+        rec.record("first", "c", 0.0, 1.0, "track-z")
+        assert [e.name for e in rec.spans()] == ["first", "on-a", "on-b"]
+
+    def test_same_start_same_track_keeps_insertion_order(self):
+        """The (start, track) sort is stable: zero-duration markers recorded
+        back-to-back must not swap between exports."""
+        rec = TraceRecorder()
+        for name in ("one", "two", "three"):
+            rec.record(name, "c", 2.0, 0.0, "track")
+        assert [e.name for e in rec.spans()] == ["one", "two", "three"]
+        spans = [
+            e
+            for e in json.loads(rec.to_chrome_trace())["traceEvents"]
+            if e["ph"] == "X"
+        ]
+        assert [e["name"] for e in spans] == ["one", "two", "three"]
+
+    def test_export_independent_of_record_order(self):
+        """Two recorders fed the same spans in different orders export the
+        identical Chrome trace document."""
+        spans = [
+            ("load", "load", 0.0, 1.0, "group:a"),
+            ("compute", "compute", 1.0, 4.0, "group:a"),
+            ("restart", "scheduling", 5.0, 0.5, "scheduler"),
+        ]
+        fwd, rev = TraceRecorder(), TraceRecorder()
+        for s in spans:
+            fwd.record(*s)
+        for s in reversed(spans):
+            rev.record(*s)
+        assert fwd.to_chrome_trace() == rev.to_chrome_trace()
+
+    def test_null_tracer_empty_trace_cached(self):
+        from repro.telemetry.spans import NullTracer
+
+        a, b = NullTracer(), NullTracer()
+        assert a.to_chrome_trace() is b.to_chrome_trace()
+        assert json.loads(a.to_chrome_trace()) == {"traceEvents": []}
+
+
+class TestWorkerSpanRoundTrip:
+    def test_worker_durations_survive_chrome_export(self):
+        """Per-worker spans written by the platform round-trip through the
+        Chrome JSON: parsed back, they match the InvocationResult exactly."""
+        from repro.config import DEFAULT_PLATFORM
+        from repro.diagnostics.timeline import _chrome_spans
+        from repro.faas.platform import EpochExecution, FaaSPlatform
+        from repro.telemetry import get_tracer, set_tracer
+        from repro.telemetry.spans import Tracer
+
+        prev = get_tracer()
+        set_tracer(Tracer())
+        try:
+            platform = FaaSPlatform(platform=DEFAULT_PLATFORM, seed=0)
+            result = platform.execute_epoch(
+                EpochExecution(
+                    group="8fn/1769MB/s3#g0", n_functions=8, memory_mb=1769,
+                    load_s=1.0, compute_s=5.0, sync_s=0.5,
+                )
+            )
+            trace = json.loads(platform.tracer.to_chrome_trace())
+        finally:
+            set_tracer(prev)
+        workers = [s for s in _chrome_spans(trace) if s["cat"] == "worker"]
+        workers.sort(key=lambda s: int(s["args"]["rank"]))
+        assert [int(s["args"]["rank"]) for s in workers] == list(range(8))
+        for span, duration in zip(workers, result.worker_durations_s):
+            assert span["duration_s"] == pytest.approx(duration, abs=1e-9)
+        # The first epoch of a fresh group is all cold starts.
+        assert all(s["args"]["cold"] for s in workers)
+
+
 class TestTraceEpochs:
     def test_training_run_traced(self, mobilenet, mobilenet_profile):
-        from repro.tuning.plan import Objective
         from repro.workflow.job import training_envelope
         from repro.workflow.runner import run_training
 

@@ -29,6 +29,7 @@ def _load(name: str):
         "bohb_tuning",
         "full_workflow",
         "telemetry_capture",
+        "diagnose_run",
     ],
 )
 def test_example_runs(name, capsys):

@@ -1,0 +1,136 @@
+"""The benchmark harness: record, compare, fail on a synthetic slowdown."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def harness():
+    """benchmarks/regression.py loaded by path (it is not a package)."""
+    spec = importlib.util.spec_from_file_location(
+        "regression_harness", REPO_ROOT / "benchmarks" / "regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRecord:
+    def test_records_schema_and_counters(self, harness, tmp_path):
+        out = tmp_path / "bench.json"
+        code = harness.main(["--experiments", "fig03", "--out", str(out)])
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == harness.JSON_SCHEMA
+        assert doc["scale"] == "tiny" and doc["seed"] == 0
+        entry = doc["experiments"]["fig03"]
+        assert entry["wall_s"] > 0.0
+        assert set(entry["counters"]) <= set(harness.TRACKED_COUNTERS)
+
+    def test_unknown_experiment_rejected(self, harness, tmp_path):
+        with pytest.raises(SystemExit):
+            harness.main(
+                ["--experiments", "no-such-figure",
+                 "--out", str(tmp_path / "b.json")]
+            )
+
+
+class TestCompare:
+    @pytest.fixture(scope="class")
+    def baseline(self, harness, tmp_path_factory):
+        """A real fig03 record whose baseline wall time is inflated past
+        MIN_COMPARABLE_WALL_S so timing comparison is actually armed."""
+        out = tmp_path_factory.mktemp("bench") / "bench.json"
+        assert harness.main(["--experiments", "fig03", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        doc["experiments"]["fig03"]["wall_s"] = max(
+            doc["experiments"]["fig03"]["wall_s"], 2 * harness.MIN_COMPARABLE_WALL_S
+        )
+        out.write_text(json.dumps(doc))
+        return out
+
+    def _run(self, harness, baseline, tmp_path, *extra):
+        return harness.main(
+            ["--experiments", "fig03", "--out", str(tmp_path / "new.json"),
+             "--baseline", str(baseline), *extra]
+        )
+
+    def test_clean_run_passes(self, harness, baseline, tmp_path):
+        assert self._run(harness, baseline, tmp_path) == 0
+
+    def test_synthetic_slowdown_fails(self, harness, baseline, tmp_path):
+        """Acceptance: an injected 2x+ slowdown must exit non-zero."""
+        code = self._run(
+            harness, baseline, tmp_path, "--inject-slowdown", "50.0"
+        )
+        assert code == 1
+
+    def test_warn_only_downgrades_to_exit_zero(self, harness, baseline,
+                                               tmp_path):
+        code = self._run(
+            harness, baseline, tmp_path, "--inject-slowdown", "50.0",
+            "--warn-only",
+        )
+        assert code == 0
+
+    def test_update_baseline_skips_compare(self, harness, baseline, tmp_path):
+        code = self._run(
+            harness, baseline, tmp_path, "--inject-slowdown", "50.0",
+            "--update-baseline",
+        )
+        assert code == 0
+
+    def test_sub_noise_baselines_never_compared(self, harness):
+        current = {
+            "scale": "tiny", "seed": 0,
+            "experiments": {"x": {"wall_s": 1.0, "counters": {}}},
+        }
+        base = {
+            "scale": "tiny", "seed": 0,
+            "experiments": {"x": {"wall_s": 0.01, "counters": {}}},
+        }
+        regressions, _ = harness.compare(current, base, threshold=1.5)
+        assert regressions == []
+
+    def test_counter_drift_is_note_not_regression(self, harness):
+        current = {
+            "scale": "tiny", "seed": 0,
+            "experiments": {"x": {"wall_s": 1.0, "counters": {"c": 5.0}}},
+        }
+        base = {
+            "scale": "tiny", "seed": 0,
+            "experiments": {"x": {"wall_s": 1.0, "counters": {"c": 4.0}}},
+        }
+        regressions, notes = harness.compare(current, base, threshold=1.5)
+        assert regressions == []
+        assert any("behavioral drift" in n for n in notes)
+
+    def test_scale_mismatch_skips_compare(self, harness):
+        current = {
+            "scale": "tiny", "seed": 0,
+            "experiments": {"x": {"wall_s": 100.0, "counters": {}}},
+        }
+        base = {
+            "scale": "paper", "seed": 0,
+            "experiments": {"x": {"wall_s": 0.1, "counters": {}}},
+        }
+        regressions, notes = harness.compare(current, base, threshold=1.5)
+        assert regressions == []
+        assert any("skipping compare" in n for n in notes)
+
+
+class TestCommittedBaseline:
+    def test_baseline_covers_full_registry(self, harness):
+        """Acceptance: bench.json holds a record for every experiment."""
+        doc = json.loads(harness.DEFAULT_RESULTS.read_text())
+        assert doc["schema"] == harness.JSON_SCHEMA
+        assert set(doc["experiments"]) == set(
+            harness.REGISTRY.available()
+        )
