@@ -1,0 +1,56 @@
+"""Import-alias resolution shared by the AST rules.
+
+Rules need to know what a call like ``_time.perf_counter()`` or
+``nprand.shuffle(...)`` actually refers to. :class:`ImportMap` records the
+module-level (and function-level) import statements of one file and
+resolves attribute chains and bare names back to fully-qualified dotted
+names — ``_time.perf_counter`` -> ``time.perf_counter``,
+``shuffle`` -> ``random.shuffle`` after ``from random import shuffle``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+class ImportMap:
+    """Alias table built from every import statement in a module."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        #: local name -> dotted module path ("np" -> "numpy")
+        self.modules: dict[str, str] = {}
+        #: local name -> dotted object path ("shuffle" -> "random.shuffle")
+        self.objects: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.modules[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.objects[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Fully-qualified dotted name for a Name/Attribute chain, if known.
+
+        Unknown roots resolve to ``None`` — a local variable's attribute is
+        not attributed to any module, keeping the rules low-noise.
+        """
+        chain: list[str] = []
+        cur: ast.expr = node
+        while isinstance(cur, ast.Attribute):
+            chain.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        chain.reverse()
+        root = cur.id
+        if root in self.modules:
+            return ".".join([self.modules[root], *chain])
+        if root in self.objects:
+            return ".".join([self.objects[root], *chain])
+        if not chain:
+            return root  # bare builtin or local name
+        return None

@@ -1,0 +1,121 @@
+"""Lint output: terminal table and the ``repro-lint/v1`` JSON document.
+
+Both renderings are deterministic — findings arrive sorted from the
+walker, the JSON serializes with sorted keys and carries no timestamps or
+absolute paths — so two runs over the same tree are byte-identical and a
+lint document can be diffed across commits like any other artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.core import Finding, Rule
+from repro.analysis.walker import AnalysisResult
+
+LINT_SCHEMA = "repro-lint/v1"
+
+
+def to_payload(
+    result: AnalysisResult,
+    rules: Sequence[Rule],
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+) -> dict:
+    """The lint run as a versioned, JSON-serializable document."""
+    ordered = sorted([*new, *baselined], key=Finding.sort_key)
+    by_rule: dict[str, int] = {}
+    for f in ordered:
+        by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+    return {
+        "schema": LINT_SCHEMA,
+        "tool": {
+            "name": "repro-lint",
+            "rules": [
+                {
+                    "id": r.rule_id,
+                    "name": r.name,
+                    "severity": r.severity,
+                    "rationale": r.rationale,
+                }
+                for r in sorted(rules, key=lambda r: r.rule_id)
+            ],
+        },
+        "summary": {
+            "files_analyzed": result.files_analyzed,
+            "findings_total": len(ordered),
+            "new": len(new),
+            "baselined": len(baselined),
+            "suppressed": result.suppressed,
+            "parse_errors": result.parse_errors,
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "snippet": f.snippet,
+                "baselined": f.baselined,
+            }
+            for f in ordered
+        ],
+    }
+
+
+def to_json(
+    result: AnalysisResult,
+    rules: Sequence[Rule],
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+) -> str:
+    return (
+        json.dumps(
+            to_payload(result, rules, new, baselined), indent=2, sort_keys=True
+        )
+        + "\n"
+    )
+
+
+def render_table(
+    result: AnalysisResult,
+    new: Sequence[Finding],
+    baselined: Sequence[Finding],
+) -> str:
+    """Human-readable rendering: one line per finding, grouped by file."""
+    lines: list[str] = []
+    ordered = sorted([*new, *baselined], key=Finding.sort_key)
+    current_path = None
+    for f in ordered:
+        if f.path != current_path:
+            if current_path is not None:
+                lines.append("")
+            lines.append(f.path)
+            current_path = f.path
+        marker = " (baselined)" if f.baselined else ""
+        lines.append(
+            f"  {f.line}:{f.col}  {f.rule} [{f.severity}]  {f.message}{marker}"
+        )
+        if f.snippet:
+            lines.append(f"      {f.snippet}")
+    if ordered:
+        lines.append("")
+    lines.append(
+        f"{result.files_analyzed} file(s) analyzed: "
+        f"{len(new)} new finding(s), {len(baselined)} baselined, "
+        f"{result.suppressed} suppressed inline"
+    )
+    return "\n".join(lines)
+
+
+def render_rule_list(rules: Sequence[Rule]) -> str:
+    """The catalogue as a table (``repro lint --list-rules``)."""
+    lines = [f"{'ID':8s} {'severity':9s} name"]
+    for r in sorted(rules, key=lambda r: r.rule_id):
+        lines.append(f"{r.rule_id:8s} {r.severity:9s} {r.name}")
+        lines.append(f"{'':18s} {r.rationale}")
+    return "\n".join(lines)

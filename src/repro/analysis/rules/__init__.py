@@ -1,0 +1,50 @@
+"""The rule catalogue: stable IDs to analyses.
+
+``all_rules()`` builds one fresh instance of every registered rule;
+``rules_by_id`` resolves ``--select``/``--ignore`` CLI filters. IDs are
+append-only — a retired rule's ID is never reused, so baselines and
+suppression comments stay meaningful across versions.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.determinism import UnseededRandomnessRule, WallClockRule
+from repro.analysis.rules.events import EventLoopSafetyRule
+from repro.analysis.rules.exceptions import BroadExceptRule
+from repro.analysis.rules.ordering import UnorderedIterationRule
+from repro.analysis.rules.schema import SCHEMA_KEYS, SchemaDisciplineRule
+from repro.analysis.rules.units import UnitSafetyRule
+
+_RULE_CLASSES: tuple[type[Rule], ...] = (
+    UnseededRandomnessRule,  # REP001
+    WallClockRule,  # REP002
+    EventLoopSafetyRule,  # REP003
+    UnitSafetyRule,  # REP004
+    BroadExceptRule,  # REP005
+    SchemaDisciplineRule,  # REP006
+    UnorderedIterationRule,  # REP007
+)
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, in rule-ID order."""
+    return sorted((cls() for cls in _RULE_CLASSES), key=lambda r: r.rule_id)
+
+
+def rules_by_id() -> dict[str, Rule]:
+    return {rule.rule_id: rule for rule in all_rules()}
+
+
+__all__ = [
+    "SCHEMA_KEYS",
+    "all_rules",
+    "rules_by_id",
+    "UnseededRandomnessRule",
+    "WallClockRule",
+    "EventLoopSafetyRule",
+    "UnitSafetyRule",
+    "BroadExceptRule",
+    "SchemaDisciplineRule",
+    "UnorderedIterationRule",
+]

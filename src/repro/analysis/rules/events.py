@@ -1,0 +1,164 @@
+"""REP003 — event-loop safety in ``repro.faas``.
+
+The simulator stays deterministic because events at equal timestamps fire
+in scheduling order: every heap entry carries a monotonically increasing
+sequence number as the tie-break. This rule guards the two ways that
+property gets lost during maintenance:
+
+* a ``heapq.heappush`` whose entry has no room for a tie-break key (fewer
+  than three tuple elements, or not a tuple at all) — equal-time events
+  would then compare on the payload, which is either unstable or raises;
+* an event-handler generator that mutates module-level (shared) state
+  after yielding control — the mutation's visibility then depends on event
+  interleaving rather than on explicit scheduling order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+from repro.analysis.imports import ImportMap
+
+_HEAPPUSH = frozenset({"heapq.heappush", "heapq.heappushpop"})
+
+
+class EventLoopSafetyRule(Rule):
+    """REP003: heap entries without tie-breaks; shared mutation after yield."""
+
+    rule_id = "REP003"
+    name = "event-loop-safety"
+    severity = "error"
+    rationale = (
+        "Equal-timestamp events must fire in a deterministic order: heap "
+        "entries need a (time, seq, ...) layout, and handlers must not "
+        "mutate shared module state after yielding."
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("faas")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        yield from self._check_heap_pushes(ctx, imports)
+        yield from self._check_post_yield_mutation(ctx)
+
+    # -- (a) heap entries ---------------------------------------------------
+    def _check_heap_pushes(
+        self, ctx: ModuleContext, imports: ImportMap
+    ) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or len(node.args) < 2:
+                continue
+            if imports.resolve(node.func) not in _HEAPPUSH:
+                continue
+            entry = node.args[1]
+            if not isinstance(entry, ast.Tuple):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "heappush entry is not a literal tuple; equal-time "
+                    "events need an explicit (time, seq, ...) tie-break",
+                )
+            elif len(entry.elts) < 3:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"heappush entry has {len(entry.elts)} element(s); "
+                    "schedule as (time, seq, payload) so equal timestamps "
+                    "break ties deterministically",
+                )
+
+    # -- (b) shared-state mutation after yield ------------------------------
+    def _check_post_yield_mutation(self, ctx: ModuleContext) -> Iterator[Finding]:
+        module_names = {
+            t.id
+            for stmt in ctx.tree.body
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign))
+            for t in _assign_targets(stmt)
+            if isinstance(t, ast.Name)
+        }
+        if not module_names:
+            return
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            first_yield = _first_yield_line(fn)
+            if first_yield is None:
+                continue
+            declared_global = {
+                name
+                for stmt in ast.walk(fn)
+                if isinstance(stmt, ast.Global)
+                for name in stmt.names
+            }
+            shared = (module_names & declared_global) | (
+                module_names - _locally_bound(fn)
+            )
+            for stmt in ast.walk(fn):
+                if not isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                    continue
+                if stmt.lineno <= first_yield:
+                    continue
+                for target in _assign_targets(stmt):
+                    root = _root_name(target)
+                    if root is None:
+                        continue
+                    is_rebind = isinstance(target, ast.Name)
+                    if is_rebind and root not in declared_global:
+                        continue  # plain local rebinding
+                    if root in shared:
+                        yield self.finding(
+                            ctx,
+                            stmt,
+                            f"handler mutates shared state {root!r} after "
+                            "yielding; move the mutation before the yield "
+                            "or schedule it as its own event",
+                        )
+
+
+def _assign_targets(stmt: ast.stmt) -> list[ast.expr]:
+    if isinstance(stmt, ast.Assign):
+        return list(stmt.targets)
+    if isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        return [stmt.target]
+    return []
+
+
+def _first_yield_line(fn: ast.AST) -> int | None:
+    lines = [
+        n.lineno
+        for n in ast.walk(fn)
+        if isinstance(n, (ast.Yield, ast.YieldFrom))
+    ]
+    return min(lines) if lines else None
+
+
+def _locally_bound(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound inside the function (params, assignments, for-targets)."""
+    bound = {a.arg for a in fn.args.args + fn.args.kwonlyargs + fn.args.posonlyargs}
+    if fn.args.vararg:
+        bound.add(fn.args.vararg.arg)
+    if fn.args.kwarg:
+        bound.add(fn.args.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            for t in _assign_targets(node):
+                if isinstance(t, ast.Name):
+                    bound.add(t.id)
+        elif isinstance(node, ast.For):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(node, ast.withitem) and isinstance(
+            node.optional_vars, ast.Name
+        ):
+            bound.add(node.optional_vars.id)
+    return bound
+
+
+def _root_name(target: ast.expr) -> str | None:
+    cur = target
+    while isinstance(cur, (ast.Attribute, ast.Subscript)):
+        cur = cur.value
+    return cur.id if isinstance(cur, ast.Name) else None

@@ -1,0 +1,64 @@
+"""REP005 — exception hygiene.
+
+Every library error derives from ``repro.common.errors.ReproError``
+precisely so that callers can catch library failures without masking
+programming errors. A bare ``except:`` or ``except Exception:`` that does
+not re-raise defeats that design: it swallows ``SimulationError`` (an
+inconsistent event loop!), ``ValidationError``, and — for bare excepts —
+even ``KeyboardInterrupt``-adjacent control-flow exceptions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+class BroadExceptRule(Rule):
+    """REP005: bare/broad except handlers that swallow library errors."""
+
+    rule_id = "REP005"
+    name = "broad-except"
+    severity = "warning"
+    rationale = (
+        "Broad handlers swallow repro.common.errors types (and worse). "
+        "Catch the narrowest ReproError subclass; a deliberately broad "
+        "handler must re-raise or carry a baseline entry."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare 'except:' catches everything including "
+                    "KeyboardInterrupt/SystemExit; name the exception",
+                )
+                continue
+            broad = self._broad_name(node.type)
+            if broad is None:
+                continue
+            if any(isinstance(n, ast.Raise) for n in ast.walk(node)):
+                continue  # inspected and re-raised: acceptable boundary
+            yield self.finding(
+                ctx,
+                node,
+                f"'except {broad}' without re-raise swallows "
+                "repro.common.errors types; catch the specific error",
+            )
+
+    @staticmethod
+    def _broad_name(expr: ast.expr) -> str | None:
+        names = []
+        elts = expr.elts if isinstance(expr, ast.Tuple) else [expr]
+        for e in elts:
+            if isinstance(e, ast.Name) and e.id in _BROAD:
+                names.append(e.id)
+        return names[0] if names else None

@@ -1,0 +1,185 @@
+"""REP007 — unordered-collection iteration on deterministic paths.
+
+Python ``set``/``frozenset`` iteration order depends on insertion history
+and hash seeding of the stored objects; iterating one into any ordered
+output (a list, a report row, a joined string, a Pareto candidate list)
+makes the output run-dependent. Dicts are insertion-ordered and therefore
+fine. The fix is always the same: ``sorted(s, key=...)`` with an explicit,
+total key.
+
+The rule tracks set-typed expressions structurally: literals, set
+comprehensions, ``set(...)``/``frozenset(...)`` calls, set-operator
+results, set-returning methods, and local names bound to any of those.
+Iteration contexts are ``for`` loops, comprehension generators, and
+order-sensitive consumers (``list``, ``tuple``, ``enumerate``, ``iter``,
+``str.join``). Order-insensitive consumers (``sorted``, ``len``, ``sum``,
+``min``, ``max``, ``any``, ``all``, membership tests) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+_ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate", "iter"})
+_SET_METHODS = frozenset(
+    {"union", "difference", "intersection", "symmetric_difference", "copy"}
+)
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+class UnorderedIterationRule(Rule):
+    """REP007: iterating a set where order reaches the output."""
+
+    rule_id = "REP007"
+    name = "unordered-iteration"
+    severity = "warning"
+    rationale = (
+        "Set iteration order is insertion- and hash-dependent; any path "
+        "that feeds exporters, the Pareto front or the planner must wrap "
+        "it in sorted(..., key=...) with an explicit total key."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        yield from self._check_scope(ctx, ctx.tree, frozenset())
+
+    def _check_scope(
+        self, ctx: ModuleContext, scope: ast.AST, outer_sets: frozenset[str]
+    ) -> Iterator[Finding]:
+        set_names = outer_sets | _set_bound_names(scope)
+        for node in _scope_walk(scope):
+            if isinstance(node, _FUNCTION_NODES):
+                yield from self._check_scope(ctx, node, set_names)
+            else:
+                yield from self._check_node(ctx, node, set_names)
+
+    def _check_node(
+        self, ctx: ModuleContext, node: ast.AST, set_names: frozenset[str]
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.For):
+            if _is_set_expr(node.iter, set_names):
+                yield self.finding(
+                    ctx, node,
+                    "for-loop over a set: iteration order is not "
+                    "deterministic; use sorted(..., key=...)",
+                )
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for gen in node.generators:
+                if _is_set_expr(gen.iter, set_names):
+                    yield self.finding(
+                        ctx, node,
+                        "comprehension over a set: iteration order is not "
+                        "deterministic; use sorted(..., key=...)",
+                    )
+        elif isinstance(node, ast.Call):
+            name = _call_name(node)
+            if (
+                name in _ORDER_SENSITIVE_CALLS
+                and node.args
+                and _is_set_expr(node.args[0], set_names)
+            ):
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() over a set materializes a non-deterministic "
+                    "order; use sorted(..., key=...)",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join"
+                and node.args
+                and _is_set_expr(node.args[0], set_names)
+            ):
+                yield self.finding(
+                    ctx, node,
+                    "str.join over a set produces a non-deterministic "
+                    "string; use sorted(..., key=...)",
+                )
+
+
+def _scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending past nested function boundaries.
+
+    Nested function defs are yielded (so the caller can recurse with the
+    right name table) but their bodies are not traversed here.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if not isinstance(node, _FUNCTION_NODES):
+            stack.extend(ast.iter_child_nodes(node))
+
+
+def _set_bound_names(scope: ast.AST) -> frozenset[str]:
+    """Names bound to a set-typed expression or annotation (and never to
+    anything else) directly within ``scope``."""
+    is_set: dict[str, bool] = {}
+
+    def mark(name: str, setlike: bool) -> None:
+        prev = is_set.get(name)
+        is_set[name] = setlike if prev is None else (prev and setlike)
+
+    if isinstance(scope, _FUNCTION_NODES):
+        a = scope.args
+        for arg in [*a.posonlyargs, *a.args, *a.kwonlyargs]:
+            if arg.annotation is not None and _is_set_annotation(arg.annotation):
+                mark(arg.arg, True)
+    for node in _scope_walk(scope):
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    mark(t.id, _is_set_expr(node.value, frozenset()))
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if _is_set_annotation(node.annotation):
+                mark(node.target.id, True)
+            elif node.value is not None:
+                mark(node.target.id, _is_set_expr(node.value, frozenset()))
+    return frozenset(name for name, ok in is_set.items() if ok)
+
+
+def _is_set_annotation(ann: ast.expr) -> bool:
+    """``set``, ``frozenset``, ``set[T]``, ``typing.Set[T]`` annotations."""
+    if isinstance(ann, ast.Subscript):
+        ann = ann.value
+    if isinstance(ann, ast.Attribute):
+        return ann.attr in ("Set", "FrozenSet")
+    return isinstance(ann, ast.Name) and ann.id in (
+        "set", "frozenset", "Set", "FrozenSet"
+    )
+
+
+def _is_set_expr(node: ast.expr, set_names: frozenset[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        if name in ("set", "frozenset"):
+            return True
+        return (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_METHODS
+            and _is_set_expr(node.func.value, set_names)
+        )
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None

@@ -1,0 +1,209 @@
+"""REP004 — unit safety for physical quantities.
+
+The library's convention (``repro.common.units``) is positional: seconds,
+megabytes, GB-seconds and USD are all plain floats, distinguished only by
+the ``_s`` / ``_mb`` / ``_gb_s`` / ``_usd`` suffix of the name that holds
+them. That convention is cheap to violate silently — ``budget_usd=qos_s``
+type-checks and runs. This rule recovers units from name suffixes and a
+small signature registry and flags:
+
+* arithmetic (``+``/``-``) or comparisons mixing two different units;
+* keyword arguments whose name carries one unit receiving a value whose
+  name carries another;
+* calls to registered quantity-taking functions with an argument of the
+  wrong unit, or (for positions marked strict) a raw numeric literal where
+  a derived quantity is expected.
+
+Names containing ``_per_`` form ratio units (``usd_per_minute``,
+``compute_s_per_mb``) and only match themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+#: Longest-match suffix table: name suffix -> unit tag.
+_SUFFIX_UNITS: tuple[tuple[str, str], ...] = (
+    ("_usd", "USD"),
+    ("_gb_seconds", "GB-s"),
+    ("_gb_s", "GB-s"),
+    ("_mb_s", "MB/s"),
+    ("_mbps", "MB/s"),
+    ("_gb", "GB"),
+    ("_mb", "MB"),
+    ("_kb", "KB"),
+    ("_bytes", "B"),
+    ("_seconds", "s"),
+    ("_ms", "ms"),
+    ("_s", "s"),
+)
+
+#: Cross-module signature registry: function name -> expected unit per
+#: positional argument (None = unconstrained). "strict" positions also
+#: reject raw numeric literals, because the value is a derived quantity
+#: that is never a sensible constant.
+_SIGNATURES: dict[str, tuple[tuple[str | None, bool], ...]] = {
+    "gb_seconds": (("MB", False), ("s", False)),
+    "format_usd": (("USD", False),),
+    "format_duration": (("s", False),),
+    "bytes_from_mb": (("MB", False),),
+    "mb_from_bytes": (("B", True),),
+    "usd_per_million": ((None, False), (None, False)),
+}
+
+
+def unit_of(name: str) -> str | None:
+    """Unit tag carried by ``name``'s suffix, ratio-aware."""
+    if "_per_" in name:
+        head, _, tail = name.rpartition("_per_")
+        num = unit_of(head)
+        if num is None:
+            return None
+        # Normalize the denominator through the suffix table too, so
+        # `usd_per_gb_s` and a `_usd` / `_gb_s` quotient carry one tag.
+        return f"{num}/{unit_of('x_' + tail) or tail}"
+    for suffix, unit in _SUFFIX_UNITS:
+        if name.endswith(suffix):
+            return unit
+    return None
+
+
+def _expr_unit(node: ast.expr) -> tuple[str, str] | None:
+    """(unit, display-name) for a Name/Attribute expression, if any."""
+    if isinstance(node, ast.Name):
+        unit = unit_of(node.id)
+        return (unit, node.id) if unit else None
+    if isinstance(node, ast.Attribute):
+        unit = unit_of(node.attr)
+        return (unit, node.attr) if unit else None
+    return None
+
+
+def _is_number(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return not isinstance(node.value, bool)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return _is_number(node.operand)
+    return False
+
+
+class UnitSafetyRule(Rule):
+    """REP004: mixed physical units or raw literals where quantities go."""
+
+    rule_id = "REP004"
+    name = "unit-safety"
+    severity = "warning"
+    rationale = (
+        "Seconds, MB, GB-s and USD are all floats; only the name suffix "
+        "carries the unit. Mixing suffixes in arithmetic or across call "
+        "boundaries is a silent correctness bug."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        registry = dict(_SIGNATURES)
+        registry.update(_local_signatures(ctx.tree))
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pair(ctx, node, node.left, node.right)
+            elif isinstance(node, ast.Compare) and len(node.comparators) == 1:
+                if isinstance(
+                    node.ops[0], (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+                ):
+                    yield from self._check_pair(
+                        ctx, node, node.left, node.comparators[0]
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, registry)
+
+    def _check_pair(
+        self, ctx: ModuleContext, node: ast.AST, left: ast.expr, right: ast.expr
+    ) -> Iterator[Finding]:
+        lu, ru = _expr_unit(left), _expr_unit(right)
+        if lu and ru and lu[0] != ru[0]:
+            yield self.finding(
+                ctx,
+                node,
+                f"mixing units: {lu[1]!r} is {lu[0]} but {ru[1]!r} is {ru[0]}",
+            )
+
+    def _check_call(
+        self,
+        ctx: ModuleContext,
+        node: ast.Call,
+        registry: dict[str, tuple[tuple[str | None, bool], ...]],
+    ) -> Iterator[Finding]:
+        # Keyword arguments: unit-suffixed name fed a differently-suffixed value.
+        for kw in node.keywords:
+            if kw.arg is None:
+                continue
+            expected = unit_of(kw.arg)
+            if expected is None:
+                continue
+            got = _expr_unit(kw.value)
+            if got and got[0] != expected:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"keyword {kw.arg!r} expects {expected} but "
+                    f"{got[1]!r} is {got[0]}",
+                )
+        # Registered signatures: positional unit and strict-literal checks.
+        fn_name = _call_name(node)
+        sig = registry.get(fn_name) if fn_name else None
+        if not sig:
+            return
+        for i, arg in enumerate(node.args[: len(sig)]):
+            expected, strict = sig[i]
+            if expected is None:
+                continue
+            got = _expr_unit(arg)
+            if got and got[0] != expected:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{fn_name}() argument {i + 1} expects {expected} but "
+                    f"{got[1]!r} is {got[0]}",
+                )
+            elif strict and _is_number(arg):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{fn_name}() argument {i + 1} expects a {expected} "
+                    "quantity, not a raw numeric literal; build it via "
+                    "repro.common.units",
+                )
+
+
+def _call_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def _local_signatures(
+    tree: ast.Module,
+) -> dict[str, tuple[tuple[str | None, bool], ...]]:
+    """Signature entries inferred from this module's own function defs.
+
+    Any parameter whose name carries a unit suffix constrains positional
+    call sites within the same file — the "annotation" is the naming
+    convention itself.
+    """
+    out: dict[str, tuple[tuple[str | None, bool], ...]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = [a.arg for a in node.args.posonlyargs + node.args.args]
+        if args and args[0] in ("self", "cls"):
+            args = args[1:]
+        sig = tuple((unit_of(a), False) for a in args)
+        if any(unit for unit, _ in sig):
+            out[node.name] = sig
+    return out

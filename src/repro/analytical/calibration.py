@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.common.errors import ValidationError
+from repro.common.errors import InfeasibleAllocationError, ValidationError
 from repro.common.types import Allocation, StorageKind
 from repro.config import DEFAULT_PLATFORM, PlatformConfig
 from repro.analytical.timemodel import compute_speedup, epoch_time
@@ -174,7 +174,7 @@ def fit_storage_constants(
         alloc = Allocation(n, memory, kind)
         try:
             epoch_time(workload, alloc, platform)
-        except Exception:
+        except InfeasibleAllocationError:
             continue
         allocs.append(alloc)
     if len(allocs) < 2:

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.common.types import StorageKind
 from repro.common.units import format_duration, format_usd
@@ -210,8 +211,6 @@ def cmd_workflow(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from pathlib import Path
-
     payload = from_json_payload(Path(args.path).read_text())
     if args.format == "prometheus":
         from repro.telemetry.exporters import payload_to_snapshots, to_prometheus_text
@@ -238,7 +237,6 @@ def _parse_stragglers(values: list[str]) -> dict[int, float]:
 
 def cmd_diagnose(args) -> int:
     import json
-    from pathlib import Path
 
     from repro.diagnostics import RunObservation, diagnose
     from repro.telemetry import get_registry, set_registry
@@ -305,6 +303,73 @@ def cmd_experiments(_args) -> int:
     for exp_id in REGISTRY.available():
         print(exp_id)
     return 0
+
+
+def cmd_lint(args) -> int:
+    # Imported lazily: the analysis package is pure stdlib but only the
+    # lint subcommand needs it.
+    from repro import analysis
+    from repro.common.errors import AnalysisError
+
+    catalogue = analysis.all_rules()
+    by_id = {r.rule_id: r for r in catalogue}
+
+    def pick(spec: str | None) -> set[str]:
+        if not spec:
+            return set()
+        ids = {part.strip().upper() for part in spec.split(",") if part.strip()}
+        unknown = sorted(ids - by_id.keys())
+        if unknown:
+            raise SystemExit(
+                f"repro lint: unknown rule id(s) {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(by_id))})"
+            )
+        return ids
+
+    selected = pick(args.select) or set(by_id)
+    selected -= pick(args.ignore)
+    rules = [r for r in catalogue if r.rule_id in selected]
+
+    if args.list_rules:
+        print(analysis.render_rule_list(rules))
+        return 0
+
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    try:
+        analyzer = analysis.Analyzer(rules)
+        result = analyzer.analyze_paths(paths)
+
+        if args.write_baseline:
+            target = Path(args.baseline) if args.baseline else (
+                Path.cwd() / analysis.DEFAULT_BASELINE_NAME
+            )
+            analysis.Baseline.from_findings(result.findings).save(target)
+            print(
+                f"wrote {len(result.findings)} finding(s) to baseline {target}"
+            )
+            return 0
+
+        if args.no_baseline:
+            baseline = analysis.Baseline.empty()
+        else:
+            found = analysis.find_baseline(
+                Path(paths[0]), explicit=args.baseline
+            )
+            baseline = (
+                analysis.Baseline.load(found)
+                if found is not None
+                else analysis.Baseline.empty()
+            )
+        new, baselined = baseline.apply(result.findings)
+    except AnalysisError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(analysis.to_json(result, rules, new, baselined), end="")
+    else:
+        print(analysis.render_table(result, new, baselined))
+    return 1 if new else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -412,6 +477,36 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("experiments", help="list experiment ids").set_defaults(
         fn=cmd_experiments
     )
+
+    p = sub.add_parser(
+        "lint",
+        help="static determinism & simulation-safety checks (REP001-REP007)",
+        description="AST-based lint for the repository's reproducibility "
+                    "invariants: seeded randomness only, no wall-clock in "
+                    "simulated packages, event-loop safety, unit-suffix "
+                    "consistency, exception hygiene, schema discipline, and "
+                    "deterministic iteration order.",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to analyze "
+                        "(default: the installed repro package)")
+    p.add_argument("--select", metavar="IDS",
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--ignore", metavar="IDS",
+                   help="comma-separated rule ids to skip")
+    p.add_argument("--format", default="table", choices=("table", "json"),
+                   help="human-readable table or repro-lint/v1 JSON")
+    p.add_argument("--baseline", metavar="PATH",
+                   help="baseline file (default: nearest lint-baseline.json "
+                        "above the first path)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline; report every finding as new")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="accept all current findings into the baseline file "
+                        "and exit 0")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+    p.set_defaults(fn=cmd_lint)
     return parser
 
 
@@ -421,9 +516,11 @@ def main(argv: list[str] | None = None) -> int:
         return args.fn(args)
     except BrokenPipeError:
         # Output piped into a pager/head that closed early — not an error.
+        # close() can only fail with the OS re-raising the broken pipe
+        # (OSError) or the stream already being closed (ValueError).
         try:
             sys.stdout.close()
-        except Exception:
+        except (OSError, ValueError):
             pass
         return 0
 

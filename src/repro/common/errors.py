@@ -38,3 +38,11 @@ class SimulationError(ReproError):
 
 class PredictionError(ReproError):
     """The online/offline predictor cannot produce an estimate yet."""
+
+
+class AnalysisError(ReproError):
+    """The static-analysis subsystem could not complete a lint pass."""
+
+
+class BaselineError(AnalysisError):
+    """A lint baseline file is missing, unreadable, or malformed."""

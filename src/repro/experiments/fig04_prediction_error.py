@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.common.errors import PredictionError
 from repro.ml.curves import LossCurveSampler
 from repro.ml.models import workload
 from repro.training.offline_predictor import OfflinePredictor
@@ -60,7 +61,9 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
                 try:
                     p = predictor.predict_total_epochs()
                     online_errs[f].append(abs(p - true) / true)
-                except Exception:
+                except PredictionError:
+                    # Too few observations at this progress fraction — the
+                    # figure simply has no data point there.
                     continue
         offline_table.add_row(
             name, 100 * float(np.mean(off_errs)), 100 * float(np.max(off_errs))

@@ -1,0 +1,16 @@
+"""Shared helpers for the static-analysis test suite."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+
+
+@pytest.fixture(scope="session")
+def analyzer() -> Analyzer:
+    return Analyzer(all_rules())

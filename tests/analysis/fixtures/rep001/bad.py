@@ -1,0 +1,19 @@
+"""REP001 positive fixture: every statement draws unseeded entropy."""
+
+import os
+import random
+import uuid
+
+import numpy as np
+
+
+def jitter() -> float:
+    return random.random() + float(np.random.rand())
+
+
+def run_id() -> str:
+    return uuid.uuid4().hex + os.urandom(4).hex()
+
+
+def bucket(name: str) -> int:
+    return hash(name) % 8

@@ -1,0 +1,17 @@
+"""REP001 negative fixture: all entropy flows through seeded generators."""
+
+import zlib
+
+import numpy as np
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(np.random.SeedSequence(seed))
+
+
+def jitter(rng: np.random.Generator) -> float:
+    return float(rng.random())
+
+
+def bucket(name: str) -> int:
+    return zlib.crc32(name.encode()) % 8

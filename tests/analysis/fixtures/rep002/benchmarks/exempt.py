@@ -1,0 +1,9 @@
+"""REP002 scope fixture: benchmarks legitimately time the host."""
+
+import time
+
+
+def measure(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

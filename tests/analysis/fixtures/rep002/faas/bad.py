@@ -1,0 +1,16 @@
+"""REP002 positive fixture: host-clock reads inside a simulated package."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def elapsed(start: float) -> float:
+    return time.perf_counter() - start
+
+
+def label() -> str:
+    return datetime.now().isoformat()

@@ -1,0 +1,9 @@
+"""REP002 negative fixture: time comes from the event-loop clock."""
+
+
+def stamp(sim) -> float:
+    return sim.now
+
+
+def elapsed(sim, start_s: float) -> float:
+    return sim.now - start_s

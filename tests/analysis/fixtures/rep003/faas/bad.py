@@ -1,0 +1,14 @@
+"""REP003 positive fixture: tie-break-free heap entries and shared mutation."""
+
+import heapq
+
+STATE: dict = {}
+
+
+def schedule(heap: list, when: float, action) -> None:
+    heapq.heappush(heap, (when, action))
+
+
+def handler(event):
+    yield 1.0
+    STATE["last"] = event

@@ -1,0 +1,12 @@
+"""REP003 negative fixture: (time, seq, action) entries, local state only."""
+
+import heapq
+
+
+def schedule(heap: list, when: float, seq: int, action) -> None:
+    heapq.heappush(heap, (when, seq, action))
+
+
+def handler(event, state: dict):
+    yield 1.0
+    state["last"] = event

@@ -1,0 +1,17 @@
+"""REP004 positive fixture: unit suffixes mixed across arithmetic."""
+
+
+def total(duration_s: float, size_mb: float) -> float:
+    return duration_s + size_mb
+
+
+def over_budget(cost_usd: float, limit_s: float) -> bool:
+    return cost_usd > limit_s
+
+
+def billable(size_mb: float, price_usd: float) -> float:
+    return gb_seconds(size_mb, price_usd)
+
+
+def gb_seconds(size_mb: float, duration_s: float) -> float:
+    return size_mb / 1024.0 * duration_s

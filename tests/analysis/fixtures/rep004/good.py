@@ -1,0 +1,17 @@
+"""REP004 negative fixture: arithmetic stays inside one unit."""
+
+
+def total_s(duration_s: float, overhead_s: float) -> float:
+    return duration_s + overhead_s
+
+
+def within_budget(cost_usd: float, limit_usd: float) -> bool:
+    return cost_usd <= limit_usd
+
+
+def billable(size_mb: float, duration_s: float) -> float:
+    return gb_seconds(size_mb, duration_s)
+
+
+def gb_seconds(size_mb: float, duration_s: float) -> float:
+    return size_mb / 1024.0 * duration_s

@@ -1,0 +1,21 @@
+"""REP005 negative fixture: narrow handlers, or broad ones that re-raise."""
+
+
+def load(path: str) -> str | None:
+    try:
+        with open(path) as fh:
+            return fh.read()
+    except OSError:
+        return None
+
+
+def run(fn) -> None:
+    try:
+        fn()
+    except Exception:
+        log_failure(fn)
+        raise
+
+
+def log_failure(fn) -> None:
+    print(f"failed: {fn!r}")

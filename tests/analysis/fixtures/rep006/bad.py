@@ -1,0 +1,15 @@
+"""REP006 positive fixture: schema drift and an unregistered document."""
+
+
+def payload() -> dict:
+    return {
+        "schema": "repro-telemetry/v1",
+        "meta": {},
+        "run": {},
+        "metrics": [],
+        "extra_field": 1,
+    }
+
+
+def unknown() -> dict:
+    return {"schema": "repro-mystery/v1", "data": []}

@@ -1,0 +1,7 @@
+"""REP006 negative fixture: the document matches its registered key set."""
+
+SCHEMA = "repro-telemetry/v1"
+
+
+def payload() -> dict:
+    return {"schema": SCHEMA, "meta": {}, "run": {}, "metrics": []}

@@ -1,0 +1,17 @@
+"""REP007 positive fixture: raw iteration over sets."""
+
+
+def export(names: list) -> list:
+    seen = set(names)
+    return [n.upper() for n in seen]
+
+
+def merge(a: set, b: set) -> list:
+    out = []
+    for item in a | b:
+        out.append(item)
+    return out
+
+
+def render(tags: list) -> str:
+    return ", ".join({t.strip() for t in tags})

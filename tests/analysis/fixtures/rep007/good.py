@@ -1,0 +1,18 @@
+"""REP007 negative fixture: every set is sorted before iteration."""
+
+
+def export(names: list) -> list:
+    seen = set(names)
+    return [n.upper() for n in sorted(seen)]
+
+
+def merge(a: set, b: set) -> list:
+    return sorted(a | b)
+
+
+def render(tags: list) -> str:
+    return ", ".join(sorted({t.strip() for t in tags}))
+
+
+def membership(a: set, b: set) -> bool:
+    return bool(a & b)

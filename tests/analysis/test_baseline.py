@@ -1,0 +1,90 @@
+"""Baseline ledger: round-trip, budgets, discovery, and failure modes."""
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, Finding, find_baseline
+from repro.common.errors import BaselineError
+
+
+def _finding(rule="REP005", path="repro/a.py", line=3, snippet="except Exception:"):
+    return Finding(
+        rule=rule, severity="warning", path=path, line=line, col=0,
+        message="m", snippet=snippet,
+    )
+
+
+class TestBaselineApply:
+    def test_matching_finding_is_baselined(self):
+        base = Baseline.from_findings([_finding()])
+        new, accepted = base.apply([_finding(line=99)])  # line moved: still matches
+        assert new == []
+        assert len(accepted) == 1
+        assert accepted[0].baselined
+
+    def test_budget_is_per_occurrence(self):
+        base = Baseline.from_findings([_finding()])  # count == 1
+        new, accepted = base.apply([_finding(line=3), _finding(line=7)])
+        assert len(accepted) == 1
+        assert len(new) == 1
+
+    def test_different_rule_or_snippet_is_new(self):
+        base = Baseline.from_findings([_finding()])
+        new, accepted = base.apply([_finding(snippet="except BaseException:")])
+        assert accepted == []
+        assert len(new) == 1
+
+
+class TestBaselineRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        base = Baseline.from_findings([_finding(), _finding()], reason="why")
+        path = tmp_path / "lint-baseline.json"
+        base.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries == [
+            BaselineEntry(
+                rule="REP005", path="repro/a.py",
+                snippet="except Exception:", count=2, reason="why",
+            )
+        ]
+
+    def test_serialization_is_deterministic(self, tmp_path):
+        a = Baseline.from_findings([_finding(rule="REP002"), _finding()])
+        b = Baseline.from_findings([_finding(), _finding(rule="REP002")])
+        assert a.to_json() == b.to_json()
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"schema": "other/v1", "entries": []}))
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+    def test_load_rejects_malformed_entry(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps({"schema": "repro-baseline/v1", "entries": [{"rule": "R"}]})
+        )
+        with pytest.raises(BaselineError):
+            Baseline.load(path)
+
+
+class TestBaselineDiscovery:
+    def test_walks_up_to_nearest_baseline(self, tmp_path):
+        (tmp_path / "lint-baseline.json").write_text(Baseline.empty().to_json())
+        nested = tmp_path / "src" / "pkg"
+        nested.mkdir(parents=True)
+        assert find_baseline(nested) == tmp_path / "lint-baseline.json"
+
+    def test_explicit_path_must_exist(self, tmp_path):
+        with pytest.raises(BaselineError):
+            find_baseline(tmp_path, explicit=str(tmp_path / "missing.json"))
+
+    def test_no_baseline_found_returns_none(self, tmp_path):
+        assert find_baseline(tmp_path) is None

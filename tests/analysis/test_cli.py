@@ -1,0 +1,95 @@
+"""End-to-end `repro lint` CLI behaviour."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD_DIR = str(FIXTURES / "rep005")
+
+
+def lint(*argv: str) -> int:
+    return main(["lint", *argv])
+
+
+class TestExitCodes:
+    def test_findings_exit_nonzero(self, capsys):
+        assert lint(BAD_DIR, "--no-baseline") == 1
+
+    def test_clean_tree_exits_zero(self, capsys, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert lint(str(tmp_path), "--no-baseline") == 0
+
+    def test_missing_path_exits_two(self, capsys, tmp_path):
+        assert lint(str(tmp_path / "nope"), "--no-baseline") == 2
+
+    def test_unknown_rule_id_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            lint(BAD_DIR, "--select", "REP999")
+
+
+class TestOutputFormats:
+    def test_table_lists_findings(self, capsys):
+        lint(BAD_DIR, "--no-baseline")
+        out = capsys.readouterr().out
+        assert "REP005" in out
+        assert "bad.py" in out
+        assert "new finding(s)" in out
+
+    def test_json_document_shape(self, capsys):
+        lint(BAD_DIR, "--no-baseline", "--format", "json")
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-lint/v1"
+        assert doc["tool"]["name"] == "repro-lint"
+        assert doc["summary"]["new"] == len(doc["findings"]) > 0
+        assert {f["rule"] for f in doc["findings"]} == {"REP005"}
+
+    def test_json_byte_identical_across_runs(self, capsys):
+        lint(str(FIXTURES), "--no-baseline", "--format", "json")
+        first = capsys.readouterr().out
+        lint(str(FIXTURES), "--no-baseline", "--format", "json")
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_list_rules(self, capsys):
+        assert lint("--list-rules") == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP007"):
+            assert rule_id in out
+
+
+class TestSelection:
+    def test_select_restricts_rules(self, capsys):
+        lint(str(FIXTURES), "--no-baseline", "--select", "REP001",
+             "--format", "json")
+        doc = json.loads(capsys.readouterr().out)
+        assert {f["rule"] for f in doc["findings"]} == {"REP001"}
+
+    def test_ignore_removes_rules(self, capsys):
+        lint(str(FIXTURES), "--no-baseline", "--ignore", "REP001",
+             "--format", "json")
+        doc = json.loads(capsys.readouterr().out)
+        assert "REP001" not in {f["rule"] for f in doc["findings"]}
+
+
+class TestBaselineWorkflow:
+    def test_write_then_apply_baseline(self, capsys, tmp_path):
+        baseline = tmp_path / "lint-baseline.json"
+        assert lint(BAD_DIR, "--write-baseline", "--baseline", str(baseline)) == 0
+        payload = json.loads(baseline.read_text())
+        assert payload["schema"] == "repro-baseline/v1"
+        assert payload["entries"]
+
+        assert lint(BAD_DIR, "--baseline", str(baseline)) == 0
+        out = capsys.readouterr().out
+        assert "0 new finding(s)" in out
+        assert "(baselined)" in out
+
+    def test_no_baseline_flag_reports_everything(self, capsys, tmp_path):
+        baseline = tmp_path / "lint-baseline.json"
+        assert lint(BAD_DIR, "--write-baseline", "--baseline", str(baseline)) == 0
+        capsys.readouterr()
+        assert lint(BAD_DIR, "--no-baseline") == 1

@@ -1,0 +1,56 @@
+"""Meta-test: the repository passes its own lint.
+
+This is the same gate CI runs — every determinism/simulation-safety rule
+over ``src/repro``, judged against the committed baseline. A new finding
+here means a reproducibility hazard entered the tree (fix it) or a
+deliberate exception was added without a baseline entry (add one, with a
+reason).
+"""
+
+import json
+
+from repro.analysis import Analyzer, Baseline, all_rules, to_json
+
+from tests.analysis.conftest import REPO_ROOT, SRC_REPRO
+
+
+class TestSelfLint:
+    def test_repo_lints_clean_against_committed_baseline(self):
+        result = Analyzer(all_rules()).analyze_paths([SRC_REPRO])
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        new, _ = baseline.apply(result.findings)
+        details = "\n".join(
+            f"{f.path}:{f.line} {f.rule} {f.message}" for f in new
+        )
+        assert new == [], f"new lint findings:\n{details}"
+        assert result.parse_errors == 0
+
+    def test_every_committed_baseline_entry_still_matches(self):
+        """Stale entries hide future regressions; prune them when fixed."""
+        result = Analyzer(all_rules()).analyze_paths([SRC_REPRO])
+        baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+        _, accepted = baseline.apply(result.findings)
+        assert len(accepted) == sum(e.count for e in baseline.entries)
+
+    def test_self_lint_json_is_deterministic(self):
+        def run() -> str:
+            analyzer = Analyzer(all_rules())
+            result = analyzer.analyze_paths([SRC_REPRO])
+            baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+            new, accepted = baseline.apply(result.findings)
+            return to_json(result, all_rules(), new, accepted)
+
+        first, second = run(), run()
+        assert first == second
+        doc = json.loads(first)
+        assert doc["schema"] == "repro-lint/v1"
+        assert doc["summary"]["new"] == 0
+
+    def test_fixture_suite_exercises_every_rule(self, analyzer):
+        from tests.analysis.conftest import FIXTURES
+
+        result = analyzer.analyze_paths([FIXTURES])
+        triggered = {f.rule for f in result.findings}
+        expected = {r.rule_id for r in all_rules()}
+        assert triggered == expected
+        assert len(expected) >= 6

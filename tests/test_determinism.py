@@ -10,6 +10,8 @@ import numpy as np
 import pytest
 
 from repro.common.types import StorageKind
+from repro.telemetry.exporters import to_json
+from repro.telemetry.metrics import MetricsRegistry
 from repro.ml.curves import LossCurveSampler
 from repro.ml.models import workload
 from repro.tuning.plan import Objective
@@ -78,6 +80,31 @@ class TestLayerDeterminism:
             for seed in (1, 2, 3)
         }
         assert len(set(results.values())) == 3
+
+    def test_telemetry_export_insertion_order_independent(self):
+        """Exports sort every unordered collection; insertion order is noise.
+
+        The `repro-lint` REP007 rule bans raw set/dict iteration on export
+        paths; this pins the behaviour the rule protects — registering the
+        same metrics in two different orders (and labelling children in two
+        different orders) must produce byte-identical JSON.
+        """
+
+        def build(order: int) -> MetricsRegistry:
+            reg = MetricsRegistry()
+            names = ["epochs_total", "cost_usd", "alloc_changes_total"]
+            labels = [{"phase": "tune"}, {"phase": "train"}, {"phase": "warm"}]
+            if order:
+                names, labels = names[::-1], labels[::-1]
+            for name in names:
+                counter = reg.counter(name, labelnames=("phase",))
+                for kv in labels:
+                    counter.labels(**kv).inc(3.5)
+            return reg
+
+        a = to_json(build(0).snapshot(), run={"jct_s": 1.0}, meta={"seed": 0})
+        b = to_json(build(1).snapshot(), run={"jct_s": 1.0}, meta={"seed": 0})
+        assert a == b
 
     def test_storage_pin_does_not_leak_state(self, mobilenet):
         """Profiling with a pin never mutates the default profile."""
