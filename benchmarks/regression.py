@@ -59,6 +59,12 @@ TRACKED_COUNTERS = (
 #: recorded but never compared.
 MIN_COMPARABLE_WALL_S = 0.05
 
+#: SLO-guard overhead probe: re-run this experiment with a live event bus
+#: and guard attached and assert the hook layer stays under the ratio.
+GUARD_BASE_EXPERIMENT = "fig12"
+GUARD_ENTRY = "fig12+slo-guard"
+GUARD_OVERHEAD_RATIO = 1.05
+
 
 def measure(experiment: str, scale: str, seed: int, rounds: int) -> dict:
     """Best-of-``rounds`` wall time + telemetry counter totals."""
@@ -80,6 +86,64 @@ def measure(experiment: str, scale: str, seed: int, rounds: int) -> dict:
             if snap.name in TRACKED_COUNTERS
         }
     return {"wall_s": round(min(walls), 4), "counters": counters}
+
+
+def measure_guarded(experiment: str, scale: str, seed: int, rounds: int) -> dict:
+    """Like :func:`measure`, with a live event bus + SLO guard attached.
+
+    The spec's limits are set far beyond any run so no alert ever fires:
+    the measurement isolates the pure hook-bus + accounting overhead.
+    """
+    from repro.slo import EventBus, SLOGuard, SLOSpec
+    from repro.slo.events import get_event_bus, set_event_bus
+
+    walls: list[float] = []
+    counters: dict[str, float] = {}
+    for _ in range(rounds):
+        spec = SLOSpec(name="overhead-probe", deadline_s=1e15, budget_usd=1e15)
+        bus = EventBus()
+        bus.subscribe(SLOGuard(spec).on_event)
+        registry = MetricsRegistry()
+        prev_registry = get_registry()
+        prev_bus = get_event_bus()
+        set_registry(registry)
+        set_event_bus(bus)
+        start = time.perf_counter()
+        try:
+            run_experiment(experiment, scale=scale, seed=seed)
+        finally:
+            set_registry(prev_registry)
+            set_event_bus(prev_bus)
+        walls.append(time.perf_counter() - start)
+        counters = {
+            snap.name: sum(s.value for s in snap.samples)
+            for snap in registry.snapshot()
+            if snap.name in TRACKED_COUNTERS
+        }
+    return {"wall_s": round(min(walls), 4), "counters": counters}
+
+
+def measure_guard_overhead(
+    experiment: str, scale: str, seed: int, rounds: int
+) -> tuple[dict, dict]:
+    """(guard-off, guard-on) entries from interleaved best-of pairs.
+
+    Machine load drifts over the minutes a bench run takes; measuring the
+    two variants back to back per round (at least two rounds) and taking
+    each side's best keeps the overhead ratio about the hook bus rather
+    than about the machine.
+    """
+    pairs = max(3, rounds)
+    base = measure(experiment, scale, seed, 1)
+    guarded = measure_guarded(experiment, scale, seed, 1)
+    for _ in range(pairs - 1):
+        base_again = measure(experiment, scale, seed, 1)
+        guarded_again = measure_guarded(experiment, scale, seed, 1)
+        if base_again["wall_s"] < base["wall_s"]:
+            base = base_again
+        if guarded_again["wall_s"] < guarded["wall_s"]:
+            guarded = guarded_again
+    return base, guarded
 
 
 def run_suite(
@@ -183,19 +247,47 @@ def main(argv: list[str] | None = None) -> int:
         slowdown=args.inject_slowdown,
     )
 
+    # SLO-guard overhead probe: same experiment, live hook bus attached.
+    # Compared within-run against a freshly interleaved guard-off
+    # measurement, so the check is immune both to machine-to-machine speed
+    # differences and to load drift across the minutes of a full suite.
+    guard_regressions: list[str] = []
+    if GUARD_BASE_EXPERIMENT in current["experiments"]:
+        base, entry = measure_guard_overhead(
+            GUARD_BASE_EXPERIMENT, args.scale, args.seed, args.rounds
+        )
+        if args.inject_slowdown != 1.0:
+            entry["wall_s"] = round(entry["wall_s"] * args.inject_slowdown, 4)
+            base["wall_s"] = round(base["wall_s"] * args.inject_slowdown, 4)
+        current["experiments"][GUARD_ENTRY] = entry
+        print(f"  {GUARD_ENTRY:20s} {entry['wall_s']:9.3f} s"
+              f"  (interleaved guard-off {base['wall_s']:.3f} s)")
+        base_wall = base["wall_s"]
+        if (
+            base_wall >= MIN_COMPARABLE_WALL_S
+            and entry["wall_s"] > base_wall * GUARD_OVERHEAD_RATIO
+        ):
+            guard_regressions.append(
+                f"{GUARD_ENTRY}: {entry['wall_s']:.3f} s vs guard-off "
+                f"{base_wall:.3f} s ({entry['wall_s'] / base_wall:.2f}x > "
+                f"{GUARD_OVERHEAD_RATIO:.2f}x hook-bus overhead budget)"
+            )
+
     exit_code = 0
     if baseline is None:
         print("no baseline to compare against; recording only")
+        regressions = []
     else:
         regressions, notes = compare(current, baseline, args.threshold)
         for note in notes:
             print(f"note: {note}")
-        if regressions:
-            for regression in regressions:
-                print(f"REGRESSION: {regression}")
-            exit_code = 0 if args.warn_only else 1
-        else:
-            print(f"no regressions vs {baseline_path}")
+    regressions += guard_regressions
+    if regressions:
+        for regression in regressions:
+            print(f"REGRESSION: {regression}")
+        exit_code = 0 if args.warn_only else 1
+    elif baseline is not None:
+        print(f"no regressions vs {baseline_path}")
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")

@@ -22,6 +22,8 @@ Layer map (bottom-up):
 * ``repro.experiments`` — one module per paper table/figure.
 * ``repro.telemetry`` — metrics registry, live span tracing, run reports.
 * ``repro.diagnostics`` — critical path, stragglers, drift, regret.
+* ``repro.slo`` — online QoS/SLO guard: burn-rate accounting, alerts,
+  structured event log.
 """
 
 from repro.common.types import Allocation, JobResult, PricingPattern, StorageKind
@@ -36,6 +38,7 @@ from repro.telemetry import (
 )
 from repro.analytical.profiler import ParetoProfiler, ProfileResult
 from repro.ml.models import WORKLOADS, Workload, workload
+from repro.slo import SLOGuard, SLOSession, SLOSpec, evaluate_guard, replay_events
 from repro.training.adaptive_scheduler import AdaptiveScheduler
 from repro.training.offline_predictor import OfflinePredictor
 from repro.training.online_predictor import OnlinePredictor
@@ -64,12 +67,17 @@ __all__ = [
     "RunObservation",
     "RunReport",
     "SHASpec",
+    "SLOGuard",
+    "SLOSession",
+    "SLOSpec",
     "StorageKind",
     "Tracer",
     "WORKLOADS",
     "Workload",
     "__version__",
     "diagnose",
+    "evaluate_guard",
+    "replay_events",
     "run_training",
     "run_tuning",
     "set_registry",

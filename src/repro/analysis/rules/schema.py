@@ -35,6 +35,16 @@ SCHEMA_KEYS: dict[str, frozenset[str]] = {
     ),
     "repro-lint/v1": frozenset({"schema", "tool", "summary", "findings"}),
     "repro-baseline/v1": frozenset({"schema", "entries"}),
+    "repro-slo/v1": frozenset(
+        {
+            "schema", "name", "deadline_s", "budget_usd", "stage_budgets_usd",
+            "warn_ratio", "predictor_drift_threshold", "straggler_slowdown",
+        }
+    ),
+    "repro-events/v1": frozenset({"schema", "meta"}),
+    "repro-slo-report/v1": frozenset(
+        {"schema", "meta", "spec", "objectives", "alerts", "verdict"}
+    ),
 }
 
 _VERSIONED = re.compile(r"^[a-z][a-z0-9-]*/v\d+$")

@@ -20,6 +20,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.common.errors import SLOError
 from repro.common.types import StorageKind
 from repro.common.units import format_duration, format_usd
 from repro.ml.models import WORKLOADS, workload
@@ -59,6 +60,46 @@ def _session(args, command: str) -> TelemetrySession:
     )
 
 
+def _slo_session(args, command: str):
+    """SLO guarding scoped to one CLI command (inert without flags)."""
+    from repro.slo import SLOSession
+
+    return SLOSession(
+        spec=getattr(args, "slo", None),
+        events_path=getattr(args, "events", None),
+        meta={
+            "command": command,
+            "workload": getattr(args, "workload", ""),
+            "method": getattr(args, "method", ""),
+            "seed": getattr(args, "seed", 0),
+        },
+    )
+
+
+def _finish_slo(slo) -> int:
+    """Print the guard's report after a run; 1 if any SLO was violated."""
+    if slo.guard is None:
+        return 0
+    from repro.slo import evaluate_guard
+
+    report = evaluate_guard(slo.guard, meta=slo.meta)
+    print()
+    print(report.render())
+    return 1 if report.violated else 0
+
+
+def _add_slo_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--slo", metavar="SPEC",
+        help="guard the run against a repro-slo/v1 spec file; prints the "
+             "SLO report and exits 1 on violation",
+    )
+    parser.add_argument(
+        "--events", metavar="PATH",
+        help="write the repro-events/v1 JSONL event log to PATH",
+    )
+
+
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry", metavar="PATH",
@@ -95,7 +136,12 @@ def cmd_profile(args) -> int:
 
 def cmd_train(args) -> int:
     w = workload(args.workload)
-    with _session(args, "train") as session:
+    try:
+        slo = _slo_session(args, "train")
+    except (OSError, ValueError, SLOError) as exc:
+        print(f"repro train: {exc}", file=sys.stderr)
+        return 2
+    with _session(args, "train") as session, slo:
         profile = profile_workload(w, storage_pin=_parse_storage(args.storage))
         env = training_envelope(w, profile)
         if args.qos_multiple is not None:
@@ -139,13 +185,18 @@ def cmd_train(args) -> int:
     print(f"comm {format_duration(r.comm_overhead_s)}   "
           f"storage {format_usd(r.storage_cost_usd)}   "
           f"scheduling {format_duration(r.scheduling_overhead_s)}")
-    return 0
+    return _finish_slo(slo)
 
 
 def cmd_tune(args) -> int:
     w = workload(args.workload)
     spec = SHASpec(args.trials, args.eta, args.epochs_per_stage)
-    with _session(args, "tune") as session:
+    try:
+        slo = _slo_session(args, "tune")
+    except (OSError, ValueError, SLOError) as exc:
+        print(f"repro tune: {exc}", file=sys.stderr)
+        return 2
+    with _session(args, "tune") as session, slo:
         profile = profile_workload(w)
         env = tuning_envelope(profile, spec)
         budget = env.budget(args.budget_multiple)
@@ -170,14 +221,19 @@ def cmd_tune(args) -> int:
           f"cost {format_usd(r.cost_usd)}")
     print(f"winner: lr={r.winner.learning_rate:.2e} "
           f"momentum={r.winner.momentum:.2f} (quality {r.winner.quality:.2f})")
-    return 0
+    return _finish_slo(slo)
 
 
 def cmd_workflow(args) -> int:
     from repro.workflow.campaign import run_workflow
 
     spec = SHASpec(args.trials, args.eta, args.epochs_per_stage)
-    with _session(args, "workflow") as session:
+    try:
+        slo = _slo_session(args, "workflow")
+    except (OSError, ValueError, SLOError) as exc:
+        print(f"repro workflow: {exc}", file=sys.stderr)
+        return 2
+    with _session(args, "workflow") as session, slo:
         result = run_workflow(
             args.workload, spec, budget_usd=args.budget,
             tuning_fraction=args.tuning_fraction, seed=args.seed,
@@ -207,11 +263,15 @@ def cmd_workflow(args) -> int:
     print(f"total  : JCT {format_duration(result.total_jct_s)}  "
           f"cost {format_usd(result.total_cost_usd)} / "
           f"{format_usd(args.budget)}")
-    return 0
+    return _finish_slo(slo)
 
 
 def cmd_report(args) -> int:
-    payload = from_json_payload(Path(args.path).read_text())
+    try:
+        payload = from_json_payload(Path(args.path).read_text())
+    except (OSError, ValueError) as exc:
+        print(f"repro report: {exc}", file=sys.stderr)
+        return 2
     if args.format == "prometheus":
         from repro.telemetry.exporters import payload_to_snapshots, to_prometheus_text
 
@@ -242,14 +302,35 @@ def cmd_diagnose(args) -> int:
     from repro.telemetry import get_registry, set_registry
     from repro.telemetry.metrics import MetricsRegistry
 
+    slo_spec = None
+    if getattr(args, "slo", None):
+        from repro.slo import SLOSpec
+
+        try:
+            slo_spec = SLOSpec.load(args.slo)
+        except (OSError, ValueError, SLOError) as exc:
+            print(f"repro diagnose: {exc}", file=sys.stderr)
+            return 2
     target = Path(args.target)
     candidates = None
     if target.exists():
         # Capture mode: a telemetry JSON written by --telemetry, plus
         # (optionally) the matching Chrome trace for the epoch timeline.
-        payload = from_json_payload(target.read_text())
-        trace = json.loads(Path(args.trace).read_text()) if args.trace else None
+        try:
+            payload = from_json_payload(target.read_text())
+            trace = json.loads(Path(args.trace).read_text()) if args.trace else None
+        except (OSError, ValueError) as exc:
+            print(f"repro diagnose: {exc}", file=sys.stderr)
+            return 2
         obs = RunObservation.from_capture(payload, trace)
+    elif target.suffix in (".json", ".jsonl") or "/" in args.target:
+        # Looks like a capture path, not a workload name: don't fall
+        # through to live mode on a typo'd filename.
+        print(
+            f"repro diagnose: capture file {args.target} does not exist",
+            file=sys.stderr,
+        )
+        return 2
     else:
         # Live mode: run the training job here, then diagnose it in full
         # fidelity (per-worker timings, restart split, Pareto candidates).
@@ -282,7 +363,7 @@ def cmd_diagnose(args) -> int:
         candidates = run.profile.candidates
     report = diagnose(
         obs, candidates=candidates, top_k=args.top_k, z=args.z,
-        drift_threshold=args.drift_threshold,
+        drift_threshold=args.drift_threshold, slo_spec=slo_spec,
     )
     if args.out:
         Path(args.out).write_text(report.to_json())
@@ -291,6 +372,89 @@ def cmd_diagnose(args) -> int:
     else:
         print(report.render())
     return 0
+
+
+def _evaluate_capture(spec, capture: str):
+    """Judge a spec against a saved capture (events log or telemetry)."""
+    from repro.slo import evaluate_summary, replay_events
+
+    path = Path(capture)
+    if path.is_dir():
+        events = path / "events.jsonl"
+        telemetry = path / "telemetry.json"
+        if events.exists():
+            path = events
+        elif telemetry.exists():
+            path = telemetry
+        else:
+            raise SLOError(
+                f"capture directory {capture} has neither events.jsonl "
+                "nor telemetry.json"
+            )
+    if path.suffix == ".jsonl":
+        return replay_events(spec, path.read_text())
+    payload = from_json_payload(path.read_text())
+    run = payload.get("run") or {}
+    if "jct_s" not in run:
+        raise SLOError(f"telemetry capture {path} has no run summary to judge")
+    return evaluate_summary(
+        spec,
+        float(run["jct_s"]),
+        run.get("cost_usd"),
+        meta=dict(payload.get("meta") or {}),
+    )
+
+
+def _run_guarded(spec, args):
+    """Run one training job under the guard; returns the SLO report."""
+    from repro.slo import SLOSession, evaluate_guard
+
+    w = workload(args.workload)
+    profile = profile_workload(w)
+    env = training_envelope(w, profile)
+    budget = (
+        args.budget if args.budget is not None
+        else env.budget(args.budget_multiple)
+    )
+    session = SLOSession(
+        spec=spec,
+        events_path=getattr(args, "events", None),
+        meta={
+            "command": "slo",
+            "workload": args.workload,
+            "method": args.method,
+            "seed": args.seed,
+        },
+    )
+    with session:
+        run_training(
+            w, method=args.method, objective=Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=budget, seed=args.seed, profile=profile,
+        )
+    return evaluate_guard(session.guard, meta=session.meta)
+
+
+def cmd_slo(args) -> int:
+    from repro.slo import SLOSpec
+
+    try:
+        spec = SLOSpec.load(args.spec)
+        if args.capture:
+            report = _evaluate_capture(spec, args.capture)
+        elif args.workload:
+            report = _run_guarded(spec, args)
+        else:
+            raise SLOError("provide --capture PATH or a workload name to run")
+    except (OSError, ValueError, SLOError) as exc:
+        print(f"repro slo: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        Path(args.out).write_text(report.to_json())
+    if args.format == "json":
+        print(report.to_json(), end="")
+    else:
+        print(report.render())
+    return 1 if report.violated else 0
 
 
 def cmd_experiment(args) -> int:
@@ -400,6 +564,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--storage", choices=[s.value for s in StorageKind])
     p.add_argument("--seed", type=int, default=0)
     _add_telemetry_flags(p)
+    _add_slo_flags(p)
     p.set_defaults(fn=cmd_train)
 
     p = sub.add_parser("tune", help="run one hyperparameter-tuning job")
@@ -411,6 +576,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budget-multiple", type=float, default=1.3)
     p.add_argument("--seed", type=int, default=0)
     _add_telemetry_flags(p)
+    _add_slo_flags(p)
     p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser("workflow", help="run the full tune-then-train pipeline")
@@ -422,6 +588,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--epochs-per-stage", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
     _add_telemetry_flags(p)
+    _add_slo_flags(p)
     p.set_defaults(fn=cmd_workflow)
 
     p = sub.add_parser(
@@ -466,7 +633,37 @@ def build_parser() -> argparse.ArgumentParser:
                    help="straggler threshold in robust sigmas")
     p.add_argument("--drift-threshold", type=float, default=0.15,
                    help="relative residual band for the model-drift audit")
+    p.add_argument("--slo", metavar="SPEC",
+                   help="attribute error-budget consumption against this "
+                        "repro-slo/v1 spec file")
     p.set_defaults(fn=cmd_diagnose)
+
+    p = sub.add_parser(
+        "slo",
+        help="evaluate an SLO spec against a live run or a saved capture",
+        description="Judge a repro-slo/v1 spec: either replay a saved "
+                    "capture (--capture pointing at an events.jsonl, a "
+                    "telemetry JSON, or a directory holding one) or run a "
+                    "training job here under the live guard. Exits 0 when "
+                    "every objective is met, 1 on violation, 2 on errors.",
+    )
+    p.add_argument("workload", nargs="?",
+                   help="workload name for a live guarded run "
+                        "(omit with --capture)")
+    p.add_argument("--spec", required=True, metavar="PATH",
+                   help="repro-slo/v1 spec file")
+    p.add_argument("--capture", metavar="PATH",
+                   help="saved events.jsonl / telemetry JSON / capture dir")
+    p.add_argument("--method", default="ce-scaling", choices=TRAINING_METHODS)
+    p.add_argument("--budget", type=float, help="absolute budget in USD")
+    p.add_argument("--budget-multiple", type=float, default=2.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--events", metavar="PATH",
+                   help="write the live run's event log to PATH")
+    p.add_argument("--format", default="table", choices=("table", "json"))
+    p.add_argument("--out", metavar="PATH",
+                   help="also write the JSON report to PATH")
+    p.set_defaults(fn=cmd_slo)
 
     p = sub.add_parser("experiment", help="regenerate one paper figure/table")
     p.add_argument("experiment")

@@ -40,6 +40,10 @@ class PredictionError(ReproError):
     """The online/offline predictor cannot produce an estimate yet."""
 
 
+class SLOError(ReproError):
+    """An SLO spec is invalid, or an SLO evaluation cannot proceed."""
+
+
 class AnalysisError(ReproError):
     """The static-analysis subsystem could not complete a lint pass."""
 

@@ -264,13 +264,16 @@ def diagnose(
     top_k: int = 5,
     z: float = 4.0,
     drift_threshold: float = 0.15,
+    slo_spec=None,
 ) -> DiagnosticsReport:
     """Run every applicable analysis over one observation.
 
     Analyses degrade gracefully: drift needs a workload (named in the
     observation or passed explicitly), regret additionally needs an
     objective and a candidate set (re-profiled from the workload when not
-    supplied). Critical path and straggler detection always run.
+    supplied). Critical path and straggler detection always run. With an
+    ``slo_spec`` (:class:`repro.slo.SLOSpec`), error-budget consumption is
+    attributed to critical-path components as extra findings.
     """
     if isinstance(workload, str):
         workload = lookup_workload(workload)
@@ -301,6 +304,19 @@ def diagnose(
                 regret = None
 
     findings = _distill(obs, critical_path, stragglers, drift, regret)
+    if slo_spec is not None:
+        from repro.slo.report import error_budget_findings
+
+        extra = error_budget_findings(
+            slo_spec, critical_path, obs.jct_s, obs.cost_usd
+        )
+        order = {"warning": 0, "info": 1}
+        findings = tuple(
+            sorted(
+                findings + extra,
+                key=lambda f: (order[f.severity], f.kind, f.message),
+            )
+        )
     return DiagnosticsReport(
         meta=dict(obs.meta),
         critical_path=critical_path,

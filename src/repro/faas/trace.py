@@ -36,6 +36,7 @@ class TraceRecorder:
 
     def __init__(self) -> None:
         self.events: list[TraceEvent] = []
+        self.instants: list[TraceEvent] = []
 
     def record(
         self,
@@ -53,6 +54,17 @@ class TraceRecorder:
         self.events.append(event)
         return event
 
+    def instant(
+        self, name: str, category: str, t_s: float, track: str, **args
+    ) -> TraceEvent:
+        """Record one zero-duration marker (Chrome 'i' instant event)."""
+        event = TraceEvent(
+            name=name, category=category, start_s=t_s,
+            duration_s=0.0, track=track, args=dict(args),
+        )
+        self.instants.append(event)
+        return event
+
     def spans(self, category: str | None = None) -> list[TraceEvent]:
         """Events, optionally filtered by category, in start order."""
         out = [
@@ -66,7 +78,12 @@ class TraceRecorder:
 
     def to_chrome_trace(self) -> str:
         """Chrome trace-event JSON ('X' complete events, µs timestamps)."""
-        tracks = {t: i + 1 for i, t in enumerate(sorted({e.track for e in self.events}))}
+        tracks = {
+            t: i + 1
+            for i, t in enumerate(
+                sorted({e.track for e in self.events} | {e.track for e in self.instants})
+            )
+        }
         payload = [
             {
                 "name": e.name,
@@ -90,7 +107,20 @@ class TraceRecorder:
             }
             for track, tid in tracks.items()
         ]
-        return json.dumps({"traceEvents": meta + payload})
+        marks = [
+            {
+                "name": e.name,
+                "cat": e.category,
+                "ph": "i",
+                "ts": e.start_s * 1e6,
+                "s": "t",
+                "pid": 1,
+                "tid": tracks[e.track],
+                "args": e.args,
+            }
+            for e in sorted(self.instants, key=lambda e: (e.start_s, e.track, e.name))
+        ]
+        return json.dumps({"traceEvents": meta + payload + marks})
 
     def summary(self) -> dict[str, float]:
         """Total duration per category."""

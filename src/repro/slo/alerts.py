@@ -1,0 +1,308 @@
+"""SLO alert rules and the fire/resolve lifecycle engine.
+
+Each evaluation of :class:`AlertEngine` re-checks every rule condition
+against the current :class:`~repro.slo.burnrate.BudgetState`s and the
+latest predictor-drift / straggler readings. A condition turning true
+fires an :class:`Alert`; the same condition turning false later resolves
+it. Deduplication is structural — one live alert per ``(rule, scope)``
+key — so a condition that stays true across many epochs produces exactly
+one alert, not one per evaluation. Nothing here reads the host clock:
+fired/resolved timestamps are the simulated job time handed in by the
+caller, which keeps the whole alert stream deterministic per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.slo.burnrate import BudgetState
+from repro.slo.spec import SLOSpec
+
+
+@dataclass(frozen=True, slots=True)
+class AlertRule:
+    """One named condition the engine watches."""
+
+    name: str
+    severity: str
+    description: str
+
+
+#: The full rule catalogue, in evaluation order.
+RULES: tuple[AlertRule, ...] = (
+    AlertRule(
+        "deadline-exhausted",
+        "critical",
+        "Elapsed simulated time has passed the deadline; the QoS target is missed.",
+    ),
+    AlertRule(
+        "deadline-projected-miss",
+        "critical",
+        "Projected completion (predictor horizon x recent epoch rate) "
+        "overshoots the deadline.",
+    ),
+    AlertRule(
+        "deadline-burn",
+        "warning",
+        "Deadline consumption passed the warn ratio, or the windowed burn "
+        "rate exceeds 1x.",
+    ),
+    AlertRule(
+        "budget-exhausted",
+        "critical",
+        "Billed spend has passed the budget; the cost SLO is violated.",
+    ),
+    AlertRule(
+        "budget-projected-overrun",
+        "critical",
+        "Projected total spend overshoots the budget.",
+    ),
+    AlertRule(
+        "budget-burn",
+        "warning",
+        "Budget consumption passed the warn ratio, or the windowed burn "
+        "rate exceeds 1x.",
+    ),
+    AlertRule(
+        "stage-budget-overrun",
+        "warning",
+        "One SHA tuning stage spent more than its declared sub-budget.",
+    ),
+    AlertRule(
+        "predictor-drift",
+        "warning",
+        "The online predictor's horizon drifted past the spec threshold "
+        "relative to the initially planned horizon.",
+    ),
+    AlertRule(
+        "straggler",
+        "warning",
+        "A gang's slowest worker exceeded the straggler slowdown threshold "
+        "vs. the gang median.",
+    ),
+)
+
+
+@dataclass(slots=True)
+class Alert:
+    """One fired (and possibly later resolved) rule instance."""
+
+    rule: str
+    scope: str
+    severity: str
+    message: str
+    fired_t_s: float
+    fired_epoch: int
+    resolved_t_s: float | None = None
+    resolved_epoch: int | None = None
+
+    @property
+    def active(self) -> bool:
+        """True while the underlying condition still holds."""
+        return self.resolved_t_s is None
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The structural dedup key."""
+        return (self.rule, self.scope)
+
+    def to_payload(self) -> dict:
+        """JSON-serializable view used by SLO reports."""
+        return {
+            "rule": self.rule,
+            "scope": self.scope,
+            "severity": self.severity,
+            "message": self.message,
+            "fired_t_s": round(self.fired_t_s, 9),
+            "fired_epoch": self.fired_epoch,
+            "resolved_t_s": (
+                None if self.resolved_t_s is None else round(self.resolved_t_s, 9)
+            ),
+            "resolved_epoch": self.resolved_epoch,
+        }
+
+
+@dataclass
+class AlertEngine:
+    """Evaluates the rule catalogue against budget states, with lifecycle."""
+
+    spec: SLOSpec
+    history: list[Alert] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._severity = {rule.name: rule.severity for rule in RULES}
+        self._active: dict[tuple[str, str], Alert] = {}
+
+    @property
+    def alerts(self) -> tuple[Alert, ...]:
+        """Every alert ever fired, in firing order."""
+        return tuple(self.history)
+
+    def evaluate(
+        self,
+        t_s: float,
+        states: tuple[BudgetState, ...],
+        epoch: int = 0,
+        predictor_drift: float | None = None,
+        straggler_slowdown: float | None = None,
+    ) -> tuple[list[Alert], list[Alert]]:
+        """Re-check every rule; returns (newly fired, newly resolved).
+
+        Conditions are independent predicates rather than status equality,
+        so e.g. ``deadline-burn`` stays active (instead of bouncing) while
+        the dimension escalates through critical to exhausted.
+        """
+        checks: list[tuple[str, str, bool, str]] = []
+        for st in states:
+            if st.dimension == "deadline":
+                checks.append(
+                    (
+                        "deadline-exhausted",
+                        st.dimension,
+                        st.consumed >= st.limit,
+                        f"elapsed {st.consumed:.3f} s passed the deadline "
+                        f"{st.limit:.3f} s",
+                    )
+                )
+                checks.append(
+                    (
+                        "deadline-projected-miss",
+                        st.dimension,
+                        st.projected is not None and st.projected > st.limit,
+                        (
+                            f"projected completion "
+                            f"{st.projected if st.projected is not None else 0.0:.3f} s "
+                            f"overshoots the deadline {st.limit:.3f} s"
+                        ),
+                    )
+                )
+                checks.append(
+                    (
+                        "deadline-burn",
+                        st.dimension,
+                        self._burning(st),
+                        f"deadline budget {st.fraction * 100.0:.1f}% consumed"
+                        + (
+                            f", burn rate {st.burn_rate:.2f}x"
+                            if st.burn_rate is not None
+                            else ""
+                        ),
+                    )
+                )
+            elif st.dimension == "budget":
+                checks.append(
+                    (
+                        "budget-exhausted",
+                        st.dimension,
+                        st.consumed >= st.limit,
+                        f"billed {st.consumed:.6f} USD passed the budget "
+                        f"{st.limit:.6f} USD",
+                    )
+                )
+                checks.append(
+                    (
+                        "budget-projected-overrun",
+                        st.dimension,
+                        st.projected is not None and st.projected > st.limit,
+                        (
+                            f"projected spend "
+                            f"{st.projected if st.projected is not None else 0.0:.6f} USD "
+                            f"overshoots the budget {st.limit:.6f} USD"
+                        ),
+                    )
+                )
+                checks.append(
+                    (
+                        "budget-burn",
+                        st.dimension,
+                        self._burning(st),
+                        f"spend budget {st.fraction * 100.0:.1f}% consumed"
+                        + (
+                            f", burn rate {st.burn_rate:.2f}x"
+                            if st.burn_rate is not None
+                            else ""
+                        ),
+                    )
+                )
+            else:
+                checks.append(
+                    (
+                        "stage-budget-overrun",
+                        st.dimension,
+                        st.consumed >= st.limit,
+                        f"{st.dimension} spent {st.consumed:.6f} USD of its "
+                        f"{st.limit:.6f} USD sub-budget",
+                    )
+                )
+        drift_limit = self.spec.predictor_drift_threshold
+        drift_hit = (
+            drift_limit is not None
+            and predictor_drift is not None
+            and predictor_drift > drift_limit
+        )
+        checks.append(
+            (
+                "predictor-drift",
+                "predictor",
+                drift_hit,
+                (
+                    f"predictor horizon drifted {predictor_drift * 100.0:.1f}% "
+                    f"(threshold {drift_limit * 100.0:.1f}%)"
+                    if drift_hit
+                    else ""
+                ),
+            )
+        )
+        slow_limit = self.spec.straggler_slowdown
+        slow_hit = (
+            slow_limit is not None
+            and straggler_slowdown is not None
+            and straggler_slowdown >= slow_limit
+        )
+        checks.append(
+            (
+                "straggler",
+                "workers",
+                slow_hit,
+                (
+                    f"slowest worker at {straggler_slowdown:.2f}x the gang "
+                    f"median (threshold {slow_limit:.2f}x)"
+                    if slow_hit
+                    else ""
+                ),
+            )
+        )
+
+        fired: list[Alert] = []
+        resolved: list[Alert] = []
+        for rule, scope, condition, message in checks:
+            key = (rule, scope)
+            live = self._active.get(key)
+            if condition and live is None:
+                alert = Alert(
+                    rule=rule,
+                    scope=scope,
+                    severity=self._severity[rule],
+                    message=message,
+                    fired_t_s=t_s,
+                    fired_epoch=epoch,
+                )
+                self._active[key] = alert
+                self.history.append(alert)
+                fired.append(alert)
+            elif not condition and live is not None:
+                live.resolved_t_s = t_s
+                live.resolved_epoch = epoch
+                del self._active[key]
+                resolved.append(live)
+        return fired, resolved
+
+    def _burning(self, st: BudgetState) -> bool:
+        """The shared warn-tier predicate for deadline/budget burn rules."""
+        if st.consumed > self.spec.warn_ratio * st.limit:
+            return True
+        return (
+            st.burn_rate is not None
+            and st.burn_rate > 1.0
+            and st.consumed >= 0.1 * st.limit
+        )

@@ -1,0 +1,217 @@
+"""Online error-budget accounting in simulated time.
+
+The :class:`BurnRateAccountant` folds the run-event stream into per-
+dimension budget states: elapsed job time against the deadline, billed USD
+against the budget, per-SHA-stage spend against sub-budgets. Projection
+uses the online predictor's remaining-epoch estimate (published by the
+adaptive scheduler through ``plan_chosen`` / ``predictor_update`` events)
+times the mean wall time of a trailing epoch window — so a deadline miss
+is forecast *while the run can still react*, not post-mortem.
+
+Classification ladder per dimension, strongest wins:
+
+* ``exhausted`` — consumed >= limit (the SLO is already violated);
+* ``critical``  — the projected completion overshoots the limit;
+* ``warn``      — consumption passed ``warn_ratio``, or the windowed burn
+  rate exceeds 1x with meaningful consumption behind it;
+* ``ok``        — everything else.
+
+All arithmetic is over simulated quantities; nothing here reads the host
+clock or consumes randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.slo.spec import SLOSpec
+
+#: Budget states, in increasing order of concern.
+STATUSES = ("ok", "warn", "critical", "exhausted")
+
+
+@dataclass(frozen=True, slots=True)
+class BudgetState:
+    """One dimension's error-budget position at a point in the run.
+
+    ``limit``/``consumed``/``projected`` share the dimension's unit
+    (seconds for ``deadline``, USD for ``budget`` and ``stage:N``).
+    """
+
+    dimension: str
+    limit: float
+    consumed: float
+    projected: float | None
+    burn_rate: float | None
+    status: str
+
+    @property
+    def fraction(self) -> float:
+        """Consumed fraction of the limit."""
+        return self.consumed / self.limit if self.limit > 0 else 0.0
+
+
+@dataclass
+class BurnRateAccountant:
+    """Folds run events into live :class:`BudgetState`s for one spec.
+
+    Attributes:
+        spec: the SLO being accounted against.
+        window: trailing epochs used for the projection's per-epoch rate.
+        min_burn_fraction: consumption fraction below which the windowed
+            burn-rate signal is ignored (early-run noise suppression).
+    """
+
+    spec: SLOSpec
+    window: int = 5
+    min_burn_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        self.billed_usd = 0.0
+        self.epochs_done = 0
+        self.predicted_total_epochs: float | None = None
+        self._clock_s: dict[str, float] = {}
+        self._stage_spend_usd: dict[int, float] = {}
+        self._recent_wall_s: list[float] = []
+        self._recent_cost_usd: list[float] = []
+
+    # ------------------------------------------------------------------ intake
+    @property
+    def elapsed_s(self) -> float:
+        """Total simulated job time: the sum of each scope's clock high-water
+        mark (a workflow's tuning and training phases keep separate clocks)."""
+        return sum(self._clock_s[scope] for scope in sorted(self._clock_s))
+
+    def observe_clock(self, scope: str, t_s: float) -> None:
+        """Advance one scope's job-time high-water mark."""
+        self._clock_s[scope] = max(self._clock_s.get(scope, 0.0), t_s)
+
+    def on_epoch(self, wall_s: float, cost_usd: float) -> None:
+        """Account one finished training epoch."""
+        self.epochs_done += 1
+        self.billed_usd += cost_usd
+        self._recent_wall_s.append(wall_s)
+        self._recent_cost_usd.append(cost_usd)
+        del self._recent_wall_s[: -self.window]
+        del self._recent_cost_usd[: -self.window]
+
+    def on_stage(self, stage: int, cost_usd: float) -> None:
+        """Account one finished SHA tuning stage."""
+        self.billed_usd += cost_usd
+        self._stage_spend_usd[stage] = (
+            self._stage_spend_usd.get(stage, 0.0) + cost_usd
+        )
+
+    def on_prediction(self, predicted_total_epochs: float) -> None:
+        """Adopt the online predictor's latest total-epoch horizon."""
+        self.predicted_total_epochs = float(predicted_total_epochs)
+
+    # ------------------------------------------------------------------ derived
+    @property
+    def remaining_epochs(self) -> float | None:
+        """Epochs the predictor still expects, or None before any estimate."""
+        if self.predicted_total_epochs is None:
+            return None
+        return max(0.0, self.predicted_total_epochs - self.epochs_done)
+
+    @property
+    def progress(self) -> float | None:
+        """Fraction of the predicted horizon already completed."""
+        if self.predicted_total_epochs is None or self.predicted_total_epochs <= 0:
+            return None
+        return min(1.0, self.epochs_done / self.predicted_total_epochs)
+
+    def projected_jct_s(self) -> float | None:
+        """Forecast completion time: elapsed + remaining x recent epoch rate."""
+        remaining = self.remaining_epochs
+        if remaining is None or not self._recent_wall_s:
+            return None
+        mean_wall = sum(self._recent_wall_s) / len(self._recent_wall_s)
+        return self.elapsed_s + remaining * mean_wall
+
+    def projected_cost_usd(self) -> float | None:
+        """Forecast total spend: billed + remaining x recent epoch cost."""
+        remaining = self.remaining_epochs
+        if remaining is None or not self._recent_cost_usd:
+            return None
+        mean_cost = sum(self._recent_cost_usd) / len(self._recent_cost_usd)
+        return self.billed_usd + remaining * mean_cost
+
+    def _burn_rate(self, consumed: float, limit: float) -> float | None:
+        """Budget fraction consumed per unit of predicted progress; a value
+        above 1 means the run is on pace to overshoot the limit."""
+        progress = self.progress
+        if progress is None or progress <= 0 or limit <= 0:
+            return None
+        return (consumed / limit) / progress
+
+    def _classify(
+        self,
+        consumed: float,
+        limit: float,
+        projected: float | None,
+        burn_rate: float | None,
+    ) -> str:
+        if consumed >= limit:
+            return "exhausted"
+        if projected is not None and projected > limit:
+            return "critical"
+        if consumed > self.spec.warn_ratio * limit:
+            return "warn"
+        if (
+            burn_rate is not None
+            and burn_rate > 1.0
+            and consumed >= self.min_burn_fraction * limit
+        ):
+            return "warn"
+        return "ok"
+
+    def states(self) -> tuple[BudgetState, ...]:
+        """Current :class:`BudgetState` per declared dimension, in the fixed
+        order deadline, budget, stage sub-budgets by index."""
+        out: list[BudgetState] = []
+        if self.spec.deadline_s is not None:
+            consumed = self.elapsed_s
+            projected = self.projected_jct_s()
+            rate = self._burn_rate(consumed, self.spec.deadline_s)
+            out.append(
+                BudgetState(
+                    dimension="deadline",
+                    limit=self.spec.deadline_s,
+                    consumed=consumed,
+                    projected=projected,
+                    burn_rate=rate,
+                    status=self._classify(
+                        consumed, self.spec.deadline_s, projected, rate
+                    ),
+                )
+            )
+        if self.spec.budget_usd is not None:
+            consumed = self.billed_usd
+            projected = self.projected_cost_usd()
+            rate = self._burn_rate(consumed, self.spec.budget_usd)
+            out.append(
+                BudgetState(
+                    dimension="budget",
+                    limit=self.spec.budget_usd,
+                    consumed=consumed,
+                    projected=projected,
+                    burn_rate=rate,
+                    status=self._classify(
+                        consumed, self.spec.budget_usd, projected, rate
+                    ),
+                )
+            )
+        for stage, limit_usd in self.spec.stage_budgets_usd:
+            consumed = self._stage_spend_usd.get(stage, 0.0)
+            out.append(
+                BudgetState(
+                    dimension=f"stage:{stage}",
+                    limit=limit_usd,
+                    consumed=consumed,
+                    projected=None,
+                    burn_rate=None,
+                    status=self._classify(consumed, limit_usd, None, None),
+                )
+            )
+        return tuple(out)

@@ -1,0 +1,184 @@
+"""The live SLO guard: event stream in, accounting + alerts out.
+
+:class:`SLOGuard` subscribes to the run-event bus and folds each event
+into the burn-rate accountant, then re-evaluates the alert engine at the
+event's simulated timestamp. Alert transitions are mirrored three ways:
+appended to the guard's own event log (``alert_fired`` /
+``alert_resolved`` lines), counted in the telemetry metrics registry
+(lazily created ``repro_slo_alerts_total`` family, so a run with zero
+alerts leaves the metrics snapshot byte-identical to a guard-off run),
+and marked as Chrome-trace instant events when a tracer is live.
+
+:class:`SLOSession` is the context-manager wrapper the CLI uses: it
+installs an :class:`~repro.slo.events.EventBus` for the duration of a run,
+wires the guard and/or a plain event log into it, and writes the JSONL
+event log on exit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.slo.alerts import Alert, AlertEngine
+from repro.slo.burnrate import BurnRateAccountant
+from repro.slo.events import Event, EventBus, EventLog, get_event_bus, set_event_bus
+from repro.slo.spec import SLOSpec
+from repro.telemetry import get_registry, get_tracer
+
+
+class SLOGuard:
+    """Folds the run-event stream into budget states and alerts."""
+
+    def __init__(self, spec: SLOSpec, log: EventLog | None = None) -> None:
+        self.spec = spec
+        self.accountant = BurnRateAccountant(spec)
+        self.engine = AlertEngine(spec)
+        self.log = log if log is not None else EventLog()
+        # Captured at construction so the guard mirrors into whatever
+        # telemetry session is live when the run starts.
+        self._registry = get_registry()
+        self._tracer = get_tracer()
+        self._m_alerts = None
+        self._epoch = 0
+        self._initial_prediction: float | None = None
+        self._last_drift: float | None = None
+        self._last_slowdown: float | None = None
+
+    @property
+    def alerts(self) -> tuple[Alert, ...]:
+        """Every alert the engine has fired, in firing order."""
+        return self.engine.alerts
+
+    def on_event(self, event: Event) -> None:
+        """Bus subscriber entry point: account one event, re-check rules."""
+        self.log.record(event)
+        if event.scope in ("train", "tune"):
+            self.accountant.observe_clock(event.scope, event.t_s)
+        data = event.data
+        if event.kind == "epoch_done":
+            self._epoch = int(data.get("epoch", self._epoch + 1))
+            self.accountant.on_epoch(
+                float(data.get("wall_s", 0.0)), float(data.get("cost_usd", 0.0))
+            )
+            slowdown = data.get("straggler_slowdown")
+            if slowdown is not None:
+                self._last_slowdown = float(slowdown)
+        elif event.kind == "stage_done":
+            self.accountant.on_stage(
+                int(data.get("stage", 0)), float(data.get("cost_usd", 0.0))
+            )
+        elif event.kind in ("plan_chosen", "predictor_update", "predictor_shift"):
+            predicted = data.get("predicted_total_epochs")
+            if predicted is not None:
+                predicted = float(predicted)
+                if self._initial_prediction is None:
+                    self._initial_prediction = predicted
+                elif self._initial_prediction > 0:
+                    self._last_drift = (
+                        abs(predicted - self._initial_prediction)
+                        / self._initial_prediction
+                    )
+                self.accountant.on_prediction(predicted)
+        self._evaluate(event.t_s)
+
+    def _evaluate(self, t_s: float) -> None:
+        fired, resolved = self.engine.evaluate(
+            t_s,
+            self.accountant.states(),
+            epoch=self._epoch,
+            predictor_drift=self._last_drift,
+            straggler_slowdown=self._last_slowdown,
+        )
+        for alert in fired:
+            self._mirror(alert, "fired", t_s)
+        for alert in resolved:
+            self._mirror(alert, "resolved", t_s)
+
+    def _mirror(self, alert: Alert, state: str, t_s: float) -> None:
+        # Append directly (not via the bus) — re-emitting would re-enter
+        # on_event and loop.
+        self.log.append(
+            f"alert_{state}",
+            t_s,
+            scope=alert.scope,
+            rule=alert.rule,
+            severity=alert.severity,
+            message=alert.message,
+            epoch=self._epoch,
+        )
+        if self._m_alerts is None:
+            # Lazy: a zero-alert run must not add an (empty) metric family
+            # to the registry snapshot.
+            self._m_alerts = self._registry.counter(
+                "repro_slo_alerts_total",
+                "SLO guard alert transitions by rule and state",
+                labelnames=("rule", "state"),
+            )
+        self._m_alerts.labels(rule=alert.rule, state=state).inc()
+        self._tracer.instant(
+            f"alert:{alert.rule}",
+            "slo",
+            t_s,
+            "slo",
+            rule=alert.rule,
+            scope=alert.scope,
+            severity=alert.severity,
+            state=state,
+        )
+
+
+class SLOSession:
+    """Installs the event bus (and optionally the guard) around a run.
+
+    Args:
+        spec: an :class:`SLOSpec`, a path to a ``repro-slo/v1`` JSON file,
+            or ``None`` to only capture the event log.
+        events_path: where to write the ``repro-events/v1`` JSONL log on a
+            clean exit; ``None`` skips the write.
+        meta: run metadata for the event-log header.
+
+    With neither a spec nor an events path the session is inert: nothing
+    is installed and the run stays byte-identical to a guard-off run.
+    """
+
+    def __init__(
+        self,
+        spec: SLOSpec | str | Path | None = None,
+        events_path: str | Path | None = None,
+        meta: dict | None = None,
+    ) -> None:
+        if isinstance(spec, (str, Path)):
+            spec = SLOSpec.load(spec)
+        self.spec = spec
+        self.events_path = Path(events_path) if events_path is not None else None
+        self.meta = dict(meta or {})
+        self.guard: SLOGuard | None = None
+        self.log: EventLog | None = None
+        self._prev_bus = None
+
+    @property
+    def active(self) -> bool:
+        """True when entering the session will install a live bus."""
+        return self.spec is not None or self.events_path is not None
+
+    def __enter__(self) -> "SLOSession":
+        if not self.active:
+            return self
+        self._prev_bus = get_event_bus()
+        bus = EventBus()
+        self.log = EventLog(meta=self.meta)
+        if self.spec is not None:
+            self.guard = SLOGuard(self.spec, log=self.log)
+            bus.subscribe(self.guard.on_event)
+        else:
+            bus.subscribe(self.log.record)
+        set_event_bus(bus)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.active:
+            return
+        set_event_bus(self._prev_bus)
+        self._prev_bus = None
+        if exc_type is None and self.events_path is not None and self.log is not None:
+            self.events_path.write_text(self.log.to_jsonl())

@@ -45,6 +45,15 @@ class Tracer:
             name, category, start_s + self.offset_s, duration_s, track, **args
         )
 
+    def instant(self, name: str, category: str, t_s: float, track: str, **args) -> None:
+        """Record one zero-duration marker at ``t_s``.
+
+        Unlike :meth:`span`, ``t_s`` is *absolute job time* and the offset
+        is not added — instant sources (the SLO guard) already work in the
+        job-time coordinate the offset exists to reconstruct.
+        """
+        self.recorder.instant(name, category, t_s, track, **args)
+
     def advance(self, dt_s: float) -> None:
         """Shift subsequent spans right by ``dt_s`` job-time seconds."""
         self.offset_s += dt_s
@@ -70,6 +79,9 @@ class NullTracer:
         return False
 
     def span(self, name, category, start_s, duration_s, track, **args) -> None:
+        pass
+
+    def instant(self, name, category, t_s, track, **args) -> None:
         pass
 
     def advance(self, dt_s: float) -> None:

@@ -26,6 +26,7 @@ from repro.ml.models import Workload
 from repro.training.offline_predictor import OfflinePredictor
 from repro.training.online_predictor import OnlinePredictor
 from repro.telemetry import get_registry
+from repro.slo.events import get_event_bus
 
 
 @dataclass(frozen=True, slots=True)
@@ -153,6 +154,7 @@ class AdaptiveScheduler:
         self.total_search_overhead_s = 0.0
         self._prediction_history: list[float] = []
         self._drift_streak = 0
+        self._bus = get_event_bus()
         registry = get_registry()
         self._m_predictions = registry.counter(
             "repro_scheduler_prediction_updates_total",
@@ -253,6 +255,19 @@ class AdaptiveScheduler:
         self._m_predictions.inc()
         self._m_drift.observe(drift)
         self._m_predicted_epochs.set(new_prediction)
+        if self._bus.enabled:
+            self._bus.emit(
+                "predictor_update", self.elapsed_s, scope="train",
+                epoch=self.epochs_done,
+                predicted_total_epochs=new_prediction, drift=drift,
+            )
+            if drift > self.delta:
+                self._bus.emit(
+                    "predictor_shift", self.elapsed_s, scope="train",
+                    epoch=self.epochs_done,
+                    predicted_total_epochs=new_prediction, drift=drift,
+                    acted_on=self.predicted_total_epochs,
+                )
         self._drift_streak = self._drift_streak + 1 if drift > self.delta else 0
         remaining_now = new_prediction - self.epochs_done
         # Act on drift only when (a) it persisted for two consecutive

@@ -32,6 +32,7 @@ from repro.ml.sgd import DistributedSGD, SGDConfig
 from repro.tuning.plan import Objective
 from repro.training.delayed_restart import DelayedRestartPlanner
 from repro.telemetry import get_registry, get_tracer
+from repro.slo.events import get_event_bus
 
 
 class LossProvider(Protocol):
@@ -129,6 +130,19 @@ class TrainingJobSpec:
         return SurrogateLossProvider(self.workload, seed=self.seed)
 
 
+def _gang_slowdown(worker_durations_s: tuple[float, ...] | list[float]) -> float:
+    """Slowest worker over the gang median (1.0 for degenerate gangs)."""
+    durations = sorted(worker_durations_s)
+    if not durations:
+        return 1.0
+    mid = len(durations) // 2
+    if len(durations) % 2:
+        median = durations[mid]
+    else:
+        median = (durations[mid - 1] + durations[mid]) / 2.0
+    return max(durations) / median if median > 0 else 1.0
+
+
 class TrainingScheduler(Protocol):
     """The protocol CE-scaling's scheduler and all baselines implement."""
 
@@ -165,6 +179,7 @@ class TrainingExecutor:
         provider = spec.make_loss_provider()
         registry = get_registry()
         tracer = get_tracer()
+        bus = get_event_bus()
         m_hidden = registry.counter(
             "repro_scheduler_restart_hidden_seconds_total",
             "Restart lead time overlapped with running epochs (Fig. 8)",
@@ -184,6 +199,15 @@ class TrainingExecutor:
                 decision.search_overhead_s, "scheduler",
             )
             tracer.advance(decision.search_overhead_s)
+        if bus.enabled:
+            bus.emit(
+                "plan_chosen", jct, scope="train",
+                allocation=point.allocation.describe(),
+                predicted_total_epochs=getattr(
+                    decision, "predicted_total_epochs", None
+                ),
+                search_overhead_s=decision.search_overhead_s,
+            )
         cost = 0.0
         records: list[EpochRecord] = []
         n_restarts = 0
@@ -238,6 +262,13 @@ class TrainingExecutor:
                     worker_durations_s=result.worker_durations_s,
                 )
             )
+            if bus.enabled:
+                bus.emit(
+                    "epoch_done", jct, scope="train",
+                    epoch=epoch_idx, wall_s=epoch_wall, cost_usd=epoch_cost,
+                    loss=loss, allocation=alloc.describe(),
+                    straggler_slowdown=_gang_slowdown(result.worker_durations_s),
+                )
             if loss <= w.target_loss:
                 converged = True
                 break
@@ -256,6 +287,16 @@ class TrainingExecutor:
                     decision.search_overhead_s, "scheduler", epoch=epoch_idx,
                 )
                 tracer.advance(decision.search_overhead_s)
+            if bus.enabled and decision.search_overhead_s:
+                bus.emit(
+                    "plan_chosen", jct, scope="train",
+                    epoch=epoch_idx,
+                    allocation=decision.point.allocation.describe(),
+                    predicted_total_epochs=getattr(
+                        decision, "predicted_total_epochs", None
+                    ),
+                    search_overhead_s=decision.search_overhead_s,
+                )
             if decision.restart:
                 n_restarts += 1
                 new_alloc = decision.point.allocation
@@ -297,6 +338,19 @@ class TrainingExecutor:
                     decision.search_overhead_s + plan.visible_overhead_s
                 )
                 records[-1].hidden_restart_overlap_s = plan.hidden_overhead_s
+                if bus.enabled:
+                    bus.emit(
+                        "restart_begun", jct, scope="train",
+                        epoch=epoch_idx, visible_s=plan.visible_overhead_s,
+                        hidden_s=plan.hidden_overhead_s,
+                        target=new_alloc.describe(),
+                    )
+                    if plan.hidden_overhead_s > 0:
+                        bus.emit(
+                            "restart_hidden", jct, scope="train",
+                            epoch=epoch_idx, hidden_s=plan.hidden_overhead_s,
+                            target=new_alloc.describe(),
+                        )
             point = decision.point
 
         return JobResult(

@@ -20,6 +20,7 @@ from repro.tuning.plan import PartitionPlan, stage_waves
 from repro.tuning.sha import SHAEngine, SHASpec, StageShape, Trial
 from repro.ml.models import Workload
 from repro.telemetry import get_tracer
+from repro.slo.events import get_event_bus
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,6 +89,7 @@ class TuningExecutor:
         elif engine.spec is not self.spec:
             raise ValidationError("custom engine must share the executor's spec")
         records: list[StageRecord] = []
+        bus = get_event_bus()
         total_jct = scheduling_overhead_s
         total_cost = 0.0
         for i, point in enumerate(plan.stages):
@@ -124,6 +126,13 @@ class TuningExecutor:
             )
             total_jct += stage_jct
             total_cost += stage_cost
+            if bus.enabled:
+                bus.emit(
+                    "stage_done", total_jct, scope="tune",
+                    stage=i, n_trials=q, epochs_per_trial=r,
+                    jct_s=stage_jct, cost_usd=stage_cost,
+                    allocation=point.allocation.describe(),
+                )
             engine.run_stage()
         winner = engine.winner()
         return TuningRunResult(

@@ -47,6 +47,7 @@ from repro.tuning.plan import (
 from repro.tuning.sha import SHASpec, StageShape
 from repro.tuning.static_planner import optimal_static_plan, static_plan
 from repro.telemetry import get_registry
+from repro.slo.events import get_event_bus
 
 
 @dataclass
@@ -264,6 +265,16 @@ class GreedyHeuristicPlanner:
             "Host wall-clock time per planning pass",
             buckets=(0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
         ).observe(stats.wall_time_s)
+        bus = get_event_bus()
+        if bus.enabled:
+            bus.emit(
+                "plan_chosen", 0.0, scope="tune",
+                n_stages=len(best.stages),
+                predicted_jct_s=best_ev.jct_s,
+                predicted_cost_usd=best_ev.cost_usd,
+                feasible=feasible,
+                candidates_evaluated=stats.candidates_evaluated,
+            )
         return PlannerResult(
             plan=best,
             evaluation=best_ev,

@@ -20,6 +20,7 @@ from repro.tuning.executor import TuningRunResult
 from repro.tuning.plan import Objective
 from repro.tuning.sha import SHASpec, Trial
 from repro.workflow.runner import profile_workload, run_training, run_tuning
+from repro.slo.events import get_event_bus
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,6 +88,13 @@ def run_workflow(
         profile=profile,
     )
     winner = tuning_run.result.winner
+    bus = get_event_bus()
+    if bus.enabled:
+        bus.emit(
+            "phase_done", tuning_run.result.jct_s, scope="workflow",
+            phase="tuning", jct_s=tuning_run.result.jct_s,
+            cost_usd=tuning_run.result.cost_usd,
+        )
     remaining = max(budget_usd * 0.05, budget_usd - tuning_run.result.cost_usd)
 
     train_w = effective_workload(w, winner)
@@ -98,6 +106,14 @@ def run_workflow(
         seed=seed,
         platform=platform,
     )
+    if bus.enabled:
+        bus.emit(
+            "phase_done",
+            tuning_run.result.jct_s + training_run.result.jct_s,
+            scope="workflow", phase="training",
+            jct_s=training_run.result.jct_s,
+            cost_usd=training_run.result.cost_usd,
+        )
     return WorkflowResult(
         tuning=tuning_run.result,
         training=training_run.result,

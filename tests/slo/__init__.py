@@ -1,0 +1,1 @@
+"""Tests for the QoS/SLO guard layer (``repro.slo``)."""

@@ -1,0 +1,16 @@
+"""SLO-test fixtures: install a live event bus, restore the null bus after."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.slo.events import EventBus, get_event_bus, set_event_bus
+
+
+@pytest.fixture
+def bus():
+    prev = get_event_bus()
+    live = EventBus()
+    set_event_bus(live)
+    yield live
+    set_event_bus(prev)

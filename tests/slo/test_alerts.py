@@ -1,0 +1,114 @@
+"""Alert engine: rule catalogue, fire/resolve lifecycle, deduplication."""
+
+from repro.slo import RULES, AlertEngine, BudgetState, SLOSpec
+
+
+def _deadline_state(consumed, limit=10.0, projected=None, burn=None, status="ok"):
+    return BudgetState(
+        dimension="deadline", limit=limit, consumed=consumed,
+        projected=projected, burn_rate=burn, status=status,
+    )
+
+
+class TestCatalogue:
+    def test_every_rule_named_and_documented(self):
+        names = [rule.name for rule in RULES]
+        assert len(names) == len(set(names)) == 9
+        assert all(rule.description for rule in RULES)
+        assert all(rule.severity in ("warning", "critical") for rule in RULES)
+
+
+class TestLifecycle:
+    def test_fire_once_while_condition_holds(self):
+        engine = AlertEngine(SLOSpec(deadline_s=10.0))
+        state = _deadline_state(consumed=2.0, projected=15.0)
+        fired, _ = engine.evaluate(2.0, (state,), epoch=1)
+        assert [a.rule for a in fired] == ["deadline-projected-miss"]
+        # The same condition at the next epoch fires nothing new.
+        fired, resolved = engine.evaluate(4.0, (state,), epoch=2)
+        assert fired == [] and resolved == []
+        assert len(engine.alerts) == 1
+
+    def test_resolve_stamps_time_and_epoch(self):
+        engine = AlertEngine(SLOSpec(deadline_s=10.0))
+        engine.evaluate(2.0, (_deadline_state(2.0, projected=15.0),), epoch=1)
+        _, resolved = engine.evaluate(
+            4.0, (_deadline_state(4.0, projected=8.0),), epoch=2
+        )
+        assert [a.rule for a in resolved] == ["deadline-projected-miss"]
+        alert = resolved[0]
+        assert not alert.active
+        assert alert.fired_t_s == 2.0 and alert.fired_epoch == 1
+        assert alert.resolved_t_s == 4.0 and alert.resolved_epoch == 2
+
+    def test_refire_after_resolve_is_a_new_alert(self):
+        engine = AlertEngine(SLOSpec(deadline_s=10.0))
+        engine.evaluate(2.0, (_deadline_state(2.0, projected=15.0),), epoch=1)
+        engine.evaluate(4.0, (_deadline_state(4.0, projected=8.0),), epoch=2)
+        fired, _ = engine.evaluate(
+            6.0, (_deadline_state(6.0, projected=16.0),), epoch=3
+        )
+        assert len(fired) == 1 and len(engine.alerts) == 2
+
+    def test_burn_alert_survives_escalation_to_exhausted(self):
+        """deadline-burn must not bounce when the dimension escalates."""
+        engine = AlertEngine(SLOSpec(deadline_s=10.0))
+        engine.evaluate(9.0, (_deadline_state(9.0),), epoch=5)  # 90% consumed
+        fired, resolved = engine.evaluate(
+            11.0, (_deadline_state(11.0),), epoch=6
+        )
+        assert [a.rule for a in fired] == ["deadline-exhausted"]
+        assert resolved == []
+        burn = [a for a in engine.alerts if a.rule == "deadline-burn"]
+        assert burn[0].active
+
+
+class TestAuxiliaryRules:
+    def test_predictor_drift_threshold(self):
+        engine = AlertEngine(SLOSpec(deadline_s=10.0, predictor_drift_threshold=0.25))
+        fired, _ = engine.evaluate(
+            1.0, (_deadline_state(1.0),), predictor_drift=0.30
+        )
+        assert [a.rule for a in fired] == ["predictor-drift"]
+        assert fired[0].scope == "predictor"
+        _, resolved = engine.evaluate(
+            2.0, (_deadline_state(2.0),), predictor_drift=0.10
+        )
+        assert [a.rule for a in resolved] == ["predictor-drift"]
+
+    def test_drift_rule_disabled_by_spec(self):
+        engine = AlertEngine(
+            SLOSpec(deadline_s=10.0, predictor_drift_threshold=None)
+        )
+        fired, _ = engine.evaluate(
+            1.0, (_deadline_state(1.0),), predictor_drift=9.0
+        )
+        assert fired == []
+
+    def test_straggler_threshold(self):
+        engine = AlertEngine(SLOSpec(deadline_s=10.0, straggler_slowdown=3.0))
+        fired, _ = engine.evaluate(
+            1.0, (_deadline_state(1.0),), straggler_slowdown=3.5
+        )
+        assert [a.rule for a in fired] == ["straggler"]
+        assert fired[0].scope == "workers"
+
+    def test_stage_budget_overrun(self):
+        spec = SLOSpec(stage_budgets_usd={0: 0.5})
+        engine = AlertEngine(spec)
+        state = BudgetState(
+            dimension="stage:0", limit=0.5, consumed=0.6,
+            projected=None, burn_rate=None, status="exhausted",
+        )
+        fired, _ = engine.evaluate(1.0, (state,))
+        assert [a.rule for a in fired] == ["stage-budget-overrun"]
+        assert fired[0].scope == "stage:0"
+
+    def test_payload_round_trip_fields(self):
+        engine = AlertEngine(SLOSpec(deadline_s=10.0))
+        fired, _ = engine.evaluate(2.0, (_deadline_state(11.0),), epoch=3)
+        payload = fired[0].to_payload()
+        assert payload["rule"] == "deadline-exhausted"
+        assert payload["severity"] == "critical"
+        assert payload["fired_epoch"] == 3
+        assert payload["resolved_t_s"] is None

@@ -1,0 +1,121 @@
+"""Burn-rate accounting: clocks, projections, and the status ladder."""
+
+import pytest
+
+from repro.slo import BurnRateAccountant, SLOSpec
+
+
+def _acct(**spec_kwargs) -> BurnRateAccountant:
+    return BurnRateAccountant(SLOSpec(name="t", **spec_kwargs))
+
+
+def _state(acct, dimension):
+    for st in acct.states():
+        if st.dimension == dimension:
+            return st
+    raise AssertionError(f"no {dimension} dimension in {acct.states()}")
+
+
+class TestClocks:
+    def test_per_scope_high_water_marks_sum(self):
+        acct = _acct(deadline_s=100.0)
+        acct.observe_clock("tune", 10.0)
+        acct.observe_clock("tune", 8.0)     # regressions never rewind a clock
+        acct.observe_clock("train", 5.0)
+        assert acct.elapsed_s == 15.0
+
+    def test_epoch_accounting(self):
+        acct = _acct(budget_usd=1.0)
+        for _ in range(7):
+            acct.on_epoch(wall_s=2.0, cost_usd=0.05)
+        assert acct.epochs_done == 7
+        assert acct.billed_usd == pytest.approx(0.35)
+        # window keeps only the trailing 5 epochs
+        assert len(acct._recent_wall_s) == 5
+
+    def test_stage_accounting(self):
+        acct = _acct(stage_budgets_usd={0: 0.5, 1: 0.5})
+        acct.on_stage(0, 0.2)
+        acct.on_stage(0, 0.4)
+        acct.on_stage(1, 0.1)
+        assert acct.billed_usd == pytest.approx(0.7)
+        assert _state(acct, "stage:0").consumed == pytest.approx(0.6)
+        assert _state(acct, "stage:1").consumed == pytest.approx(0.1)
+
+
+class TestProjection:
+    def test_no_projection_before_prediction(self):
+        acct = _acct(deadline_s=100.0)
+        acct.on_epoch(2.0, 0.01)
+        assert acct.projected_jct_s() is None
+        assert _state(acct, "deadline").status == "ok"
+
+    def test_projection_uses_window_mean(self):
+        acct = _acct(deadline_s=100.0)
+        acct.on_prediction(10)
+        for t in (2.0, 4.0):
+            acct.observe_clock("train", t)
+            acct.on_epoch(2.0, 0.01)
+        # 4 s elapsed + 8 remaining epochs x 2 s mean = 20 s
+        assert acct.projected_jct_s() == pytest.approx(20.0)
+
+    def test_projected_cost(self):
+        acct = _acct(budget_usd=1.0)
+        acct.on_prediction(10)
+        for _ in range(5):
+            acct.on_epoch(2.0, 0.02)
+        assert acct.projected_cost_usd() == pytest.approx(0.1 + 5 * 0.02)
+
+
+class TestStatusLadder:
+    def test_exhausted_beats_everything(self):
+        acct = _acct(deadline_s=10.0)
+        acct.observe_clock("train", 10.0)
+        assert _state(acct, "deadline").status == "exhausted"
+
+    def test_critical_on_projected_overshoot(self):
+        acct = _acct(deadline_s=10.0)
+        acct.on_prediction(10)
+        acct.observe_clock("train", 2.0)
+        acct.on_epoch(2.0, 0.0)  # projection: 2 + 9 x 2 = 20 s > 10 s
+        assert _state(acct, "deadline").status == "critical"
+
+    def test_warn_on_consumption_ratio(self):
+        acct = _acct(deadline_s=10.0)
+        acct.observe_clock("train", 9.0)  # 90% > default warn_ratio 0.85
+        assert _state(acct, "deadline").status == "warn"
+
+    def test_warn_on_burn_rate(self):
+        # 20% of the budget consumed at 10% progress -> burn rate 2x.
+        acct = _acct(budget_usd=1.0)
+        acct.on_prediction(10)
+        acct.on_epoch(1.0, 0.2)
+        st = _state(acct, "budget")
+        assert st.burn_rate == pytest.approx(2.0)
+        assert st.status in ("warn", "critical")
+
+    def test_burn_rate_ignored_below_min_fraction(self):
+        # 2% consumed at 1% progress is a 2x burn rate, but too early to act.
+        acct = _acct(budget_usd=1.0)
+        acct.on_prediction(100)
+        acct.on_epoch(1.0, 0.02)
+        st = _state(acct, "budget")
+        assert st.status == "critical"  # projection, not burn, flags it
+        acct2 = _acct(budget_usd=1.0)
+        acct2.on_prediction(100)
+        acct2.epochs_done = 1  # no cost window -> no projection
+        assert _state(acct2, "budget").status == "ok"
+
+    def test_ok_when_on_track(self):
+        acct = _acct(deadline_s=100.0, budget_usd=1.0)
+        acct.on_prediction(10)
+        for t in (2.0, 4.0):
+            acct.observe_clock("train", t)
+            acct.on_epoch(2.0, 0.01)
+        assert {st.status for st in acct.states()} == {"ok"}
+
+    def test_dimension_order_is_fixed(self):
+        acct = _acct(deadline_s=1.0, budget_usd=1.0, stage_budgets_usd={1: 0.5, 0: 0.5})
+        assert [st.dimension for st in acct.states()] == [
+            "deadline", "budget", "stage:0", "stage:1",
+        ]

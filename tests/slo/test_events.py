@@ -1,0 +1,100 @@
+"""Event bus semantics and the repro-events/v1 JSONL document."""
+
+import json
+
+import pytest
+
+from repro.common.errors import SLOError
+from repro.slo.events import (
+    EVENT_KINDS,
+    EVENTS_SCHEMA,
+    Event,
+    EventBus,
+    EventLog,
+    NullEventBus,
+    get_event_bus,
+    set_event_bus,
+)
+
+
+class TestEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SLOError, match="unknown event kind"):
+            Event(kind="made_up", t_s=0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SLOError, match=">= 0"):
+            Event(kind="epoch_done", t_s=-1.0)
+
+    def test_every_declared_kind_constructs(self):
+        for kind in EVENT_KINDS:
+            assert Event(kind=kind, t_s=0.0).kind == kind
+
+
+class TestBus:
+    def test_null_bus_is_the_default(self):
+        bus = get_event_bus()
+        assert isinstance(bus, NullEventBus)
+        assert not bus.enabled
+        assert bus.emit("epoch_done", 1.0, wall_s=2.0) is None
+
+    def test_null_bus_rejects_subscribers(self):
+        with pytest.raises(SLOError, match="null event bus"):
+            NullEventBus().subscribe(lambda e: None)
+
+    def test_emit_delivers_in_subscription_order(self, bus):
+        order = []
+        bus.subscribe(lambda e: order.append(("a", e.kind)))
+        bus.subscribe(lambda e: order.append(("b", e.kind)))
+        event = bus.emit("epoch_done", 1.5, scope="train", epoch=3)
+        assert order == [("a", "epoch_done"), ("b", "epoch_done")]
+        assert event.data == {"epoch": 3}
+
+    def test_set_none_restores_null_bus(self):
+        prev = get_event_bus()
+        live = EventBus()
+        set_event_bus(live)
+        assert get_event_bus() is live
+        set_event_bus(None)
+        assert isinstance(get_event_bus(), NullEventBus)
+        set_event_bus(prev)
+
+
+class TestEventLog:
+    def _log(self) -> EventLog:
+        log = EventLog(meta={"command": "train", "seed": 7})
+        log.append("plan_chosen", 0.0, scope="train", predicted_total_epochs=12)
+        log.append("epoch_done", 2.5, scope="train", epoch=1, wall_s=2.5,
+                   cost_usd=0.01)
+        log.append("epoch_done", 5.0, scope="train", epoch=2, wall_s=2.5,
+                   cost_usd=0.01)
+        return log
+
+    def test_jsonl_round_trips_byte_exact(self):
+        text = self._log().to_jsonl()
+        assert EventLog.from_jsonl(text).to_jsonl() == text
+
+    def test_header_and_seq_layout(self):
+        lines = self._log().to_jsonl().splitlines()
+        header = json.loads(lines[0])
+        assert header["schema"] == EVENTS_SCHEMA
+        assert header["meta"] == {"command": "train", "seed": 7}
+        assert [json.loads(line)["seq"] for line in lines[1:]] == [0, 1, 2]
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(SLOError, match="empty event log"):
+            EventLog.from_jsonl("")
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(SLOError, match="header is not valid JSON"):
+            EventLog.from_jsonl("{nope\n")
+        with pytest.raises(SLOError, match="must be an object"):
+            EventLog.from_jsonl("[1, 2]\n")
+        with pytest.raises(SLOError, match="expected schema"):
+            EventLog.from_jsonl('{"schema": "other/v1", "meta": {}}\n')
+
+    def test_truncated_line_rejected(self):
+        text = self._log().to_jsonl()
+        truncated = text[: len(text) - 20]
+        with pytest.raises(SLOError, match="truncated or malformed"):
+            EventLog.from_jsonl(truncated)

@@ -30,6 +30,7 @@ def _load(name: str):
         "full_workflow",
         "telemetry_capture",
         "diagnose_run",
+        "slo_guard",
     ],
 )
 def test_example_runs(name, capsys):

@@ -133,4 +133,4 @@ class TestCommittedBaseline:
         assert doc["schema"] == harness.JSON_SCHEMA
         assert set(doc["experiments"]) == set(
             harness.REGISTRY.available()
-        )
+        ) | {harness.GUARD_ENTRY}
