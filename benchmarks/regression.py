@@ -65,6 +65,12 @@ GUARD_BASE_EXPERIMENT = "fig12"
 GUARD_ENTRY = "fig12+slo-guard"
 GUARD_OVERHEAD_RATIO = 1.05
 
+#: Chaos matrix (--chaos): every Fig-12 workload must complete under the
+#: default fault profile — recovering via retries, checkpoint restores and
+#: Pareto replanning — with JCT inflated at most this much over fault-free.
+CHAOS_INFLATION_LIMIT = 2.0
+CHAOS_BUDGET_MULTIPLE = 2.5
+
 
 def measure(experiment: str, scale: str, seed: int, rounds: int) -> dict:
     """Best-of-``rounds`` wall time + telemetry counter totals."""
@@ -146,6 +152,68 @@ def measure_guard_overhead(
     return base, guarded
 
 
+def run_chaos_matrix(scale: str, seed: int) -> tuple[dict, list[str]]:
+    """Fault-free vs default-chaos training per Fig-12 workload.
+
+    Returns ``(entries, failures)``: one entry per workload with the clean
+    and chaos JCTs (simulated seconds — deterministic, unlike wall-clock)
+    and the fault/recovery counts, plus a failure line for every workload
+    that crashed outright or inflated beyond ``CHAOS_INFLATION_LIMIT``.
+    """
+    from repro.common.errors import ReproError
+    from repro.experiments.harness import get_scale
+    from repro.faults import FaultPlan
+    from repro.ml.models import workload
+    from repro.workflow.job import training_envelope
+    from repro.workflow.runner import profile_workload, run_training
+
+    plan = FaultPlan.default_profile()
+    entries: dict[str, dict] = {}
+    failures: list[str] = []
+    for name in get_scale(scale).workloads:
+        profile = profile_workload(name)
+        budget = training_envelope(workload(name), profile).budget(
+            CHAOS_BUDGET_MULTIPLE
+        )
+        clean = run_training(
+            name, budget_usd=budget, seed=seed, profile=profile
+        ).result
+        try:
+            chaos = run_training(
+                name, budget_usd=budget, seed=seed, profile=profile,
+                fault_plan=plan,
+            ).result
+        except ReproError as exc:
+            failures.append(f"{name}: chaos run failed to complete: {exc}")
+            entries[name] = {"clean_jct_s": round(clean.jct_s, 4),
+                             "error": str(exc)}
+            continue
+        inflation = chaos.jct_s / clean.jct_s if clean.jct_s > 0 else float("inf")
+        summary = chaos.extra.get("faults", {})
+        entries[name] = {
+            "clean_jct_s": round(clean.jct_s, 4),
+            "chaos_jct_s": round(chaos.jct_s, 4),
+            "inflation": round(inflation, 4),
+            "n_faults": summary.get("n_faults", 0),
+            "n_recoveries": summary.get("n_recoveries", 0),
+            "restarts": chaos.n_restarts,
+        }
+        print(f"  chaos:{name:20s} clean {clean.jct_s:9.2f} s -> "
+              f"chaos {chaos.jct_s:9.2f} s ({inflation:.2f}x, "
+              f"{summary.get('n_faults', 0)} faults)")
+        if inflation > CHAOS_INFLATION_LIMIT:
+            failures.append(
+                f"{name}: chaos JCT inflation {inflation:.2f}x exceeds "
+                f"{CHAOS_INFLATION_LIMIT:.2f}x limit"
+            )
+        if not summary.get("n_faults"):
+            failures.append(
+                f"{name}: default profile injected no faults — the chaos "
+                "matrix is not exercising recovery"
+            )
+    return entries, failures
+
+
 def run_suite(
     experiments: list[str], scale: str, seed: int, rounds: int,
     slowdown: float = 1.0,
@@ -224,6 +292,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--inject-slowdown", type=float, default=1.0,
                         metavar="FACTOR",
                         help="multiply measured wall times (self-test hook)")
+    parser.add_argument("--chaos", action="store_true",
+                        help="also run the fault-injection matrix: every "
+                             "Fig-12 workload under the default chaos "
+                             "profile, gated on completion and JCT "
+                             f"inflation <= {CHAOS_INFLATION_LIMIT}x")
     args = parser.parse_args(argv)
 
     available = REGISTRY.available()
@@ -273,6 +346,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"{GUARD_OVERHEAD_RATIO:.2f}x hook-bus overhead budget)"
             )
 
+    chaos_failures: list[str] = []
+    if args.chaos:
+        print("chaos matrix (default fault profile)")
+        chaos_entries, chaos_failures = run_chaos_matrix(args.scale, args.seed)
+        current["chaos"] = chaos_entries
+
     exit_code = 0
     if baseline is None:
         print("no baseline to compare against; recording only")
@@ -288,6 +367,12 @@ def main(argv: list[str] | None = None) -> int:
         exit_code = 0 if args.warn_only else 1
     elif baseline is not None:
         print(f"no regressions vs {baseline_path}")
+    if chaos_failures:
+        # Chaos verdicts compare simulated JCTs — deterministic for a
+        # (scale, seed), so they gate even under --warn-only.
+        for failure in chaos_failures:
+            print(f"CHAOS FAILURE: {failure}")
+        exit_code = 1
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(current, indent=2, sort_keys=True) + "\n")

@@ -24,11 +24,14 @@ Layer map (bottom-up):
 * ``repro.diagnostics`` — critical path, stragglers, drift, regret.
 * ``repro.slo`` — online QoS/SLO guard: burn-rate accounting, alerts,
   structured event log.
+* ``repro.faults`` — declarative fault injection plus the resilience
+  layer: retries, checkpoint/restore, degraded replanning.
 """
 
 from repro.common.types import Allocation, JobResult, PricingPattern, StorageKind
 from repro.config import DEFAULT_PLATFORM, PlatformConfig
 from repro.diagnostics import DiagnosticsReport, RunObservation, diagnose
+from repro.faults import FaultInjector, FaultLedger, FaultPlan
 from repro.telemetry import (
     MetricsRegistry,
     RunReport,
@@ -54,6 +57,9 @@ __all__ = [
     "Allocation",
     "DEFAULT_PLATFORM",
     "DiagnosticsReport",
+    "FaultInjector",
+    "FaultLedger",
+    "FaultPlan",
     "GreedyHeuristicPlanner",
     "JobResult",
     "MetricsRegistry",

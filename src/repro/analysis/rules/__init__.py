@@ -13,6 +13,7 @@ from repro.analysis.rules.determinism import UnseededRandomnessRule, WallClockRu
 from repro.analysis.rules.events import EventLoopSafetyRule
 from repro.analysis.rules.exceptions import BroadExceptRule
 from repro.analysis.rules.ordering import UnorderedIterationRule
+from repro.analysis.rules.retry import UnboundedRetryRule
 from repro.analysis.rules.schema import SCHEMA_KEYS, SchemaDisciplineRule
 from repro.analysis.rules.units import UnitSafetyRule
 
@@ -24,6 +25,7 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     BroadExceptRule,  # REP005
     SchemaDisciplineRule,  # REP006
     UnorderedIterationRule,  # REP007
+    UnboundedRetryRule,  # REP008
 )
 
 
@@ -47,4 +49,5 @@ __all__ = [
     "BroadExceptRule",
     "SchemaDisciplineRule",
     "UnorderedIterationRule",
+    "UnboundedRetryRule",
 ]

@@ -41,7 +41,7 @@ _CLOCK_CALLS = frozenset(
 )
 
 #: Packages whose only legal time source is the simulation clock.
-_SIM_PACKAGES = ("faas", "training", "tuning", "workflow", "slo")
+_SIM_PACKAGES = ("faas", "training", "tuning", "workflow", "slo", "faults")
 
 
 class UnseededRandomnessRule(Rule):

@@ -1,0 +1,157 @@
+"""REP008 — bounded-retry discipline for simulated components.
+
+The resilience layer (``repro.faults``) makes retries a first-class part
+of execution, which creates a new way to hang a simulation: a retry loop
+with no attempt bound spins forever when a fault plan makes the failure
+deterministic. Every retry in a simulated package must therefore carry an
+explicit bound — ``for attempt in range(max_attempts)`` or
+``while attempt < max_attempts`` — and exhaust into an error
+(:class:`repro.common.errors.RetryExhaustedError`) rather than looping.
+
+Three shapes are flagged:
+
+* a constant-true ``while`` loop with no ``break``/``return``/``raise``
+  anywhere in its body — it cannot terminate;
+* an ``except`` handler that ends in ``continue`` inside a constant-true
+  ``while`` loop — the swallow-and-retry idiom, unbounded by construction;
+* a constant-true ``while`` loop or an ``itertools.count()`` iteration
+  inside a function whose name marks it as a retry helper — such helpers
+  must take their bound from a max-attempts parameter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+from repro.analysis.imports import ImportMap
+
+#: Packages whose retry loops must be statically bounded. Matches the
+#: determinism rules' simulated scope, plus the storage substrate and the
+#: fault/resilience layer itself.
+_RETRY_SCOPE = (
+    "faas", "training", "tuning", "workflow", "slo", "storage", "faults",
+)
+
+#: Function-name fragments that mark a retry helper.
+_RETRY_NAMES = ("retry", "retries", "with_backoff")
+
+
+def _is_constant_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def _loop_escapes(loop: ast.While) -> bool:
+    """Whether the loop body can leave the loop (break/return/raise).
+
+    Nested function definitions and nested loops get their own analysis;
+    a ``break`` inside a nested loop does not escape the outer one.
+    """
+    for child in _body_walk(loop.body, through_loops=False):
+        if isinstance(child, (ast.Break, ast.Return, ast.Raise)):
+            return True
+    return False
+
+
+def _body_walk(
+    body: list[ast.stmt], through_loops: bool
+) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested defs (or loops)."""
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if not through_loops and isinstance(stmt, (ast.For, ast.While)):
+            # A break in a nested loop exits the nested loop only, but a
+            # return/raise still escapes the outer one.
+            for inner in ast.walk(stmt):
+                if isinstance(inner, (ast.Return, ast.Raise)):
+                    yield inner
+            continue
+        yield stmt
+        for field_body in (
+            getattr(stmt, "body", []),
+            getattr(stmt, "orelse", []),
+            getattr(stmt, "finalbody", []),
+        ):
+            yield from _body_walk(list(field_body), through_loops)
+        for handler in getattr(stmt, "handlers", []):
+            yield handler
+            yield from _body_walk(list(handler.body), through_loops)
+
+
+class UnboundedRetryRule(Rule):
+    """REP008: retry loops without an attempt bound in simulated packages."""
+
+    rule_id = "REP008"
+    name = "unbounded-retry"
+    severity = "warning"
+    rationale = (
+        "Fault injection can make a failure deterministic; a retry loop "
+        "without a max-attempts bound then spins the simulation forever. "
+        "Bound every retry and exhaust into RetryExhaustedError."
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package(*_RETRY_SCOPE)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.While) and _is_constant_true(node.test):
+                yield from self._check_constant_while(ctx, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_retry_helper(ctx, node, imports)
+
+    def _check_constant_while(
+        self, ctx: ModuleContext, loop: ast.While
+    ) -> Iterator[Finding]:
+        if not _loop_escapes(loop):
+            yield self.finding(
+                ctx,
+                loop,
+                "constant-true while loop with no break/return/raise can "
+                "never terminate; bound it by attempt count",
+            )
+            return
+        for child in _body_walk(loop.body, through_loops=False):
+            if (
+                isinstance(child, ast.ExceptHandler)
+                and child.body
+                and isinstance(child.body[-1], ast.Continue)
+            ):
+                yield self.finding(
+                    ctx,
+                    child,
+                    "except-and-continue inside a constant-true while loop "
+                    "retries without an attempt bound; count attempts and "
+                    "raise RetryExhaustedError when they run out",
+                )
+
+    def _check_retry_helper(
+        self,
+        ctx: ModuleContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        imports: ImportMap,
+    ) -> Iterator[Finding]:
+        if not any(tag in func.name.lower() for tag in _RETRY_NAMES):
+            return
+        for node in ast.walk(func):
+            if isinstance(node, ast.While) and _is_constant_true(node.test):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"retry helper {func.name}() loops on a constant-true "
+                    "while; take a max-attempts bound instead",
+                )
+            elif isinstance(node, ast.For):
+                target = imports.resolve(node.iter.func) if isinstance(
+                    node.iter, ast.Call
+                ) else None
+                if target == "itertools.count":
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"retry helper {func.name}() iterates "
+                        "itertools.count(); use range(max_attempts)",
+                    )

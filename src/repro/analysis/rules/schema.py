@@ -45,6 +45,16 @@ SCHEMA_KEYS: dict[str, frozenset[str]] = {
     "repro-slo-report/v1": frozenset(
         {"schema", "meta", "spec", "objectives", "alerts", "verdict"}
     ),
+    "repro-faults/v1": frozenset(
+        {
+            "schema", "name", "crash_prob", "crash_mid_fraction",
+            "invocation_timeout_s", "cold_start_failure_prob", "storage",
+            "permanent_loss", "retry",
+        }
+    ),
+    "repro-faults-report/v1": frozenset(
+        {"schema", "meta", "plan", "summary", "records"}
+    ),
 }
 
 _VERSIONED = re.compile(r"^[a-z][a-z0-9-]*/v\d+$")

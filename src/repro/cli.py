@@ -20,7 +20,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.common.errors import SLOError
+from repro.common.errors import ReproError, SLOError
 from repro.common.types import StorageKind
 from repro.common.units import format_duration, format_usd
 from repro.ml.models import WORKLOADS, workload
@@ -100,6 +100,53 @@ def _add_slo_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", metavar="PLAN",
+        help="inject faults from a repro-faults/v1 plan file and enable "
+             "the resilience layer (retries, checkpoints, replanning)",
+    )
+    parser.add_argument(
+        "--fault-report", metavar="PATH",
+        help="write the fault/recovery ledger as repro-faults-report/v1 "
+             "JSON to PATH",
+    )
+
+
+def _fault_plan(args):
+    """The FaultPlan named by --faults, or None (raises on a bad file)."""
+    path = getattr(args, "faults", None)
+    if not path:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.load(path)
+
+
+def _finish_faults(args, ledger, plan, command: str) -> None:
+    """Print the one-line fault summary; write --fault-report if asked."""
+    if ledger is None:
+        return
+    s = ledger.summary()
+    print(
+        f"faults : {s['n_faults']} injected, {s['n_recoveries']} recovery "
+        f"action(s); lost {format_duration(s['fault_time_s'])}, recovery "
+        f"overhead {format_duration(s['recovery_time_s'])}"
+    )
+    out = getattr(args, "fault_report", None)
+    if out:
+        Path(out).write_text(
+            ledger.to_json(
+                plan.to_payload() if plan is not None else None,
+                meta={
+                    "command": command,
+                    "workload": getattr(args, "workload", ""),
+                    "seed": getattr(args, "seed", 0),
+                },
+            )
+        )
+
+
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry", metavar="PATH",
@@ -138,7 +185,8 @@ def cmd_train(args) -> int:
     w = workload(args.workload)
     try:
         slo = _slo_session(args, "train")
-    except (OSError, ValueError, SLOError) as exc:
+        plan = _fault_plan(args)
+    except (OSError, ValueError, ReproError) as exc:
         print(f"repro train: {exc}", file=sys.stderr)
         return 2
     with _session(args, "train") as session, slo:
@@ -160,6 +208,7 @@ def cmd_train(args) -> int:
             w, method=args.method, objective=objective, budget_usd=budget,
             qos_s=qos, seed=args.seed, profile=profile,
             storage_pin=_parse_storage(args.storage),
+            fault_plan=plan,
         )
         r = run.result
         session.set_run_summary(
@@ -185,6 +234,7 @@ def cmd_train(args) -> int:
     print(f"comm {format_duration(r.comm_overhead_s)}   "
           f"storage {format_usd(r.storage_cost_usd)}   "
           f"scheduling {format_duration(r.scheduling_overhead_s)}")
+    _finish_faults(args, run.fault_ledger, plan, "train")
     return _finish_slo(slo)
 
 
@@ -193,7 +243,8 @@ def cmd_tune(args) -> int:
     spec = SHASpec(args.trials, args.eta, args.epochs_per_stage)
     try:
         slo = _slo_session(args, "tune")
-    except (OSError, ValueError, SLOError) as exc:
+        plan = _fault_plan(args)
+    except (OSError, ValueError, ReproError) as exc:
         print(f"repro tune: {exc}", file=sys.stderr)
         return 2
     with _session(args, "tune") as session, slo:
@@ -204,6 +255,7 @@ def cmd_tune(args) -> int:
             w, spec, method=args.method,
             objective=Objective.MIN_JCT_GIVEN_BUDGET,
             budget_usd=budget, seed=args.seed, profile=profile,
+            fault_plan=plan,
         )
         r = run.result
         session.set_run_summary(
@@ -221,6 +273,7 @@ def cmd_tune(args) -> int:
           f"cost {format_usd(r.cost_usd)}")
     print(f"winner: lr={r.winner.learning_rate:.2e} "
           f"momentum={r.winner.momentum:.2f} (quality {r.winner.quality:.2f})")
+    _finish_faults(args, run.fault_ledger, plan, "tune")
     return _finish_slo(slo)
 
 
@@ -230,13 +283,15 @@ def cmd_workflow(args) -> int:
     spec = SHASpec(args.trials, args.eta, args.epochs_per_stage)
     try:
         slo = _slo_session(args, "workflow")
-    except (OSError, ValueError, SLOError) as exc:
+        plan = _fault_plan(args)
+    except (OSError, ValueError, ReproError) as exc:
         print(f"repro workflow: {exc}", file=sys.stderr)
         return 2
     with _session(args, "workflow") as session, slo:
         result = run_workflow(
             args.workload, spec, budget_usd=args.budget,
             tuning_fraction=args.tuning_fraction, seed=args.seed,
+            fault_plan=plan,
         )
         session.set_run_summary(
             {
@@ -263,6 +318,7 @@ def cmd_workflow(args) -> int:
     print(f"total  : JCT {format_duration(result.total_jct_s)}  "
           f"cost {format_usd(result.total_cost_usd)} / "
           f"{format_usd(args.budget)}")
+    _finish_faults(args, result.fault_ledger, plan, "workflow")
     return _finish_slo(slo)
 
 
@@ -311,6 +367,12 @@ def cmd_diagnose(args) -> int:
         except (OSError, ValueError, SLOError) as exc:
             print(f"repro diagnose: {exc}", file=sys.stderr)
             return 2
+    try:
+        fault_plan = _fault_plan(args)
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"repro diagnose: {exc}", file=sys.stderr)
+        return 2
+    faults_summary = None
     target = Path(args.target)
     candidates = None
     if target.exists():
@@ -356,14 +418,26 @@ def cmd_diagnose(args) -> int:
                 qos_s=qos, seed=args.seed, profile=profile,
                 storage_pin=_parse_storage(args.storage),
                 straggler_factors=_parse_stragglers(args.straggler),
+                fault_plan=fault_plan,
             )
         finally:
             set_registry(prev)
         obs = RunObservation.from_training_run(run, registry=registry)
         candidates = run.profile.candidates
+        faults_summary = run.result.extra.get("faults")
+    if faults_summary is None and getattr(args, "fault_report", None):
+        # A saved repro-faults-report/v1 (written with --fault-report on
+        # the original run) supplies the attribution for capture mode.
+        try:
+            payload = json.loads(Path(args.fault_report).read_text())
+            faults_summary = dict(payload.get("summary") or {})
+        except (OSError, ValueError) as exc:
+            print(f"repro diagnose: {exc}", file=sys.stderr)
+            return 2
     report = diagnose(
         obs, candidates=candidates, top_k=args.top_k, z=args.z,
         drift_threshold=args.drift_threshold, slo_spec=slo_spec,
+        faults=faults_summary,
     )
     if args.out:
         Path(args.out).write_text(report.to_json())
@@ -455,6 +529,56 @@ def cmd_slo(args) -> int:
     else:
         print(report.render())
     return 1 if report.violated else 0
+
+
+def cmd_faults(args) -> int:
+    import json
+
+    from repro.faults import FaultLedger, FaultPlan
+
+    try:
+        if args.action == "template":
+            text = FaultPlan.default_profile().to_json()
+            if args.out:
+                Path(args.out).write_text(text)
+                print(f"wrote default chaos profile to {args.out}")
+            else:
+                print(text, end="")
+            return 0
+        if not args.path:
+            print(f"repro faults: {args.action} needs a PATH", file=sys.stderr)
+            return 2
+        if args.action == "validate":
+            plan = FaultPlan.load(args.path)
+            state = "empty (injects nothing)" if plan.is_empty else "active"
+            print(f"valid repro-faults/v1 plan {plan.name!r} ({state})")
+            print(f"  crash_prob={plan.crash_prob:g}  "
+                  f"cold_start_failure_prob={plan.cold_start_failure_prob:g}  "
+                  f"invocation_timeout_s={plan.invocation_timeout_s}")
+            print(f"  storage backends: "
+                  f"{', '.join(sorted(plan.storage)) or '-'}  "
+                  f"permanent losses: {len(plan.permanent_loss)}")
+            print(f"  retry: max_attempts={plan.retry.max_attempts}  "
+                  f"base_backoff_s={plan.retry.base_backoff_s:g}  "
+                  f"factor={plan.retry.backoff_factor:g}")
+            return 0
+        # summarize: render a saved repro-faults-report/v1 document.
+        payload = json.loads(Path(args.path).read_text())
+        ledger = FaultLedger.from_payload(payload)
+        if args.format == "json":
+            print(
+                ledger.to_json(
+                    payload.get("plan") or None,
+                    dict(payload.get("meta") or {}),
+                ),
+                end="",
+            )
+        else:
+            print(ledger.render())
+        return 0
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"repro faults: {exc}", file=sys.stderr)
+        return 2
 
 
 def cmd_experiment(args) -> int:
@@ -565,6 +689,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_telemetry_flags(p)
     _add_slo_flags(p)
+    _add_fault_flags(p)
     p.set_defaults(fn=cmd_train)
 
     p = sub.add_parser("tune", help="run one hyperparameter-tuning job")
@@ -577,6 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_telemetry_flags(p)
     _add_slo_flags(p)
+    _add_fault_flags(p)
     p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser("workflow", help="run the full tune-then-train pipeline")
@@ -589,6 +715,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_telemetry_flags(p)
     _add_slo_flags(p)
+    _add_fault_flags(p)
     p.set_defaults(fn=cmd_workflow)
 
     p = sub.add_parser(
@@ -636,6 +763,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slo", metavar="SPEC",
                    help="attribute error-budget consumption against this "
                         "repro-slo/v1 spec file")
+    p.add_argument("--faults", metavar="PLAN",
+                   help="live mode: inject faults from this repro-faults/v1 "
+                        "plan and diagnose the recovery behaviour")
+    p.add_argument("--fault-report", metavar="PATH",
+                   help="capture mode: attribute faults from this saved "
+                        "repro-faults-report/v1 document")
     p.set_defaults(fn=cmd_diagnose)
 
     p = sub.add_parser(
@@ -665,6 +798,22 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the JSON report to PATH")
     p.set_defaults(fn=cmd_slo)
 
+    p = sub.add_parser(
+        "faults",
+        help="validate fault plans and summarize fault/recovery ledgers",
+        description="Work with repro-faults/v1 plans and repro-faults-"
+                    "report/v1 ledgers: validate a plan file, summarize a "
+                    "saved fault report as a table or JSON, or emit the "
+                    "default chaos profile as a starting template.",
+    )
+    p.add_argument("action", choices=("validate", "summarize", "template"))
+    p.add_argument("path", nargs="?",
+                   help="plan file (validate) or fault report (summarize)")
+    p.add_argument("--format", default="table", choices=("table", "json"))
+    p.add_argument("--out", metavar="PATH",
+                   help="write the template to PATH instead of stdout")
+    p.set_defaults(fn=cmd_faults)
+
     p = sub.add_parser("experiment", help="regenerate one paper figure/table")
     p.add_argument("experiment")
     p.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
@@ -677,12 +826,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="static determinism & simulation-safety checks (REP001-REP007)",
+        help="static determinism & simulation-safety checks (REP001-REP008)",
         description="AST-based lint for the repository's reproducibility "
                     "invariants: seeded randomness only, no wall-clock in "
                     "simulated packages, event-loop safety, unit-suffix "
-                    "consistency, exception hygiene, schema discipline, and "
-                    "deterministic iteration order.",
+                    "consistency, exception hygiene, schema discipline, "
+                    "deterministic iteration order, and bounded retries.",
     )
     p.add_argument("paths", nargs="*",
                    help="files or directories to analyze "

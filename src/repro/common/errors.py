@@ -50,3 +50,36 @@ class AnalysisError(ReproError):
 
 class BaselineError(AnalysisError):
     """A lint baseline file is missing, unreadable, or malformed."""
+
+
+class FaultError(ReproError):
+    """An injected fault surfaced past the resilience layer.
+
+    Carries where (``scope``: "train"/"tune"/"workflow") and when
+    (``t_s``: the emitter's simulated-time clock) the fault escaped, so
+    handlers can account the lost time without re-deriving context.
+    """
+
+    def __init__(
+        self, message: str, *, scope: str = "", t_s: float | None = None
+    ) -> None:
+        super().__init__(message)
+        self.scope = scope
+        self.t_s = t_s
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        ctx = []
+        if self.scope:
+            ctx.append(f"scope={self.scope}")
+        if self.t_s is not None:
+            ctx.append(f"t={self.t_s:.3f}s")
+        return f"{base} [{', '.join(ctx)}]" if ctx else base
+
+
+class RetryExhaustedError(FaultError):
+    """A bounded retry loop ran out of attempts without succeeding."""
+
+
+class CheckpointError(FaultError):
+    """Checkpoint save/restore failed, or the restore budget is exhausted."""

@@ -152,6 +152,9 @@ class PlatformConfig:
     # (Fig. 19/20).
     compute_noise_sigma: float = 0.02
     network_noise_sigma: float = 0.06
+    # Lognormal σ of the cold-start jitter (heavier-tailed than compute);
+    # chaos profiles widen it to stress the retry/timeout paths.
+    cold_start_noise_sigma: float = 0.25
 
     def storage_config(self, kind: StorageKind) -> StorageServiceConfig:
         """Profile for one storage service."""

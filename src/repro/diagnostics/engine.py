@@ -265,6 +265,7 @@ def diagnose(
     z: float = 4.0,
     drift_threshold: float = 0.15,
     slo_spec=None,
+    faults: dict | None = None,
 ) -> DiagnosticsReport:
     """Run every applicable analysis over one observation.
 
@@ -273,7 +274,10 @@ def diagnose(
     objective and a candidate set (re-profiled from the workload when not
     supplied). Critical path and straggler detection always run. With an
     ``slo_spec`` (:class:`repro.slo.SLOSpec`), error-budget consumption is
-    attributed to critical-path components as extra findings.
+    attributed to critical-path components as extra findings. With a
+    ``faults`` summary (a fault ledger's :meth:`~repro.faults.FaultLedger.
+    summary`, e.g. ``result.extra["faults"]``), the JCT lost to injected
+    faults versus spent on recovery is attributed as findings too.
     """
     if isinstance(workload, str):
         workload = lookup_workload(workload)
@@ -304,12 +308,16 @@ def diagnose(
                 regret = None
 
     findings = _distill(obs, critical_path, stragglers, drift, regret)
+    extra: tuple[Finding, ...] = ()
+    if faults:
+        extra += _fault_findings(faults, obs.jct_s)
     if slo_spec is not None:
         from repro.slo.report import error_budget_findings
 
-        extra = error_budget_findings(
+        extra += error_budget_findings(
             slo_spec, critical_path, obs.jct_s, obs.cost_usd
         )
+    if extra:
         order = {"warning": 0, "info": 1}
         findings = tuple(
             sorted(
@@ -325,6 +333,56 @@ def diagnose(
         regret=regret,
         findings=findings,
     )
+
+
+def _fault_findings(summary: dict, jct_s: float) -> tuple[Finding, ...]:
+    """Attribute JCT lost to injected faults vs spent on recovery."""
+    findings: list[Finding] = []
+    n_faults = int(summary.get("n_faults", 0))
+    lost_s = float(summary.get("fault_time_s", 0.0))
+    recovery_s = float(summary.get("recovery_time_s", 0.0))
+    share = (lost_s + recovery_s) / jct_s if jct_s > 0 else 0.0
+    findings.append(
+        Finding(
+            kind="faults",
+            severity="warning" if share > 0.25 else "info",
+            message=(
+                f"{n_faults} injected fault(s): {lost_s:.3f} s of work lost "
+                f"to faults plus {recovery_s:.3f} s of recovery overhead "
+                f"(cumulative across workers; {share * 100.0:.1f}% of "
+                "wall-clock JCT)"
+            ),
+            data={k: v for k, v in sorted(summary.items()) if k != "records"},
+        )
+    )
+    restores = int(summary.get("checkpoint_restores", 0))
+    if restores:
+        findings.append(
+            Finding(
+                kind="faults",
+                severity="info",
+                message=(
+                    f"{restores} checkpoint restore(s) re-ran only the lost "
+                    f"epoch(s), {float(summary.get('restore_overhead_s', 0.0)):.3f} s "
+                    "of restore overhead"
+                ),
+                data={"checkpoint_restores": restores},
+            )
+        )
+    degraded = int(summary.get("degraded_allocations", 0))
+    if degraded:
+        findings.append(
+            Finding(
+                kind="faults",
+                severity="warning",
+                message=(
+                    f"permanent capacity loss forced {degraded} re-selection(s) "
+                    "from the Pareto boundary (degraded allocation)"
+                ),
+                data={"degraded_allocations": degraded},
+            )
+        )
+    return tuple(findings)
 
 
 def _distill(

@@ -29,6 +29,7 @@ class NoiseModel:
         self._rng = stream_for(seed, "noise", label)
         self.compute_sigma = platform.compute_noise_sigma
         self.network_sigma = platform.network_noise_sigma
+        self.cold_start_sigma = platform.cold_start_noise_sigma
         self.spike_prob = spike_prob
         self.spike_scale = spike_scale
 
@@ -45,7 +46,7 @@ class NoiseModel:
 
     def cold_start_factor(self) -> float:
         """Jitter for function cold starts (heavier-tailed)."""
-        return float(self._rng.lognormal(0.0, 0.25))
+        return float(self._rng.lognormal(0.0, self.cold_start_sigma))
 
     def compute_factors(self, n: int) -> np.ndarray:
         """n independent compute factors (one per function)."""

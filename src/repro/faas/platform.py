@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import SimulationError
+from repro.common.errors import FaultError, RetryExhaustedError, SimulationError
 from repro.common.types import EpochTimeBreakdown
 from repro.config import DEFAULT_PLATFORM, PlatformConfig
 from repro.faas.billing import BillingMeter
@@ -38,6 +38,12 @@ class EpochExecution:
         compute_s: base gradient-compute duration per function.
         sync_s: base parameter-synchronization duration for the whole group.
         prewarmed: True when delayed restart already started these functions.
+        epoch_index: the executor's 1-based epoch counter; keys fault
+            decisions when an injector is attached.
+        storage: the allocation's storage backend name (Table-1 catalog
+            value); selects the storage fault spec.
+        incarnation: bumped by the executor when this epoch is re-run
+            after a checkpoint restore, so the re-run draws fresh faults.
     """
 
     group: str
@@ -47,6 +53,9 @@ class EpochExecution:
     compute_s: float
     sync_s: float
     prewarmed: bool = False
+    epoch_index: int = 0
+    storage: str = ""
+    incarnation: int = 0
 
 
 @dataclass(slots=True)
@@ -63,6 +72,11 @@ class InvocationResult:
     # effective load+compute window. Feeds the straggler diagnostics.
     worker_durations_s: tuple[float, ...] = ()
     cold_start_s: float = 0.0
+    # Fault accounting (0 unless a fault injector is attached): how many
+    # faults struck this epoch, and the wall-time inflation they caused
+    # (failed attempts + backoffs + storage penalties).
+    n_faults: int = 0
+    fault_overhead_s: float = 0.0
 
 
 @dataclass
@@ -78,6 +92,10 @@ class FaaSPlatform:
     # test (or a chaos experiment) injects {2: 5.0} to make worker 2 a 5x
     # straggler that the diagnostics layer must flag.
     straggler_factors: dict[int, float] = field(default_factory=dict)
+    # A repro.faults.FaultInjector, or None. None (the default) takes the
+    # exact pre-fault execution path: zero extra randomness, zero extra
+    # metrics, byte-identical results.
+    fault_injector: object | None = None
 
     def __post_init__(self) -> None:
         self.sim = Simulator()
@@ -140,6 +158,8 @@ class FaaSPlatform:
         """
         if spec.n_functions < 1:
             raise SimulationError("epoch needs at least one function")
+        if self.fault_injector is not None:
+            return self._execute_epoch_faulty(spec, self.fault_injector)
         sim = self.sim
         start = sim.now
         if spec.prewarmed:
@@ -256,4 +276,279 @@ class FaaSPlatform:
             billed_usd=billed,
             worker_durations_s=tuple(durations),
             cold_start_s=cold_s,
+        )
+
+    def _execute_epoch_faulty(self, spec: EpochExecution, injector) -> InvocationResult:
+        """The injector-attached twin of :meth:`execute_epoch`.
+
+        Same gang/barrier structure, plus: permanent-loss detection before
+        the gang launches, per-worker bounded retry (crashes, timeouts,
+        cold-start failures — each failed attempt is billed and re-run
+        after a jittered backoff), and storage transient/throttle
+        penalties on the synchronization. A gang that exhausts its retry
+        budget raises :class:`RetryExhaustedError`; the executor restores
+        the last epoch-boundary checkpoint and re-runs only this epoch.
+        """
+        sim = self.sim
+        start = sim.now
+        epoch = spec.epoch_index
+        incarnation = spec.incarnation
+        retry = injector.plan.retry
+        cold_base = self.platform.limits.cold_start_s
+
+        losses = injector.pending_losses(epoch, spec.n_functions)
+        if losses:
+            # The platform notices the dead instances when their invokes
+            # time out — one detection window on the critical path.
+            detect_s = injector.plan.invocation_timeout_s or cold_base
+
+            def detection_proc():
+                yield detect_s
+
+            task = sim.spawn(detection_proc())
+            sim.run()
+            if not task.done:  # pragma: no cover - defensive
+                raise SimulationError("loss-detection sleep did not complete")
+            for loss in losses:
+                injector.record(
+                    "permanent-loss", sim.now, epoch=epoch, rank=loss.rank,
+                    lost_s=detect_s, detail=f"instance gone since epoch {loss.epoch}",
+                )
+                injector.mark_loss_handled(loss)
+            exc = FaultError(
+                f"permanent loss of {len(losses)} function instance(s) "
+                f"at epoch {epoch}",
+                scope=injector.scope, t_s=sim.now,
+            )
+            exc.losses = tuple(losses)
+            raise exc
+
+        if spec.prewarmed:
+            deficit = spec.n_functions - self.pool.warm_count(spec.group, sim.now)
+            if deficit > 0:
+                self.pool.prewarm(spec.group, deficit, sim.now)
+        n_warm, n_cold = self.pool.acquire(spec.group, spec.n_functions, sim.now)
+        noise = self._noise
+        cold_s = cold_base * noise.cold_start_factor() if n_cold else 0.0
+        compute_factors = noise.compute_factors(spec.n_functions)
+        for rank, factor in self.straggler_factors.items():
+            if 0 <= rank < spec.n_functions:
+                compute_factors[rank] *= factor
+        load_factor = noise.network_factor()
+        sync_factor = noise.network_factor()
+        timeout_s = injector.plan.invocation_timeout_s
+        cold_sigma = self.platform.cold_start_noise_sigma
+
+        waits: list[float] = []
+        starts = [0.0] * spec.n_functions
+        durations = [0.0] * spec.n_functions  # final successful attempt
+        consumed = [0.0] * spec.n_functions   # body start -> final outcome
+        failed = [False] * spec.n_functions
+        extra_attempts: list[float] = []      # failed-attempt runtimes (billed)
+        extra_cold = [0]                      # retry + failed cold windows
+        cold_failures = [0]                   # failed cold windows only
+
+        def worker_proc(rank: int):
+            body_start = sim.now
+            starts[rank] = body_start
+            attempt = 0
+            while attempt < retry.max_attempts:
+                attempt_start = sim.now
+                # Cold start: only the gang's cold subset pays one, on its
+                # first attempt. Retries are routed to a warm spare of the
+                # same group (the platform keeps the sandbox pool alive),
+                # so they pay backoff + re-execution but no cold window.
+                cold_here = 0.0
+                if rank >= n_warm and attempt == 0:
+                    n_csf = injector.cold_start_failures(
+                        epoch, rank, attempt, incarnation
+                    )
+                    for k in range(n_csf):
+                        window = cold_base * injector.cold_window_factor(
+                            epoch, rank, attempt, k, cold_sigma
+                        )
+                        yield window
+                        extra_cold[0] += 1
+                        cold_failures[0] += 1
+                        injector.record(
+                            "cold-start-failure", sim.now, epoch=epoch,
+                            rank=rank, attempt=attempt, lost_s=window,
+                        )
+                    cold_here = cold_s
+                if attempt == 0:
+                    factor = float(compute_factors[rank])
+                else:
+                    # Speculative re-execution: fresh jitter, and the
+                    # seeded straggler factor does not follow the retry.
+                    factor = injector.retry_compute_factor(
+                        epoch, rank, attempt, self.platform.compute_noise_sigma
+                    )
+                body_s = spec.load_s * load_factor + spec.compute_s * factor
+                planned = cold_here + body_s
+                fault = injector.worker_fault(epoch, rank, attempt, incarnation)
+                if fault is not None:
+                    ran = cold_here + body_s * fault.run_fraction
+                    yield ran
+                    extra_attempts.append(ran)
+                    injector.record(
+                        "crash", sim.now, epoch=epoch, rank=rank,
+                        attempt=attempt, lost_s=ran, detail=fault.kind,
+                    )
+                elif timeout_s is not None and planned > timeout_s:
+                    yield timeout_s
+                    extra_attempts.append(timeout_s)
+                    injector.record(
+                        "timeout", sim.now, epoch=epoch, rank=rank,
+                        attempt=attempt, lost_s=timeout_s,
+                        detail=f"planned {planned:.2f}s > {timeout_s:.2f}s limit",
+                    )
+                else:
+                    yield planned
+                    durations[rank] = sim.now - attempt_start
+                    consumed[rank] = sim.now - body_start
+                    return
+                attempt += 1
+                if attempt >= retry.max_attempts:
+                    failed[rank] = True
+                    consumed[rank] = sim.now - body_start
+                    injector.record(
+                        "retry-exhausted", sim.now, epoch=epoch, rank=rank,
+                        attempt=attempt - 1,
+                        detail=f"worker failed {attempt}x",
+                    )
+                    return
+                backoff = injector.backoff_s(
+                    attempt, epoch, rank, incarnation
+                )
+                injector.record(
+                    "retry", sim.now, epoch=epoch, rank=rank,
+                    attempt=attempt, lost_s=backoff,
+                )
+                if backoff > 0.0:
+                    yield backoff
+
+        outcome: dict[str, float] = {}
+
+        def epoch_driver():
+            arrive = sim.now
+            yield Acquire(self.concurrency, spec.n_functions)
+            waits.append(sim.now - arrive)
+            tasks = [sim.spawn(worker_proc(r)) for r in range(spec.n_functions)]
+            yield Join.of(tasks)
+            outcome["barrier_at"] = sim.now
+            if not any(failed):
+                sync_s = spec.sync_s * sync_factor
+                penalty = injector.sync_penalty(
+                    epoch, spec.storage, sim.now, sync_s, incarnation
+                )
+                if penalty.exhausted:
+                    outcome["storage_failed"] = 1.0
+                else:
+                    yield sync_s + penalty.extra_s
+                    outcome["sync_s"] = sync_s
+                    outcome["sync_extra_s"] = penalty.extra_s
+                    outcome["sync_faults"] = float(
+                        penalty.n_transient + (1 if penalty.throttled_s else 0)
+                    )
+            yield Release(self.concurrency, spec.n_functions)
+
+        driver = sim.spawn(epoch_driver())
+        sim.run()
+        if not driver.done:
+            raise SimulationError("epoch driver did not complete; engine stall")
+
+        sync_s = outcome.get("sync_s", 0.0)
+        sync_extra = outcome.get("sync_extra_s", 0.0)
+        billed = 0.0
+        # Failed attempts are billed like any invocation (the platform
+        # charges for crashed and timed-out runs); only survivors pay the
+        # synchronization tail.
+        for ran in extra_attempts:
+            billed += self.meter.bill_invocation(spec.memory_mb, ran).total_usd
+        gang_failed = any(failed) or "storage_failed" in outcome
+        for rank, d in enumerate(durations):
+            if failed[rank]:
+                continue
+            billed += self.meter.bill_invocation(
+                spec.memory_mb, d + (0.0 if gang_failed else sync_s)
+            ).total_usd
+        self.pool.release(spec.group, spec.n_functions, sim.now)
+        wall = sim.now - start
+        queue_wait = max(waits) if waits else 0.0
+        n_faults = (
+            len(extra_attempts)
+            + cold_failures[0]
+            + int(outcome.get("sync_faults", 0.0))
+            + (1 if "storage_failed" in outcome else 0)
+        )
+
+        self._m_invocations.inc(spec.n_functions + len(extra_attempts))
+        if n_cold:
+            self._m_cold_starts.inc(n_cold)
+            self._m_cold_seconds.inc(cold_s)
+        if extra_cold[0]:
+            self._m_cold_starts.inc(extra_cold[0])
+        self._m_queue_wait.observe(queue_wait)
+        self._m_epoch_wall.observe(wall)
+        self._m_occupancy.set(spec.n_functions)
+        self._m_occupancy_peak.set(self.concurrency.peak_in_use)
+
+        if gang_failed:
+            detail = (
+                "storage sync retries exhausted"
+                if "storage_failed" in outcome
+                else f"{sum(failed)} worker(s) exhausted their retries"
+            )
+            raise RetryExhaustedError(
+                f"epoch {epoch} failed: {detail}",
+                scope=injector.scope, t_s=sim.now,
+            )
+
+        final_window = max(durations)
+        gang_window = max(consumed)
+        fault_overhead = max(0.0, gang_window - final_window) + sync_extra
+        measured = EpochTimeBreakdown(
+            load_s=spec.load_s * load_factor,
+            compute_s=final_window - cold_s - spec.load_s * load_factor,
+            sync_s=sync_s + sync_extra,
+        )
+        tracer = self.tracer
+        if tracer.enabled:
+            track = f"group:{spec.group}"
+            body_start = start + queue_wait
+            if queue_wait > 0:
+                tracer.span(
+                    "queue-wait", "queue", start, queue_wait, track,
+                    gang=spec.n_functions,
+                )
+            if n_cold:
+                tracer.span(
+                    "cold-start", "cold", body_start, cold_s, track,
+                    cold=n_cold, warm=n_warm,
+                )
+            if fault_overhead > 0:
+                tracer.span(
+                    "fault-recovery", "fault", outcome["barrier_at"],
+                    fault_overhead, track, epoch=epoch,
+                    n_faults=n_faults,
+                )
+            tracer.span(
+                "sync", "sync", outcome["barrier_at"], sync_s + sync_extra,
+                track,
+            )
+            for rank in range(spec.n_functions):
+                tracer.span(
+                    f"worker-{rank}", "worker", starts[rank], consumed[rank],
+                    track, rank=rank, cold=rank >= n_warm,
+                )
+        return InvocationResult(
+            wall_time_s=wall,
+            time=measured,
+            cold_starts=n_cold,
+            queue_wait_s=queue_wait,
+            billed_usd=billed,
+            worker_durations_s=tuple(consumed),
+            cold_start_s=cold_s,
+            n_faults=n_faults,
+            fault_overhead_s=fault_overhead,
         )

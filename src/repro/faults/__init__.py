@@ -1,0 +1,55 @@
+"""Deterministic fault injection and the resilience layer.
+
+See :mod:`repro.faults.plan` for the declarative fault plans
+(``repro-faults/v1``), :mod:`repro.faults.injector` for the seeded fault
+process, :mod:`repro.faults.ledger` for the fault/recovery ledger
+(``repro-faults-report/v1``), and :mod:`repro.faults.resilience` for
+checkpoint/restore and graceful degradation. ``docs/faults.md`` has the
+full fault model and recovery semantics.
+"""
+
+from repro.faults.injector import FaultInjector, SyncPenalty, WorkerFault
+from repro.faults.ledger import (
+    FAULT_KINDS,
+    RECORD_KINDS,
+    RECOVERY_KINDS,
+    REPORT_SCHEMA,
+    FaultLedger,
+    FaultRecord,
+)
+from repro.faults.plan import (
+    ANY_STORAGE,
+    FAULTS_SCHEMA,
+    FaultPlan,
+    PermanentLoss,
+    RetrySpec,
+    StorageFaultSpec,
+    ThrottleWindow,
+)
+from repro.faults.resilience import (
+    CheckpointStore,
+    restore_overhead_s,
+    select_degraded_allocation,
+)
+
+__all__ = [
+    "ANY_STORAGE",
+    "FAULTS_SCHEMA",
+    "FAULT_KINDS",
+    "RECORD_KINDS",
+    "RECOVERY_KINDS",
+    "REPORT_SCHEMA",
+    "CheckpointStore",
+    "FaultInjector",
+    "FaultLedger",
+    "FaultPlan",
+    "FaultRecord",
+    "PermanentLoss",
+    "RetrySpec",
+    "StorageFaultSpec",
+    "SyncPenalty",
+    "ThrottleWindow",
+    "WorkerFault",
+    "restore_overhead_s",
+    "select_degraded_allocation",
+]

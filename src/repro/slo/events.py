@@ -38,6 +38,10 @@ EVENT_KINDS = (
     "phase_done",
     "alert_fired",
     "alert_resolved",
+    "fault_injected",
+    "retry_exhausted",
+    "checkpoint_restore",
+    "degraded_allocation",
 )
 
 

@@ -13,12 +13,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.common.errors import ReproError, ValidationError
+from repro.common.errors import RetryExhaustedError, ValidationError
 from repro.common.rng import stream_for
 from repro.storage.base import ExternalStorageService
 
 
-class StorageRequestError(ReproError):
+class StorageRequestError(RetryExhaustedError):
     """A request failed after exhausting its retries."""
 
 
@@ -96,6 +96,9 @@ class FaultyStorageService:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     timeout_s: float = 0.5
     retried_requests: int = 0
+    # Optional repro.faults.FaultLedger: when set, every injected request
+    # failure appends a "storage-transient" record.
+    ledger: object | None = None
 
     @property
     def kind(self):
@@ -122,6 +125,11 @@ class FaultyStorageService:
                 self.inner.metrics.requests += 1
                 elapsed += self.timeout_s
                 self.retried_requests += 1
+                if self.ledger is not None:
+                    self.ledger.record(
+                        "storage-transient", elapsed, attempt=attempt,
+                        lost_s=self.timeout_s, detail=self.inner.kind.value,
+                    )
                 continue
             result = op(*args)
             if isinstance(result, tuple):  # get: (value, time)
@@ -130,7 +138,8 @@ class FaultyStorageService:
             return elapsed + result  # put: time
         raise StorageRequestError(
             f"request failed after {self.retry.max_attempts} attempts "
-            f"on {self.inner.kind.value}"
+            f"on {self.inner.kind.value}",
+            t_s=elapsed,
         )
 
     def put(self, key: str, value) -> float:

@@ -209,6 +209,19 @@ class AdaptiveScheduler:
             qos_s=self._remaining_qos(),
         )
 
+    def exclude_allocation(self, allocation) -> None:
+        """Drop an allocation from 𝒫 (permanent function loss).
+
+        The boundary shrinks but never empties: the last candidate is
+        kept so the job can still finish best-effort, with the executor's
+        own excluded-set guard preventing re-selection of lost points.
+        """
+        kept = [p for p in self.candidates if p.allocation != allocation]
+        if kept:
+            self.candidates = kept
+        if self.current is not None and self.current.allocation == allocation:
+            self.current = None
+
     # ------------------------------------------------------------------ protocol
     def initial_decision(self) -> SchedulerDecision:
         """Alg. 2 lines 2-7: offline prediction + first selection."""

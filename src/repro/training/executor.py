@@ -16,10 +16,10 @@ is hit, or the budget is exhausted beyond tolerance.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Protocol
 
-from repro.common.errors import ValidationError
+from repro.common.errors import FaultError, RetryExhaustedError, ValidationError
 from repro.common.types import EpochCostBreakdown, EpochRecord, JobResult
 from repro.config import DEFAULT_PLATFORM, PlatformConfig
 from repro.analytical.costmodel import function_price_per_second, storage_cost
@@ -162,6 +162,8 @@ class TrainingExecutor:
     budget_overrun_tolerance: float = 1.5
     # Fault seeding forwarded to the platform: rank -> compute slowdown.
     straggler_factors: dict[int, float] = field(default_factory=dict)
+    # A repro.faults.FaultInjector, or None for the exact pre-fault path.
+    fault_injector: object | None = None
 
     def __post_init__(self) -> None:
         if self.restart_planner is None:
@@ -175,7 +177,15 @@ class TrainingExecutor:
             platform=self.platform_config,
             seed=spec.seed,
             straggler_factors=self.straggler_factors,
+            fault_injector=self.fault_injector,
         )
+        injector = self.fault_injector
+        checkpoints = None
+        if injector is not None:
+            from repro.faults.resilience import CheckpointStore
+
+            checkpoints = CheckpointStore()
+        excluded_allocations: set = set()
         provider = spec.make_loss_provider()
         registry = get_registry()
         tracer = get_tracer()
@@ -216,21 +226,90 @@ class TrainingExecutor:
         prewarmed_group: str | None = None
 
         for epoch_idx in range(1, spec.max_epochs + 1):
-            alloc = point.allocation
-            group = f"{alloc.describe()}#g{generation}"
-            base = epoch_time(w, alloc, self.platform_config)
-            epoch_start = platform.sim.now
-            result = platform.execute_epoch(
-                EpochExecution(
-                    group=group,
-                    n_functions=alloc.n_functions,
-                    memory_mb=alloc.memory_mb,
-                    load_s=base.load_s,
-                    compute_s=base.compute_s,
-                    sync_s=base.sync_s,
-                    prewarmed=(group == prewarmed_group),
-                )
-            )
+            epoch_attempt = 0
+            while True:
+                alloc = point.allocation
+                group = f"{alloc.describe()}#g{generation}"
+                base = epoch_time(w, alloc, self.platform_config)
+                epoch_start = platform.sim.now
+                try:
+                    result = platform.execute_epoch(
+                        EpochExecution(
+                            group=group,
+                            n_functions=alloc.n_functions,
+                            memory_mb=alloc.memory_mb,
+                            load_s=base.load_s,
+                            compute_s=base.compute_s,
+                            sync_s=base.sync_s,
+                            prewarmed=(group == prewarmed_group),
+                            epoch_index=epoch_idx,
+                            storage=alloc.storage.value,
+                            incarnation=epoch_attempt,
+                        )
+                    )
+                    break
+                except RetryExhaustedError:
+                    # The gang (or its storage sync) burned through the
+                    # retry budget: restore the epoch-boundary checkpoint
+                    # and re-run only this epoch on a fresh generation.
+                    epoch_attempt += 1
+                    lost_s = platform.sim.now - epoch_start
+                    jct += lost_s
+                    # Restore = one model transfer from the allocation's
+                    # storage; CheckpointError ends the job when the
+                    # restore budget itself is exhausted.
+                    from repro.faults.resilience import restore_overhead_s
+
+                    restore_s = checkpoints.restore(
+                        epoch_idx,
+                        restore_overhead_s(
+                            w.model_mb, alloc.storage, self.platform_config
+                        ),
+                        scope="train", t_s=jct,
+                    )
+                    jct += restore_s
+                    tracer.span(
+                        "checkpoint-restore", "fault",
+                        platform.sim.now, restore_s, "scheduler",
+                        epoch=epoch_idx,
+                    )
+                    tracer.advance(restore_s)
+                    platform.retire(group)
+                    generation += 1
+                    prewarmed_group = None
+                    injector.record(
+                        "checkpoint-restore", jct, epoch=epoch_idx,
+                        lost_s=restore_s,
+                        detail=f"re-running epoch {epoch_idx} "
+                               f"(attempt {epoch_attempt + 1})",
+                    )
+                    if bus.enabled:
+                        bus.emit(
+                            "retry_exhausted", jct, scope="train",
+                            epoch=epoch_idx, lost_s=lost_s,
+                            allocation=alloc.describe(),
+                        )
+                        bus.emit(
+                            "checkpoint_restore", jct, scope="train",
+                            epoch=epoch_idx, restore_s=restore_s,
+                            attempt=epoch_attempt,
+                        )
+                except FaultError as exc:
+                    # Permanent function loss: this allocation can no
+                    # longer field a full gang. Degrade gracefully —
+                    # re-select from the surviving Pareto points.
+                    epoch_attempt += 1
+                    lost_s = platform.sim.now - epoch_start
+                    jct += lost_s
+                    excluded_allocations.add(alloc)
+                    point = self._degrade_allocation(
+                        exc, alloc, epoch_idx, jct, cost,
+                        excluded_allocations, lost_s, bus,
+                    )
+                    platform.retire(group)
+                    generation += 1
+                    prewarmed_group = None
+                    n_restarts += 1
             epoch_wall = result.wall_time_s
             stor_usd = storage_cost(w, alloc, epoch_wall, self.platform_config)
             platform.meter.bill_storage(stor_usd)
@@ -238,6 +317,18 @@ class TrainingExecutor:
             loss = provider.epoch_loss(alloc.n_functions)
             jct += epoch_wall
             cost += epoch_cost
+            if checkpoints is not None:
+                # Epoch-boundary checkpoint: the model state this epoch
+                # produced is durable in storage; a later failure re-runs
+                # only its own epoch, never this one.
+                checkpoints.save(epoch_idx)
+                if bus.enabled and result.n_faults:
+                    bus.emit(
+                        "fault_injected", jct, scope="train",
+                        epoch=epoch_idx, n_faults=result.n_faults,
+                        overhead_s=result.fault_overhead_s,
+                        allocation=alloc.describe(),
+                    )
             tracer.span(
                 "epoch", "epoch", epoch_start, epoch_wall, "epochs",
                 epoch=epoch_idx, allocation=alloc.describe(), loss=loss,
@@ -279,6 +370,14 @@ class TrainingExecutor:
                 break
 
             decision = self.scheduler.on_epoch_end(loss, epoch_cost, epoch_wall)
+            if (
+                excluded_allocations
+                and decision.point.allocation in excluded_allocations
+            ):
+                # A scheduler without exclusion support re-selected an
+                # allocation with permanently lost instances; hold the
+                # degraded allocation instead.
+                decision = replace(decision, point=point, restart=False)
             jct += decision.search_overhead_s
             sched_overhead += decision.search_overhead_s
             if decision.search_overhead_s:
@@ -353,6 +452,13 @@ class TrainingExecutor:
                         )
             point = decision.point
 
+        extra: dict = {}
+        if injector is not None:
+            summary = injector.ledger.summary()
+            summary["checkpoint_restores"] = checkpoints.n_restores
+            summary["restore_overhead_s"] = checkpoints.restore_overhead_total_s
+            summary["degraded_allocations"] = len(excluded_allocations)
+            extra["faults"] = summary
         return JobResult(
             jct_s=jct,
             cost_usd=cost,
@@ -361,4 +467,57 @@ class TrainingExecutor:
             final_loss=loss,
             scheduling_overhead_s=sched_overhead,
             n_restarts=n_restarts,
+            extra=extra,
         )
+
+    def _degrade_allocation(
+        self, exc, alloc, epoch_idx: int, jct: float, cost: float,
+        excluded, lost_s: float, bus,
+    ):
+        """Pick a surviving Pareto point after permanent function loss.
+
+        Mirrors Algorithm 2's ``select_best_allocation`` over the
+        candidate set minus every allocation that has lost instances;
+        re-raises the original fault when no scheduler candidates exist
+        or nothing survives.
+        """
+        from repro.common.errors import ConstraintError
+        from repro.faults.resilience import select_degraded_allocation
+
+        scheduler = self.scheduler
+        exclude = getattr(scheduler, "exclude_allocation", None)
+        if exclude is not None:
+            exclude(alloc)
+        candidates = getattr(scheduler, "candidates", None)
+        if not candidates:
+            raise exc
+        horizon = float(
+            getattr(scheduler, "predicted_total_epochs", 0.0) or (epoch_idx + 1)
+        )
+        remaining = max(1.0, horizon - (epoch_idx - 1))
+        spec = self.spec
+        budget = (
+            None if spec.budget_usd is None else max(0.0, spec.budget_usd - cost)
+        )
+        qos = None if spec.qos_s is None else max(0.0, spec.qos_s - jct)
+        try:
+            new_point = select_degraded_allocation(
+                candidates, excluded, spec.objective, remaining,
+                budget_usd=budget, qos_s=qos,
+            )
+        except ConstraintError:
+            raise exc from None
+        if hasattr(scheduler, "current"):
+            scheduler.current = new_point
+        self.fault_injector.record(
+            "degraded-allocation", jct, epoch=epoch_idx, lost_s=lost_s,
+            detail=f"{alloc.describe()} -> {new_point.allocation.describe()}",
+        )
+        if bus.enabled:
+            bus.emit(
+                "degraded_allocation", jct, scope="train", epoch=epoch_idx,
+                lost=alloc.describe(),
+                replacement=new_point.allocation.describe(),
+                lost_s=lost_s,
+            )
+        return new_point

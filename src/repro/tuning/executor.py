@@ -51,6 +51,7 @@ class TuningRunResult:
     stages: list[StageRecord] = field(default_factory=list)
     winner: Trial | None = None
     scheduling_overhead_s: float = 0.0
+    extra: dict = field(default_factory=dict)
 
     @property
     def comm_overhead_s(self) -> float:
@@ -65,6 +66,11 @@ class TuningExecutor:
     spec: StageShape
     platform: PlatformConfig = field(default_factory=lambda: DEFAULT_PLATFORM)
     seed: int = 0
+    # A repro.faults.FaultInjector (scope "tune"), or None. Stage-grained:
+    # storage transients and throttle windows stretch a stage's JCT; the
+    # per-worker crash/retry machinery lives in the training executor's
+    # discrete-event epochs.
+    fault_injector: object | None = None
 
     def run(
         self,
@@ -107,6 +113,21 @@ class TuningExecutor:
             )
             stage_cost = float(r * point.cost_usd * cost_noise.sum())
             sync_s = r * point.time.sync_s * waves * time_noise
+            if self.fault_injector is not None:
+                penalty = self.fault_injector.stage_penalty(
+                    i, point.allocation.storage.value, total_jct, stage_jct
+                )
+                if penalty.extra_s > 0.0:
+                    stage_jct += penalty.extra_s
+                    sync_s += penalty.extra_s
+                    if bus.enabled:
+                        bus.emit(
+                            "fault_injected", total_jct + stage_jct,
+                            scope="tune", stage=i,
+                            n_faults=penalty.n_transient
+                            + (1 if penalty.throttled_s else 0),
+                            overhead_s=penalty.extra_s,
+                        )
             records.append(
                 StageRecord(
                     stage=i,
@@ -135,10 +156,14 @@ class TuningExecutor:
                 )
             engine.run_stage()
         winner = engine.winner()
+        extra: dict = {}
+        if self.fault_injector is not None:
+            extra["faults"] = self.fault_injector.ledger.summary()
         return TuningRunResult(
             jct_s=total_jct,
             cost_usd=total_cost,
             stages=records,
             winner=winner,
             scheduling_overhead_s=scheduling_overhead_s,
+            extra=extra,
         )

@@ -32,6 +32,9 @@ class WorkflowResult:
     winner: Trial
     total_jct_s: float
     total_cost_usd: float
+    # Combined tune+train fault/recovery ledger when a fault plan was
+    # attached, else None.
+    fault_ledger: object | None = None
 
     @property
     def within_budget(self) -> bool:
@@ -61,11 +64,14 @@ def run_workflow(
     method: str = "ce-scaling",
     seed: int = 0,
     platform: PlatformConfig = DEFAULT_PLATFORM,
+    fault_plan: object | None = None,
 ) -> WorkflowResult:
     """Run the full workflow under one total budget.
 
     ``tuning_fraction`` of the budget goes to hyperparameter tuning; the
     remainder (plus whatever tuning left unspent) funds model training.
+    ``fault_plan`` applies to both phases (each draws from its own
+    scope-keyed fault streams); the result carries the merged ledger.
     """
     if not 0.0 < tuning_fraction < 1.0:
         raise ValidationError(
@@ -86,6 +92,7 @@ def run_workflow(
         seed=seed,
         platform=platform,
         profile=profile,
+        fault_plan=fault_plan,
     )
     winner = tuning_run.result.winner
     bus = get_event_bus()
@@ -105,6 +112,7 @@ def run_workflow(
         budget_usd=remaining,
         seed=seed,
         platform=platform,
+        fault_plan=fault_plan,
     )
     if bus.enabled:
         bus.emit(
@@ -114,10 +122,18 @@ def run_workflow(
             jct_s=training_run.result.jct_s,
             cost_usd=training_run.result.cost_usd,
         )
+    fault_ledger = None
+    if tuning_run.fault_ledger is not None or training_run.fault_ledger is not None:
+        from repro.faults import FaultLedger
+
+        fault_ledger = FaultLedger.merged(
+            tuning_run.fault_ledger, training_run.fault_ledger
+        )
     return WorkflowResult(
         tuning=tuning_run.result,
         training=training_run.result,
         winner=winner,
         total_jct_s=tuning_run.result.jct_s + training_run.result.jct_s,
         total_cost_usd=tuning_run.result.cost_usd + training_run.result.cost_usd,
+        fault_ledger=fault_ledger,
     )

@@ -14,6 +14,7 @@ compare methods with one call per (workload, method, constraint):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import PurePath
 
 from repro.common.errors import ValidationError
 from repro.common.types import JobResult, StorageKind
@@ -40,6 +41,19 @@ TUNING_METHODS = ("ce-scaling", "lambdaml", "siren", "cirrus", "fixed")
 
 def _resolve_workload(w: Workload | str) -> Workload:
     return lookup_workload(w) if isinstance(w, str) else w
+
+
+def _make_injector(fault_plan, seed: int, scope: str):
+    """A FaultInjector for a non-empty plan, else None (exact no-op path)."""
+    if fault_plan is None:
+        return None
+    from repro.faults import FaultInjector, FaultPlan
+
+    if isinstance(fault_plan, (str, PurePath)):
+        fault_plan = FaultPlan.load(fault_plan)
+    if fault_plan.is_empty:
+        return None
+    return FaultInjector(fault_plan, seed=seed, scope=scope)
 
 
 def profile_workload(
@@ -73,6 +87,8 @@ class TrainingRun:
     budget_usd: float | None = None
     qos_s: float | None = None
     seed: int = 0
+    # The fault/recovery ledger when the run had a fault plan, else None.
+    fault_ledger: object | None = None
 
 
 def make_training_scheduler(
@@ -137,6 +153,7 @@ def run_training(
     use_real_sgd: bool = False,
     profile: ProfileResult | None = None,
     straggler_factors: dict[int, float] | None = None,
+    fault_plan: object | None = None,
 ) -> TrainingRun:
     """Run one model-training job end to end.
 
@@ -144,8 +161,14 @@ def run_training(
     (WO-pa); ``delayed_restart=False`` puts restart costs on the critical
     path (WO-dr). By default delayed restart is enabled only for CE-scaling
     (baselines lack the mechanism).
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`, or a path to its
+    JSON document) turns on fault injection plus the resilience layer; an
+    empty plan — or None — keeps the run byte-identical to the pre-fault
+    execution path.
     """
     w = _resolve_workload(w)
+    injector = _make_injector(fault_plan, seed, "train")
     if profile is None:
         profile = profile_workload(
             w, platform=platform, storage_pin=storage_pin, use_pareto=use_pareto
@@ -170,11 +193,12 @@ def run_training(
         platform_config=platform,
         restart_planner=DelayedRestartPlanner(platform=platform, enabled=delayed_restart),
         straggler_factors=dict(straggler_factors or {}),
+        fault_injector=injector,
     )
     return TrainingRun(
         method=method, result=executor.run(), profile=profile, scheduler=scheduler,
         workload=w, objective=objective, budget_usd=budget_usd, qos_s=qos_s,
-        seed=seed,
+        seed=seed, fault_ledger=injector.ledger if injector else None,
     )
 
 
@@ -187,6 +211,8 @@ class TuningRun:
     plan: PartitionPlan
     profile: ProfileResult
     planner_stats: object | None = None
+    # The fault/recovery ledger when the run had a fault plan, else None.
+    fault_ledger: object | None = None
 
 
 def make_tuning_plan(
@@ -258,9 +284,15 @@ def run_tuning(
     use_pareto: bool = True,
     delta: float = 0.001,
     profile: ProfileResult | None = None,
+    fault_plan: object | None = None,
 ) -> TuningRun:
-    """Run one hyperparameter-tuning job end to end."""
+    """Run one hyperparameter-tuning job end to end.
+
+    ``fault_plan`` behaves as in :func:`run_training` (stage-grained:
+    storage transients and throttle windows stretch stage JCTs).
+    """
     w = _resolve_workload(w)
+    injector = _make_injector(fault_plan, seed, "tune")
     if profile is None:
         profile = profile_workload(
             w, platform=platform, storage_pin=storage_pin, use_pareto=use_pareto
@@ -269,8 +301,13 @@ def run_tuning(
         method, profile, spec, objective, budget_usd, qos_s, delta=delta,
         platform=platform,
     )
-    executor = TuningExecutor(workload=w, spec=spec, platform=platform, seed=seed)
+    executor = TuningExecutor(
+        workload=w, spec=spec, platform=platform, seed=seed,
+        fault_injector=injector,
+    )
     result = executor.run(plan, scheduling_overhead_s=overhead)
     return TuningRun(
-        method=method, result=result, plan=plan, profile=profile, planner_stats=stats
+        method=method, result=result, plan=plan, profile=profile,
+        planner_stats=stats,
+        fault_ledger=injector.ledger if injector else None,
     )

@@ -1,0 +1,33 @@
+"""REP008 bad fixture: unbounded retry loops in a simulated package."""
+
+import itertools
+
+
+def spin_forever(op):
+    # Constant-true while with no escape: can never terminate.
+    while True:
+        op()
+
+
+def swallow_and_retry(op):
+    while True:
+        try:
+            return op()
+        except OSError:
+            continue
+
+
+def call_with_retries(op):
+    # Retry helper looping on a constant-true while.
+    while True:
+        ok = op()
+        if ok:
+            break
+
+
+def retry_request(op):
+    # Retry helper iterating itertools.count(): no attempt bound.
+    for attempt in itertools.count():
+        if op(attempt):
+            return attempt
+    return -1

@@ -1,0 +1,33 @@
+"""REP008 good fixture: bounded retries that exhaust into an error."""
+
+
+class RetryExhausted(RuntimeError):
+    pass
+
+
+def call_with_retries(op, max_attempts: int = 4):
+    for attempt in range(max_attempts):
+        try:
+            return op(attempt)
+        except OSError:
+            continue
+    raise RetryExhausted(f"gave up after {max_attempts} attempts")
+
+
+def bounded_while(op, max_attempts: int = 4):
+    attempt = 0
+    while attempt < max_attempts:
+        if op(attempt):
+            return attempt
+        attempt += 1
+    raise RetryExhausted(f"gave up after {max_attempts} attempts")
+
+
+def event_loop(queue):
+    # A constant-true loop that can escape is fine: this is the engine's
+    # drain-until-done idiom, not a retry.
+    while True:
+        item = queue.pop()
+        if item is None:
+            break
+        item.run()

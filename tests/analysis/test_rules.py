@@ -17,6 +17,7 @@ GOLDEN = {
     "REP005": ("rep005", 2),
     "REP006": ("rep006", 2),
     "REP007": ("rep007", 3),
+    "REP008": ("rep008", 4),
 }
 
 

@@ -1,0 +1,109 @@
+"""The repro faults subcommand and the --faults flag on the runners."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults.plan import FaultPlan
+
+
+@pytest.fixture()
+def plan_file(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text(FaultPlan.default_profile().to_json())
+    return path
+
+
+class TestFaultsSubcommand:
+    def test_template_to_stdout(self, capsys):
+        assert main(["faults", "template"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-faults/v1"
+        assert FaultPlan.from_payload(payload) == FaultPlan.default_profile()
+
+    def test_template_to_file(self, tmp_path, capsys):
+        out = tmp_path / "plan.json"
+        assert main(["faults", "template", "--out", str(out)]) == 0
+        assert FaultPlan.load(out) == FaultPlan.default_profile()
+
+    def test_validate(self, plan_file, capsys):
+        assert main(["faults", "validate", str(plan_file)]) == 0
+        out = capsys.readouterr().out
+        assert "valid repro-faults/v1 plan" in out and "active" in out
+
+    def test_validate_empty_plan(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text(FaultPlan().to_json())
+        assert main(["faults", "validate", str(path)]) == 0
+        assert "injects nothing" in capsys.readouterr().out
+
+    def test_validate_missing_path_is_usage_error(self, capsys):
+        assert main(["faults", "validate"]) == 2
+        assert "needs a PATH" in capsys.readouterr().err
+
+    def test_validate_bad_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "nope/v1"}')
+        assert main(["faults", "validate", str(path)]) == 2
+        assert "repro faults:" in capsys.readouterr().err
+
+
+class TestFaultedRuns:
+    def test_train_with_faults_and_report(self, plan_file, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert main([
+            "train", "lr-higgs", "--budget-multiple", "2.5", "--seed", "0",
+            "--faults", str(plan_file), "--fault-report", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults :" in out and "injected" in out
+        payload = json.loads(report.read_text())
+        assert payload["schema"] == "repro-faults-report/v1"
+        assert payload["summary"]["n_faults"] > 0
+        assert payload["meta"]["command"] == "train"
+        assert payload["plan"]["name"] == "default-chaos"
+
+        # summarize renders the saved report back as a table…
+        assert main(["faults", "summarize", str(report)]) == 0
+        table = capsys.readouterr().out
+        assert "fault ledger" in table and "recovery action(s)" in table
+        # …and round-trips as JSON.
+        assert main(["faults", "summarize", str(report), "--format", "json"]) == 0
+        again = json.loads(capsys.readouterr().out)
+        assert again["summary"] == payload["summary"]
+
+    def test_train_without_faults_prints_no_fault_line(self, capsys):
+        assert main([
+            "train", "lr-higgs", "--budget-multiple", "2.5", "--seed", "0",
+        ]) == 0
+        assert "faults :" not in capsys.readouterr().out
+
+    def test_train_rejects_bad_plan(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main([
+            "train", "lr-higgs", "--faults", str(path),
+        ]) == 2
+        assert "repro train:" in capsys.readouterr().err
+
+    def test_diagnose_attributes_faults_live(self, plan_file, capsys):
+        assert main([
+            "diagnose", "lr-higgs", "--seed", "0",
+            "--faults", str(plan_file),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "lost to faults" in out
+
+    def test_diagnose_reads_saved_report(self, plan_file, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        assert main([
+            "train", "lr-higgs", "--budget-multiple", "2.5", "--seed", "0",
+            "--faults", str(plan_file), "--fault-report", str(report),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "diagnose", "lr-higgs", "--seed", "0",
+            "--fault-report", str(report),
+        ]) == 0
+        assert "lost to faults" in capsys.readouterr().out

@@ -1,0 +1,196 @@
+"""The injector's draws are a pure function of (plan, seed, scope, site)."""
+
+import pytest
+
+from repro.faults.injector import FaultInjector, SyncPenalty
+from repro.faults.plan import (
+    ANY_STORAGE,
+    FaultPlan,
+    PermanentLoss,
+    RetrySpec,
+    StorageFaultSpec,
+    ThrottleWindow,
+)
+
+
+def _crashy(prob=0.5, **kw):
+    return FaultPlan(crash_prob=prob, **kw)
+
+
+def _fault_grid(injector, epochs=6, ranks=8, attempts=2, incarnation=0):
+    return [
+        injector.worker_fault(e, r, a, incarnation)
+        for e in range(1, epochs + 1)
+        for r in range(ranks)
+        for a in range(attempts)
+    ]
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        a = FaultInjector(_crashy(), seed=7)
+        b = FaultInjector(_crashy(), seed=7)
+        assert _fault_grid(a) == _fault_grid(b)
+        assert [a.backoff_s(k, 1, 0, 0) for k in range(1, 4)] == [
+            b.backoff_s(k, 1, 0, 0) for k in range(1, 4)
+        ]
+
+    def test_seed_changes_draws(self):
+        a = FaultInjector(_crashy(), seed=0)
+        b = FaultInjector(_crashy(), seed=1)
+        assert _fault_grid(a) != _fault_grid(b)
+
+    def test_scope_separates_streams(self):
+        a = FaultInjector(_crashy(), seed=0, scope="train")
+        b = FaultInjector(_crashy(), seed=0, scope="tune")
+        assert _fault_grid(a) != _fault_grid(b)
+
+    def test_incarnation_salt_redraws(self):
+        """A re-run epoch must not deterministically replay its killer."""
+        inj = FaultInjector(_crashy(), seed=0)
+        first = _fault_grid(inj, incarnation=0)
+        second = _fault_grid(inj, incarnation=1)
+        assert first != second
+
+    def test_draws_are_order_independent(self):
+        """Site-keyed streams: querying in a different order can't shift
+        any draw (the engine's interleaving is irrelevant)."""
+        a = FaultInjector(_crashy(), seed=3)
+        b = FaultInjector(_crashy(), seed=3)
+        forward = _fault_grid(a)
+        backward = list(reversed(
+            [b.worker_fault(e, r, at)
+             for e in reversed(range(1, 7))
+             for r in reversed(range(8))
+             for at in reversed(range(2))]
+        ))
+        assert forward == backward
+
+
+class TestWorkerFaults:
+    def test_no_crash_when_prob_zero(self):
+        inj = FaultInjector(FaultPlan(permanent_loss=(PermanentLoss(epoch=9),)))
+        assert all(f is None for f in _fault_grid(inj))
+
+    def test_certain_crash_mid_epoch(self):
+        inj = FaultInjector(_crashy(prob=1.0, crash_mid_fraction=1.0))
+        for fault in _fault_grid(inj, epochs=3, ranks=4):
+            assert fault is not None and fault.kind == "crash-mid"
+            assert 0.05 <= fault.run_fraction <= 0.95
+
+    def test_certain_crash_at_invoke(self):
+        inj = FaultInjector(_crashy(prob=1.0, crash_mid_fraction=0.0))
+        for fault in _fault_grid(inj, epochs=3, ranks=4):
+            assert fault is not None and fault.kind == "crash-invoke"
+            assert fault.run_fraction == 0.0
+
+    def test_cold_start_failures_bounded_by_retry_budget(self):
+        plan = FaultPlan(
+            cold_start_failure_prob=1.0, retry=RetrySpec(max_attempts=3)
+        )
+        inj = FaultInjector(plan)
+        assert inj.cold_start_failures(1, 0, 0) == 3
+        assert FaultInjector(FaultPlan()).cold_start_failures(1, 0, 0) == 0
+
+    def test_backoff_jitter_stays_in_band(self):
+        plan = FaultPlan(retry=RetrySpec(base_backoff_s=1.0, jitter=0.25))
+        inj = FaultInjector(plan)
+        for attempt in range(1, 4):
+            nominal = plan.retry.backoff_s(attempt)
+            drawn = inj.backoff_s(attempt, 1, 0, 0)
+            assert 0.75 * nominal <= drawn <= 1.25 * nominal
+
+
+class TestSyncPenalty:
+    def test_no_spec_no_penalty(self):
+        plan = FaultPlan(storage={"s3": StorageFaultSpec(transient_prob=1.0)})
+        inj = FaultInjector(plan)
+        assert inj.sync_penalty(1, "dynamodb", 0.0, 2.0) == SyncPenalty()
+        assert len(inj.ledger) == 0
+
+    def test_transient_episode_recovered(self):
+        plan = FaultPlan(
+            storage={
+                ANY_STORAGE: StorageFaultSpec(
+                    transient_prob=1.0, max_errors=1, error_timeout_s=0.5
+                )
+            },
+            retry=RetrySpec(max_attempts=4, base_backoff_s=0.1),
+        )
+        inj = FaultInjector(plan)
+        penalty = inj.sync_penalty(1, "s3", 10.0, 2.0)
+        assert penalty.n_transient == 1
+        assert not penalty.exhausted
+        assert penalty.extra_s >= 0.5  # timeout plus a positive backoff
+        kinds = inj.ledger.counts()
+        assert kinds["storage-transient"] == 1
+        assert kinds["retry"] == 1
+
+    def test_transient_episode_exhausts_retry_budget(self):
+        plan = FaultPlan(
+            storage={ANY_STORAGE: StorageFaultSpec(transient_prob=1.0)},
+            retry=RetrySpec(max_attempts=1),
+        )
+        inj = FaultInjector(plan)
+        penalty = inj.sync_penalty(1, "s3", 0.0, 2.0)
+        assert penalty.exhausted
+        assert "retry-exhausted" in inj.ledger.counts()
+
+    def test_throttle_window_stretches_overlap(self):
+        window = ThrottleWindow(start_s=0.0, duration_s=100.0, slowdown=3.0)
+        plan = FaultPlan(
+            storage={ANY_STORAGE: StorageFaultSpec(throttle_windows=(window,))}
+        )
+        inj = FaultInjector(plan)
+        penalty = inj.sync_penalty(1, "s3", 10.0, 4.0)
+        assert penalty.throttled_s == pytest.approx(8.0)  # 4 s at 3x
+        assert penalty.extra_s == pytest.approx(8.0)
+        assert inj.ledger.counts() == {"storage-throttle": 1}
+        outside = inj.sync_penalty(2, "s3", 500.0, 4.0)
+        assert outside.throttled_s == 0.0
+
+    def test_stage_penalty_uses_same_model(self):
+        plan = FaultPlan(
+            storage={
+                ANY_STORAGE: StorageFaultSpec(
+                    throttle_windows=(
+                        ThrottleWindow(start_s=0.0, duration_s=50.0, slowdown=2.0),
+                    )
+                )
+            }
+        )
+        a = FaultInjector(plan, seed=0)
+        b = FaultInjector(plan, seed=0)
+        assert a.stage_penalty(3, "s3", 0.0, 10.0) == b.sync_penalty(
+            3, "s3", 0.0, 10.0
+        )
+
+
+class TestPermanentLoss:
+    def test_losses_fire_once_at_their_epoch(self):
+        loss = PermanentLoss(epoch=3, rank=1)
+        inj = FaultInjector(FaultPlan(permanent_loss=(loss,)))
+        assert inj.pending_losses(2, n_functions=8) == []
+        assert inj.pending_losses(3, n_functions=8) == [loss]
+        assert inj.pending_losses(5, n_functions=8) == [loss]  # still due
+        inj.mark_loss_handled(loss)
+        assert inj.pending_losses(5, n_functions=8) == []
+
+    def test_loss_outside_gang_ignored(self):
+        inj = FaultInjector(
+            FaultPlan(permanent_loss=(PermanentLoss(epoch=1, rank=10),))
+        )
+        assert inj.pending_losses(4, n_functions=8) == []
+        assert inj.pending_losses(4, n_functions=11) != []
+
+
+class TestLedgerRecording:
+    def test_record_splits_faults_from_recoveries(self):
+        inj = FaultInjector(_crashy())
+        inj.record("crash", 1.0, epoch=1, rank=0, attempt=0, lost_s=2.0)
+        inj.record("retry", 1.5, epoch=1, rank=0, attempt=1, lost_s=0.5)
+        summary = inj.ledger.summary()
+        assert summary["n_faults"] == 1
+        assert summary["n_recoveries"] == 1
+        assert summary["fault_time_s"] == pytest.approx(2.0)
+        assert summary["recovery_time_s"] == pytest.approx(0.5)

@@ -1,0 +1,69 @@
+"""Ledger aggregates and the versioned repro-faults-report/v1 document."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.faults.ledger import FaultLedger, FaultRecord
+
+
+def _sample() -> FaultLedger:
+    led = FaultLedger(plan_name="chaos")
+    led.record("crash", 1.0, scope="train", epoch=1, rank=2, attempt=0,
+               lost_s=3.0, detail="crash-mid")
+    led.record("retry", 1.1, scope="train", epoch=1, rank=2, attempt=1,
+               lost_s=0.2)
+    led.record("storage-throttle", 5.0, scope="train", epoch=2, lost_s=4.0)
+    led.record("checkpoint-restore", 9.0, scope="train", epoch=3, lost_s=1.5)
+    return led
+
+
+class TestAggregates:
+    def test_counts_and_split(self):
+        led = _sample()
+        assert len(led) == 4
+        assert led.counts() == {
+            "checkpoint-restore": 1, "crash": 1, "retry": 1,
+            "storage-throttle": 1,
+        }
+        assert led.fault_time_s == pytest.approx(7.0)
+        assert led.recovery_time_s == pytest.approx(1.7)
+        summary = led.summary()
+        assert summary["plan"] == "chaos"
+        assert summary["n_faults"] == 2
+        assert summary["n_recoveries"] == 2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultRecord(kind="gremlin", t_s=0.0)
+
+    def test_merged_combines_in_order(self):
+        a = FaultLedger(plan_name="chaos")
+        a.record("crash", 1.0)
+        b = FaultLedger()
+        b.record("retry", 2.0)
+        merged = FaultLedger.merged(a, None, b)
+        assert merged.plan_name == "chaos"
+        assert [r.kind for r in merged.records] == ["crash", "retry"]
+
+
+class TestReportDocument:
+    def test_round_trip(self):
+        led = _sample()
+        payload = json.loads(led.to_json({"schema": "x"}, meta={"seed": 0}))
+        assert payload["schema"] == "repro-faults-report/v1"
+        assert payload["meta"] == {"seed": 0}
+        again = FaultLedger.from_payload(payload)
+        assert again.plan_name == "chaos"
+        assert again.records == led.records
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValidationError):
+            FaultLedger.from_payload({"schema": "bench/v1"})
+
+    def test_render_lists_every_record(self):
+        text = _sample().render()
+        for kind in ("crash", "retry", "storage-throttle", "checkpoint-restore"):
+            assert kind in text
+        assert "2 fault(s)" in text and "2 recovery action(s)" in text

@@ -31,6 +31,7 @@ def _load(name: str):
         "telemetry_capture",
         "diagnose_run",
         "slo_guard",
+        "chaos_run",
     ],
 )
 def test_example_runs(name, capsys):
