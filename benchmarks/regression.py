@@ -21,6 +21,13 @@ simulation itself changed; that is reported as a drift note (and should
 come with a baseline update in the same change), but only *timing*
 regressions fail the run.
 
+Each entry also records counter *rates* (counter / wall second, e.g.
+planner candidates evaluated per second) — informational only, never
+gated. Two overhead probes re-run ``fig12`` with (a) a live SLO guard and
+(b) the hot-path profiler installed, each interleaved against a fresh
+probe-off measurement and gated at 1.05x; the profiler entry additionally
+records the per-phase wall-time breakdown under a ``profile`` key.
+
 ``--inject-slowdown FACTOR`` multiplies the measured wall times before
 comparison — a synthetic regression used by the harness's own tests and
 for verifying a CI wiring end to end.
@@ -65,11 +72,31 @@ GUARD_BASE_EXPERIMENT = "fig12"
 GUARD_ENTRY = "fig12+slo-guard"
 GUARD_OVERHEAD_RATIO = 1.05
 
+#: Profiler overhead probe: the same experiment with the hot-path profiler
+#: installed; its phase hooks must stay under the same ratio.
+PROFILE_ENTRY = "fig12+profiler"
+PROFILE_OVERHEAD_RATIO = 1.05
+
 #: Chaos matrix (--chaos): every Fig-12 workload must complete under the
 #: default fault profile — recovering via retries, checkpoint restores and
 #: Pareto replanning — with JCT inflated at most this much over fault-free.
 CHAOS_INFLATION_LIMIT = 2.0
 CHAOS_BUDGET_MULTIPLE = 2.5
+
+
+def _rates(counters: dict, wall_s: float) -> dict:
+    """Counter throughput per wall second (e.g. planner candidates/sec).
+
+    Wall time is machine-dependent, so rates are informational — the
+    compare step never gates on them — but they make "the planner got
+    slower per candidate" visible at a glance across bench records.
+    """
+    if wall_s <= 0:
+        return {}
+    return {
+        f"{name}_per_s": round(value / wall_s, 1)
+        for name, value in sorted(counters.items())
+    }
 
 
 def measure(experiment: str, scale: str, seed: int, rounds: int) -> dict:
@@ -91,7 +118,8 @@ def measure(experiment: str, scale: str, seed: int, rounds: int) -> dict:
             for snap in registry.snapshot()
             if snap.name in TRACKED_COUNTERS
         }
-    return {"wall_s": round(min(walls), 4), "counters": counters}
+    wall = round(min(walls), 4)
+    return {"wall_s": wall, "counters": counters, "rates": _rates(counters, wall)}
 
 
 def measure_guarded(experiment: str, scale: str, seed: int, rounds: int) -> dict:
@@ -126,7 +154,87 @@ def measure_guarded(experiment: str, scale: str, seed: int, rounds: int) -> dict
             for snap in registry.snapshot()
             if snap.name in TRACKED_COUNTERS
         }
-    return {"wall_s": round(min(walls), 4), "counters": counters}
+    wall = round(min(walls), 4)
+    return {"wall_s": wall, "counters": counters, "rates": _rates(counters, wall)}
+
+
+def _phase_breakdown(profiler) -> dict:
+    """Top-level profiling frames (depth <= 2) for a bench entry."""
+    from repro.profiling import capture_payload
+
+    payload = capture_payload(profiler)
+    return {
+        frame["path"]: {
+            "n_calls": frame["n_calls"],
+            "total_s": round(frame["total_s"], 4),
+            "self_s": round(frame["self_s"], 4),
+        }
+        for frame in payload["frames"]
+        if frame["depth"] <= 2
+    }
+
+
+def measure_profiled(experiment: str, scale: str, seed: int, rounds: int) -> dict:
+    """Like :func:`measure`, with the hot-path profiler installed.
+
+    The returned entry carries a ``profile`` key: per-phase wall-time
+    breakdowns (planner phases, scheduler re-plans, epoch execution) from
+    the run's ``repro-profile/v1`` aggregates.
+    """
+    from repro.profiling import Profiler, get_profiler, set_profiler
+
+    walls: list[float] = []
+    counters: dict[str, float] = {}
+    breakdown: dict = {}
+    for _ in range(rounds):
+        profiler = Profiler()
+        registry = MetricsRegistry()
+        prev_registry = get_registry()
+        prev_profiler = get_profiler()
+        set_registry(registry)
+        set_profiler(profiler)
+        start = time.perf_counter()
+        try:
+            run_experiment(experiment, scale=scale, seed=seed)
+        finally:
+            set_registry(prev_registry)
+            set_profiler(prev_profiler)
+            profiler.close()
+        walls.append(time.perf_counter() - start)
+        counters = {
+            snap.name: sum(s.value for s in snap.samples)
+            for snap in registry.snapshot()
+            if snap.name in TRACKED_COUNTERS
+        }
+        breakdown = _phase_breakdown(profiler)
+    wall = round(min(walls), 4)
+    return {
+        "wall_s": wall,
+        "counters": counters,
+        "rates": _rates(counters, wall),
+        "profile": breakdown,
+    }
+
+
+def measure_profile_overhead(
+    experiment: str, scale: str, seed: int, rounds: int
+) -> tuple[dict, dict]:
+    """(profiler-off, profiler-on) entries from interleaved best-of pairs.
+
+    Same discipline as :func:`measure_guard_overhead`: alternate the two
+    variants so load drift cancels, then compare each side's best.
+    """
+    pairs = max(3, rounds)
+    base = measure(experiment, scale, seed, 1)
+    profiled = measure_profiled(experiment, scale, seed, 1)
+    for _ in range(pairs - 1):
+        base_again = measure(experiment, scale, seed, 1)
+        profiled_again = measure_profiled(experiment, scale, seed, 1)
+        if base_again["wall_s"] < base["wall_s"]:
+            base = base_again
+        if profiled_again["wall_s"] < profiled["wall_s"]:
+            profiled = profiled_again
+    return base, profiled
 
 
 def measure_guard_overhead(
@@ -344,6 +452,30 @@ def main(argv: list[str] | None = None) -> int:
                 f"{GUARD_ENTRY}: {entry['wall_s']:.3f} s vs guard-off "
                 f"{base_wall:.3f} s ({entry['wall_s'] / base_wall:.2f}x > "
                 f"{GUARD_OVERHEAD_RATIO:.2f}x hook-bus overhead budget)"
+            )
+
+    # Profiler overhead probe: the same experiment with the hot-path
+    # profiler installed. The phase hooks are supposed to be cheap enough
+    # to leave on for any bench run; this keeps that promise honest.
+    if GUARD_BASE_EXPERIMENT in current["experiments"]:
+        base, entry = measure_profile_overhead(
+            GUARD_BASE_EXPERIMENT, args.scale, args.seed, args.rounds
+        )
+        if args.inject_slowdown != 1.0:
+            entry["wall_s"] = round(entry["wall_s"] * args.inject_slowdown, 4)
+            base["wall_s"] = round(base["wall_s"] * args.inject_slowdown, 4)
+        current["experiments"][PROFILE_ENTRY] = entry
+        print(f"  {PROFILE_ENTRY:20s} {entry['wall_s']:9.3f} s"
+              f"  (interleaved profiler-off {base['wall_s']:.3f} s)")
+        base_wall = base["wall_s"]
+        if (
+            base_wall >= MIN_COMPARABLE_WALL_S
+            and entry["wall_s"] > base_wall * PROFILE_OVERHEAD_RATIO
+        ):
+            guard_regressions.append(
+                f"{PROFILE_ENTRY}: {entry['wall_s']:.3f} s vs profiler-off "
+                f"{base_wall:.3f} s ({entry['wall_s'] / base_wall:.2f}x > "
+                f"{PROFILE_OVERHEAD_RATIO:.2f}x phase-hook overhead budget)"
             )
 
     chaos_failures: list[str] = []

@@ -26,6 +26,8 @@ Layer map (bottom-up):
   structured event log.
 * ``repro.faults`` — declarative fault injection plus the resilience
   layer: retries, checkpoint/restore, degraded replanning.
+* ``repro.profiling`` — deterministic hot-path profiler: host-time
+  frames, attributed counters, flamegraphs, capture diffing.
 """
 
 from repro.common.types import Allocation, JobResult, PricingPattern, StorageKind
@@ -41,6 +43,7 @@ from repro.telemetry import (
 )
 from repro.analytical.profiler import ParetoProfiler, ProfileResult
 from repro.ml.models import WORKLOADS, Workload, workload
+from repro.profiling import Profiler, profile_phase, set_profiler
 from repro.slo import SLOGuard, SLOSession, SLOSpec, evaluate_guard, replay_events
 from repro.training.adaptive_scheduler import AdaptiveScheduler
 from repro.training.offline_predictor import OfflinePredictor
@@ -70,6 +73,7 @@ __all__ = [
     "PlatformConfig",
     "PricingPattern",
     "ProfileResult",
+    "Profiler",
     "RunObservation",
     "RunReport",
     "SHASpec",
@@ -83,9 +87,11 @@ __all__ = [
     "__version__",
     "diagnose",
     "evaluate_guard",
+    "profile_phase",
     "replay_events",
     "run_training",
     "run_tuning",
+    "set_profiler",
     "set_registry",
     "set_tracer",
     "workload",

@@ -40,8 +40,14 @@ _CLOCK_CALLS = frozenset(
     }
 )
 
-#: Packages whose only legal time source is the simulation clock.
-_SIM_PACKAGES = ("faas", "training", "tuning", "workflow", "slo", "faults")
+#: Packages whose only legal time source is the simulation clock. The
+#: profiling package is included deliberately: its sole sanctioned host
+#: clock is ``repro.profiling.clock.host_clock_s`` (pragma'd at the call
+#: site); every other profiling module — and every instrumented simulation
+#: module — must route host timing through that helper.
+_SIM_PACKAGES = (
+    "faas", "training", "tuning", "workflow", "slo", "faults", "profiling",
+)
 
 
 class UnseededRandomnessRule(Rule):

@@ -55,6 +55,10 @@ SCHEMA_KEYS: dict[str, frozenset[str]] = {
     "repro-faults-report/v1": frozenset(
         {"schema", "meta", "plan", "summary", "records"}
     ),
+    "repro-profile/v1": frozenset({"schema", "meta", "frames", "totals"}),
+    "repro-profile-diff/v1": frozenset(
+        {"schema", "meta", "base", "target", "threshold", "frames", "summary"}
+    ),
 }
 
 _VERSIONED = re.compile(r"^[a-z][a-z0-9-]*/v\d+$")

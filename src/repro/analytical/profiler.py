@@ -8,7 +8,6 @@ scheduling-overhead experiment (Fig. 21: CE-scaling vs WO-pa).
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
 
 from repro.common.errors import InfeasibleAllocationError, ValidationError
@@ -19,6 +18,8 @@ from repro.analytical.pareto import ProfiledAllocation, pareto_front
 from repro.analytical.space import AllocationSpace, default_space
 from repro.analytical.timemodel import epoch_time
 from repro.ml.models import Workload
+from repro.profiling import profile_phase
+from repro.profiling.clock import host_clock_s
 from repro.telemetry import get_registry
 
 
@@ -73,24 +74,27 @@ class ParetoProfiler:
 
     def profile(self, workload: Workload) -> ProfileResult:
         """Evaluate the space for ``workload`` and return the boundary."""
-        start = _time.perf_counter()
+        start = host_clock_s()
         points: list[ProfiledAllocation] = []
         evaluated = 0
-        for alloc in self.space.enumerate():
-            evaluated += 1
-            try:
-                t = epoch_time(workload, alloc, self.platform)
-            except InfeasibleAllocationError:
-                continue
-            c = epoch_cost(workload, alloc, t, self.platform)
-            points.append(ProfiledAllocation(allocation=alloc, time=t, cost=c))
+        with profile_phase("profiler/evaluate_space") as ph:
+            for alloc in self.space.enumerate():
+                evaluated += 1
+                try:
+                    t = epoch_time(workload, alloc, self.platform)
+                except InfeasibleAllocationError:
+                    continue
+                c = epoch_cost(workload, alloc, t, self.platform)
+                points.append(ProfiledAllocation(allocation=alloc, time=t, cost=c))
+            ph.add("points_evaluated", evaluated)
         if not points:
             raise InfeasibleAllocationError(
                 f"no feasible allocation for workload {workload.name} in the given space"
             )
-        front = pareto_front(points) if self.use_pareto else sorted(
-            points, key=lambda p: p.time_s
-        )
+        with profile_phase("profiler/pareto_front"):
+            front = pareto_front(points) if self.use_pareto else sorted(
+                points, key=lambda p: p.time_s
+            )
         registry = get_registry()
         registry.counter(
             "repro_profiler_points_evaluated_total",
@@ -105,5 +109,5 @@ class ParetoProfiler:
             all_points=points,
             pareto=front,
             evaluated=evaluated,
-            profile_time_s=_time.perf_counter() - start,
+            profile_time_s=host_clock_s() - start,
         )

@@ -159,6 +159,57 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile", metavar="PATH",
+        help="profile the run's hot paths; write the repro-profile/v1 "
+             "capture to PATH (diff later with `repro profile --diff`)",
+    )
+    parser.add_argument(
+        "--flamegraph", metavar="PATH",
+        help="write a collapsed-stack flamegraph (flamegraph.pl / inferno "
+             "/ speedscope input) to PATH",
+    )
+
+
+def _profile_session(args, command: str):
+    """Hot-path profiling scoped to one CLI command (inert without flags)."""
+    from repro.profiling.session import ProfileSession
+
+    return ProfileSession(
+        profile_path=getattr(args, "profile", None),
+        flamegraph_path=getattr(args, "flamegraph", None),
+        meta={
+            "command": command,
+            "workload": getattr(args, "workload", ""),
+            "method": getattr(args, "method", ""),
+            "seed": getattr(args, "seed", 0),
+        },
+    )
+
+
+def _finish_profile(args, prof) -> None:
+    """Report capture paths; merge profiler frames into a --trace file.
+
+    Runs after the telemetry session has written the Chrome trace, so the
+    profiler's host-time spans are appended to the finished document.
+    """
+    if prof.profiler is None:
+        return
+    trace = getattr(args, "trace", None)
+    if trace:
+        from repro.profiling import augment_chrome_trace
+
+        path = Path(trace)
+        path.write_text(augment_chrome_trace(path.read_text(), prof.profiler))
+    totals = prof.payload()["totals"]
+    wrote = [str(p) for p in (prof.profile_path, prof.flamegraph_path) if p]
+    print(
+        f"profile : {totals['n_frames']} frame(s), {totals['n_calls']} "
+        f"call(s) -> {', '.join(wrote)}"
+    )
+
+
 def cmd_list_workloads(_args) -> int:
     print(f"{'name':20s} {'model MB':>10s} {'dataset MB':>12s} "
           f"{'batch':>8s} {'target loss':>12s}")
@@ -168,7 +219,150 @@ def cmd_list_workloads(_args) -> int:
     return 0
 
 
+def _profile_diff(args) -> int:
+    """``repro profile --diff BASE TARGET``: per-frame deltas; 1 on regression."""
+    from repro.profiling import (
+        diff_captures,
+        diff_to_json,
+        has_regressions,
+        load_capture,
+        render_diff,
+    )
+
+    base_path, target_path = args.diff
+    try:
+        base = load_capture(Path(base_path).read_text())
+        target = load_capture(Path(target_path).read_text())
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"repro profile: {exc}", file=sys.stderr)
+        return 2
+    report = diff_captures(
+        base, target, threshold=args.threshold, min_s=args.min_s,
+        meta={"base": base_path, "target": target_path},
+    )
+    if args.out:
+        Path(args.out).write_text(diff_to_json(report))
+    if args.format == "json":
+        print(diff_to_json(report), end="")
+    else:
+        print(render_diff(report))
+    return 1 if has_regressions(report) else 0
+
+
+def _profile_validate(args) -> int:
+    """``repro profile --validate PATH``: check a capture's schema contract."""
+    from repro.profiling import load_capture
+    from repro.analysis.rules.schema import SCHEMA_KEYS
+
+    try:
+        payload = load_capture(Path(args.validate).read_text())
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"repro profile: {exc}", file=sys.stderr)
+        return 2
+    # Belt and braces: the capture must also match the REP006 registry's
+    # pinned key set, so a drifted registry fails loudly here, not in lint.
+    expected = SCHEMA_KEYS.get(payload["schema"])
+    if expected is None or set(payload) != expected:
+        print(
+            f"repro profile: capture keys {sorted(payload)} disagree with "
+            f"the REP006 registry entry for {payload['schema']!r}",
+            file=sys.stderr,
+        )
+        return 2
+    totals = payload["totals"]
+    print(
+        f"valid {payload['schema']} capture: {totals['n_frames']} frame(s), "
+        f"{totals['n_calls']} call(s), "
+        f"{format_duration(totals['wall_s'])} attributed"
+    )
+    return 0
+
+
+def _profile_run(args) -> int:
+    """``repro profile WORKLOAD --run MODE``: profile one entry point."""
+    from repro.profiling import render_capture
+    from repro.profiling.session import ProfileSession
+
+    if not args.workload:
+        print(
+            f"repro profile: --run {args.run} needs a workload name",
+            file=sys.stderr,
+        )
+        return 2
+    prof = ProfileSession(
+        profile_path=args.out,
+        flamegraph_path=args.flamegraph,
+        sample_memory=args.memory,
+        force_install=True,
+        meta={
+            "command": f"profile --run {args.run}",
+            "workload": args.workload,
+            "method": args.method,
+            "seed": args.seed,
+        },
+    )
+    try:
+        with prof:
+            if args.run == "train":
+                w = workload(args.workload)
+                wprofile = profile_workload(
+                    w, storage_pin=_parse_storage(args.storage)
+                )
+                env = training_envelope(w, wprofile)
+                budget = (
+                    args.budget if args.budget is not None
+                    else env.budget(args.budget_multiple or 2.5)
+                )
+                run_training(
+                    w, method=args.method,
+                    objective=Objective.MIN_JCT_GIVEN_BUDGET,
+                    budget_usd=budget, seed=args.seed, profile=wprofile,
+                    storage_pin=_parse_storage(args.storage),
+                )
+            elif args.run == "tune":
+                w = workload(args.workload)
+                spec = SHASpec(args.trials, args.eta, args.epochs_per_stage)
+                wprofile = profile_workload(w)
+                env = tuning_envelope(wprofile, spec)
+                budget = (
+                    args.budget if args.budget is not None
+                    else env.budget(args.budget_multiple or 1.3)
+                )
+                run_tuning(
+                    w, spec, method=args.method,
+                    objective=Objective.MIN_JCT_GIVEN_BUDGET,
+                    budget_usd=budget, seed=args.seed, profile=wprofile,
+                )
+            else:  # workflow
+                from repro.workflow.campaign import run_workflow
+
+                spec = SHASpec(args.trials, args.eta, args.epochs_per_stage)
+                run_workflow(
+                    args.workload, spec,
+                    budget_usd=args.budget if args.budget is not None else 25.0,
+                    tuning_fraction=args.tuning_fraction, seed=args.seed,
+                )
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"repro profile: {exc}", file=sys.stderr)
+        return 2
+    print(render_capture(prof.payload(), top=args.top))
+    return 0
+
+
 def cmd_profile(args) -> int:
+    if args.diff:
+        return _profile_diff(args)
+    if args.validate:
+        return _profile_validate(args)
+    if args.run:
+        return _profile_run(args)
+    if not args.workload:
+        print(
+            "repro profile: a workload name is required unless --diff or "
+            "--validate is given",
+            file=sys.stderr,
+        )
+        return 2
     w = workload(args.workload)
     profile = profile_workload(w, storage_pin=_parse_storage(args.storage))
     print(f"{len(profile.all_points)} feasible allocations, "
@@ -189,7 +383,8 @@ def cmd_train(args) -> int:
     except (OSError, ValueError, ReproError) as exc:
         print(f"repro train: {exc}", file=sys.stderr)
         return 2
-    with _session(args, "train") as session, slo:
+    prof = _profile_session(args, "train")
+    with _session(args, "train") as session, slo, prof:
         profile = profile_workload(w, storage_pin=_parse_storage(args.storage))
         env = training_envelope(w, profile)
         if args.qos_multiple is not None:
@@ -235,6 +430,7 @@ def cmd_train(args) -> int:
           f"storage {format_usd(r.storage_cost_usd)}   "
           f"scheduling {format_duration(r.scheduling_overhead_s)}")
     _finish_faults(args, run.fault_ledger, plan, "train")
+    _finish_profile(args, prof)
     return _finish_slo(slo)
 
 
@@ -247,7 +443,8 @@ def cmd_tune(args) -> int:
     except (OSError, ValueError, ReproError) as exc:
         print(f"repro tune: {exc}", file=sys.stderr)
         return 2
-    with _session(args, "tune") as session, slo:
+    prof = _profile_session(args, "tune")
+    with _session(args, "tune") as session, slo, prof:
         profile = profile_workload(w)
         env = tuning_envelope(profile, spec)
         budget = env.budget(args.budget_multiple)
@@ -274,6 +471,7 @@ def cmd_tune(args) -> int:
     print(f"winner: lr={r.winner.learning_rate:.2e} "
           f"momentum={r.winner.momentum:.2f} (quality {r.winner.quality:.2f})")
     _finish_faults(args, run.fault_ledger, plan, "tune")
+    _finish_profile(args, prof)
     return _finish_slo(slo)
 
 
@@ -287,7 +485,8 @@ def cmd_workflow(args) -> int:
     except (OSError, ValueError, ReproError) as exc:
         print(f"repro workflow: {exc}", file=sys.stderr)
         return 2
-    with _session(args, "workflow") as session, slo:
+    prof = _profile_session(args, "workflow")
+    with _session(args, "workflow") as session, slo, prof:
         result = run_workflow(
             args.workload, spec, budget_usd=args.budget,
             tuning_fraction=args.tuning_fraction, seed=args.seed,
@@ -319,6 +518,7 @@ def cmd_workflow(args) -> int:
           f"cost {format_usd(result.total_cost_usd)} / "
           f"{format_usd(args.budget)}")
     _finish_faults(args, result.fault_ledger, plan, "workflow")
+    _finish_profile(args, prof)
     return _finish_slo(slo)
 
 
@@ -672,9 +872,52 @@ def build_parser() -> argparse.ArgumentParser:
         fn=cmd_list_workloads
     )
 
-    p = sub.add_parser("profile", help="print a workload's Pareto boundary")
-    p.add_argument("workload")
+    p = sub.add_parser(
+        "profile",
+        help="Pareto boundary, hot-path profiling runs, and profile diffs",
+        description="Without flags, print WORKLOAD's Pareto boundary. With "
+                    "--run MODE, execute that entry point under the "
+                    "deterministic hot-path profiler and print the frame "
+                    "table (write the repro-profile/v1 capture with --out). "
+                    "--diff compares two saved captures (exit 1 when a "
+                    "frame regressed past --threshold); --validate checks "
+                    "a capture against the schema registry.",
+    )
+    p.add_argument("workload", nargs="?",
+                   help="workload name (omit with --diff / --validate)")
     p.add_argument("--storage", choices=[s.value for s in StorageKind])
+    p.add_argument("--run", choices=("train", "tune", "workflow"),
+                   help="profile this entry point on WORKLOAD")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the repro-profile/v1 capture (--run) or the "
+                        "repro-profile-diff/v1 report (--diff) to PATH")
+    p.add_argument("--flamegraph", metavar="PATH",
+                   help="write a collapsed-stack flamegraph to PATH (--run)")
+    p.add_argument("--memory", action="store_true",
+                   help="also sample tracemalloc peak memory per frame")
+    p.add_argument("--top", type=int, default=20,
+                   help="frame-table rows to print (0 = all)")
+    p.add_argument("--diff", nargs=2, metavar=("BASE", "TARGET"),
+                   help="compare two saved repro-profile/v1 captures")
+    p.add_argument("--validate", metavar="PATH",
+                   help="validate a saved capture against the schema registry")
+    p.add_argument("--threshold", type=float, default=1.2,
+                   help="--diff: flag frames slower than BASE by this ratio")
+    p.add_argument("--min-s", type=float, default=0.001,
+                   help="--diff: ignore timing deltas on frames whose base "
+                        "time is below this (timer noise)")
+    p.add_argument("--format", default="table", choices=("table", "json"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--method", default="ce-scaling",
+                   help="training/tuning method for --run")
+    p.add_argument("--budget", type=float, help="absolute budget in USD")
+    p.add_argument("--budget-multiple", type=float,
+                   help="budget as a multiple of the cheapest spend "
+                        "(default: train 2.5, tune 1.3)")
+    p.add_argument("--trials", type=int, default=32)
+    p.add_argument("--eta", type=int, default=2)
+    p.add_argument("--epochs-per-stage", type=int, default=1)
+    p.add_argument("--tuning-fraction", type=float, default=0.4)
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("train", help="run one training job")
@@ -690,6 +933,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(p)
     _add_slo_flags(p)
     _add_fault_flags(p)
+    _add_profile_flags(p)
     p.set_defaults(fn=cmd_train)
 
     p = sub.add_parser("tune", help="run one hyperparameter-tuning job")
@@ -703,6 +947,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(p)
     _add_slo_flags(p)
     _add_fault_flags(p)
+    _add_profile_flags(p)
     p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser("workflow", help="run the full tune-then-train pipeline")
@@ -716,6 +961,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(p)
     _add_slo_flags(p)
     _add_fault_flags(p)
+    _add_profile_flags(p)
     p.set_defaults(fn=cmd_workflow)
 
     p = sub.add_parser(

@@ -1,0 +1,138 @@
+"""Deterministic hot-path profiling: phases, flamegraphs, perf diffs.
+
+The process-global default is a :class:`NullProfiler`, so the
+``profile_phase(...)`` hooks on the planner/profiler/scheduler/executor hot
+paths cost one attribute check until a caller installs a real
+:class:`Profiler`::
+
+    from repro.profiling import Profiler, get_profiler, set_profiler
+
+    prof = Profiler()
+    set_profiler(prof)
+    ...  # run jobs; planner/scheduler/storage frames aggregate as they go
+    set_profiler(None)
+
+or, scoped, via :class:`repro.profiling.session.ProfileSession` (what the
+CLI's ``--profile`` flag and ``repro profile --run`` use). Like telemetry,
+profiling is strictly observational: it never consumes randomness and
+never branches simulation logic, so simulated results are bit-identical
+with the profiler installed or not.
+
+Instrumentation sites open *phases*::
+
+    with profile_phase("planner/spend_remainder") as ph:
+        ...
+        ph.add("candidates_evaluated", n)   # counter per call path
+
+and the aggregate (wall time per call path, call counts, counters, and —
+with ``sample_memory=True`` — tracemalloc peaks) exports as a
+``repro-profile/v1`` capture, a collapsed-stack flamegraph, or extra
+frames in the telemetry Chrome trace. ``repro profile --diff A.json
+B.json`` computes per-frame deltas between two captures.
+
+REP002 note: this package is in the lint's simulated-packages scope; the
+only sanctioned host-clock call site is
+:func:`repro.profiling.clock.host_clock_s`.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable
+
+from repro.profiling.capture import (
+    capture_payload,
+    load_capture,
+    render_capture,
+    to_json,
+    validate_capture,
+)
+from repro.profiling.clock import host_clock_s
+from repro.profiling.core import NULL_PHASE, FrameStat, NullProfiler, Profiler
+from repro.profiling.diff import (
+    diff_captures,
+    diff_to_json,
+    has_regressions,
+    render_diff,
+)
+from repro.profiling.flamegraph import augment_chrome_trace, to_collapsed
+
+_NULL_PROFILER = NullProfiler()
+_profiler = _NULL_PROFILER
+
+
+def get_profiler():
+    """The process-global profiler (a no-op unless installed)."""
+    return _profiler
+
+
+def set_profiler(profiler) -> None:
+    """Install (or, with ``None``, uninstall) the global profiler."""
+    global _profiler
+    _profiler = profiler if profiler is not None else _NULL_PROFILER
+
+
+def profiling_enabled() -> bool:
+    """True when a real profiler is installed."""
+    return _profiler.enabled
+
+
+def profile_phase(name: str):
+    """A context manager timing one frame of the installed profiler.
+
+    When profiling is off this returns a shared no-op phase, so
+    instrumented hot paths pay one call and one attribute check. The
+    yielded phase exposes ``add(counter, amount)`` to credit work to the
+    frame's call path.
+    """
+    p = _profiler
+    if not p.enabled:
+        return NULL_PHASE
+    return p.phase(name)
+
+
+def profiled(name: str | None = None) -> Callable:
+    """Decorator form of :func:`profile_phase`.
+
+    ``name`` defaults to the wrapped function's qualified name. When
+    profiling is off the wrapper adds a single truthiness check.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            p = _profiler
+            if not p.enabled:
+                return fn(*args, **kwargs)
+            with p.phase(label):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+__all__ = [
+    "FrameStat",
+    "NullProfiler",
+    "Profiler",
+    "augment_chrome_trace",
+    "capture_payload",
+    "diff_captures",
+    "diff_to_json",
+    "get_profiler",
+    "has_regressions",
+    "host_clock_s",
+    "load_capture",
+    "profile_phase",
+    "profiled",
+    "profiling_enabled",
+    "render_capture",
+    "render_diff",
+    "set_profiler",
+    "to_collapsed",
+    "to_json",
+    "validate_capture",
+]

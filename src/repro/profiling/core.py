@@ -1,0 +1,188 @@
+"""The frame-stack profiler: phases, aggregation, counter attribution.
+
+A :class:`Profiler` maintains a stack of named *phases*; entering a phase
+pushes its name, leaving it pops and folds the elapsed host time into the
+aggregate for the full call *path* (the tuple of open phase names). The
+same phase name reached through different parents therefore aggregates
+separately — ``planner/plan;planner/spend_remainder`` is a different row
+than a hypothetical top-level ``planner/spend_remainder`` — which is what
+lets a capture say *which* caller owns the time.
+
+Attribution: code inside a phase can credit counters to it
+(``ph.add("candidates_evaluated", n)``), so a capture carries work rates
+(candidates/sec) per call-path, not just per process.
+
+Like the telemetry collectors, the process-global default is a
+:class:`NullProfiler`; instrumented hot paths pay one attribute check when
+profiling is off. The profiler is strictly observational — it never
+consumes randomness and never branches simulation logic.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Callable
+
+from repro.profiling.clock import host_clock_s
+
+#: Keep at most this many raw frame-entry events (for Chrome-trace
+#: augmentation); aggregation is unaffected when the cap is hit.
+DEFAULT_MAX_EVENTS = 20_000
+
+#: Call path used when a counter is credited with no phase open.
+UNATTRIBUTED = ("(unattributed)",)
+
+
+class FrameStat:
+    """Aggregate for one call path: calls, inclusive time, counters."""
+
+    __slots__ = ("n_calls", "total_s", "counters", "peak_bytes")
+
+    def __init__(self) -> None:
+        self.n_calls = 0
+        self.total_s = 0.0
+        self.counters: dict[str, float] = {}
+        self.peak_bytes = 0
+
+    def add_counter(self, name: str, amount: float) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+
+class _Phase:
+    """Context manager for one frame entry on a live profiler."""
+
+    __slots__ = ("_profiler", "_name", "_path", "_start")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> "_Phase":
+        p = self._profiler
+        p._stack.append(self._name)
+        self._path = tuple(p._stack)
+        self._start = p.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        p = self._profiler
+        duration = p.clock() - self._start
+        stat = p._frame(self._path)
+        stat.n_calls += 1
+        stat.total_s += duration
+        if p.sample_memory and tracemalloc.is_tracing():
+            stat.peak_bytes = max(
+                stat.peak_bytes, tracemalloc.get_traced_memory()[1]
+            )
+        if len(p.events) < p.max_events:
+            p.events.append((self._path, self._start - p._t0, duration))
+        else:
+            p.dropped_events += 1
+        p._stack.pop()
+        return False
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        """Credit ``amount`` of ``counter`` to this frame's call path."""
+        self._profiler._frame(self._path).add_counter(counter, float(amount))
+
+
+class _NullPhase:
+    """Shared no-op phase handed out when profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        pass
+
+
+NULL_PHASE = _NullPhase()
+
+
+class Profiler:
+    """Deterministic phase/frame profiler (single-threaded).
+
+    Attributes:
+        clock: host-seconds source (defaults to the sanctioned
+            :func:`repro.profiling.clock.host_clock_s`; tests inject a
+            fake for exact arithmetic).
+        sample_memory: when True, records the tracemalloc peak observed at
+            each frame exit (``tracemalloc`` is started if needed and
+            stopped again by :meth:`close`). Best-effort attribution — the
+            peak is process-wide, so a frame's number means "the process
+            peaked at X bytes while (or before) this frame ran".
+        max_events: cap on raw frame-entry events kept for Chrome-trace
+            augmentation; overflow only increments ``dropped_events``.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = host_clock_s,
+        sample_memory: bool = False,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        self.clock = clock
+        self.sample_memory = sample_memory
+        self.max_events = max_events
+        self.frames: dict[tuple[str, ...], FrameStat] = {}
+        self.events: list[tuple[tuple[str, ...], float, float]] = []
+        self.dropped_events = 0
+        self._stack: list[str] = []
+        self._started_tracemalloc = False
+        if sample_memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        self._t0 = self.clock()
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def phase(self, name: str) -> _Phase:
+        """A context manager timing one frame named ``name``."""
+        return _Phase(self, name)
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        """Credit ``amount`` of ``counter`` to the innermost open frame."""
+        path = tuple(self._stack) if self._stack else UNATTRIBUTED
+        self._frame(path).add_counter(counter, float(amount))
+
+    def close(self) -> None:
+        """Release resources (stops tracemalloc if this profiler started it)."""
+        if self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._started_tracemalloc = False
+
+    # ------------------------------------------------------------------ internals
+    def _frame(self, path: tuple[str, ...]) -> FrameStat:
+        stat = self.frames.get(path)
+        if stat is None:
+            stat = self.frames[path] = FrameStat()
+        return stat
+
+
+class NullProfiler:
+    """The default profiler: does nothing, costs one attribute check."""
+
+    frames: dict[tuple[str, ...], FrameStat] = {}
+    events: list[tuple[tuple[str, ...], float, float]] = []
+    dropped_events = 0
+    sample_memory = False
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def phase(self, name: str) -> _NullPhase:
+        return NULL_PHASE
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        pass
+
+    def close(self) -> None:
+        pass

@@ -1,0 +1,144 @@
+"""Per-frame deltas between two profiler captures (``repro profile --diff``).
+
+The diff report (schema ``repro-profile-diff/v1``) joins two
+``repro-profile/v1`` captures on call path and classifies every frame:
+
+* ``regressed`` — target inclusive time exceeds base × threshold (only for
+  frames whose base time clears ``min_s``; microsecond frames are timer
+  noise, mirroring the bench harness's ``MIN_COMPARABLE_WALL_S``);
+* ``improved`` — the symmetric speedup;
+* ``added`` / ``removed`` — the frame exists on one side only (a changed
+  code path, not a timing delta);
+* ``unchanged`` — everything else.
+
+Output ordering is the sorted call path — a pure function of the two
+input documents, so diffing the same pair of files is deterministic no
+matter how many times it runs. Diffing a capture against itself yields
+zero deltas and no regressions (the CI smoke check).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.profiling.capture import JSON_SCHEMA as CAPTURE_SCHEMA  # noqa: F401
+
+DIFF_SCHEMA = "repro-profile-diff/v1"
+
+#: Default regression threshold: target slower than base by this ratio.
+DEFAULT_THRESHOLD = 1.2
+
+#: Frames whose base time is below this are never classified by timing.
+DEFAULT_MIN_S = 0.001
+
+
+def diff_captures(
+    base: dict,
+    target: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_s: float = DEFAULT_MIN_S,
+    meta: dict | None = None,
+) -> dict:
+    """The ``repro-profile-diff/v1`` report for ``base`` → ``target``."""
+    base_frames = {f["path"]: f for f in base["frames"]}
+    target_frames = {f["path"]: f for f in target["frames"]}
+    frames = []
+    n_regressed = n_improved = 0
+    for path in sorted(set(base_frames) | set(target_frames)):
+        b = base_frames.get(path)
+        t = target_frames.get(path)
+        b_total = b["total_s"] if b else 0.0
+        t_total = t["total_s"] if t else 0.0
+        if b is None:
+            status = "added"
+        elif t is None:
+            status = "removed"
+        elif b_total >= min_s and t_total > b_total * threshold:
+            status = "regressed"
+            n_regressed += 1
+        elif b_total >= min_s and t_total < b_total / threshold:
+            status = "improved"
+            n_improved += 1
+        else:
+            status = "unchanged"
+        counters = {}
+        for name in sorted(
+            set((b or {}).get("counters", {}))
+            | set((t or {}).get("counters", {}))
+        ):
+            b_val = (b or {}).get("counters", {}).get(name, 0.0)
+            t_val = (t or {}).get("counters", {}).get(name, 0.0)
+            counters[name] = {
+                "base": b_val,
+                "target": t_val,
+                "delta": round(t_val - b_val, 9),
+            }
+        frames.append(
+            {
+                "path": path,
+                "status": status,
+                "base_total_s": round(b_total, 9),
+                "target_total_s": round(t_total, 9),
+                "delta_s": round(t_total - b_total, 9),
+                "ratio": round(t_total / b_total, 6) if b_total > 0 else None,
+                "base_calls": b["n_calls"] if b else 0,
+                "target_calls": t["n_calls"] if t else 0,
+                "counters": counters,
+            }
+        )
+    base_wall = base["totals"]["wall_s"]
+    target_wall = target["totals"]["wall_s"]
+    return {
+        "schema": DIFF_SCHEMA,
+        "meta": dict(meta or {}),
+        "base": {"meta": dict(base["meta"]), "wall_s": base_wall},
+        "target": {"meta": dict(target["meta"]), "wall_s": target_wall},
+        "threshold": threshold,
+        "frames": frames,
+        "summary": {
+            "n_frames": len(frames),
+            "n_regressed": n_regressed,
+            "n_improved": n_improved,
+            "n_added": sum(1 for f in frames if f["status"] == "added"),
+            "n_removed": sum(1 for f in frames if f["status"] == "removed"),
+            "delta_wall_s": round(target_wall - base_wall, 9),
+        },
+    }
+
+
+def has_regressions(report: dict) -> bool:
+    """True when any frame regressed past the report's threshold."""
+    return report["summary"]["n_regressed"] > 0
+
+
+def diff_to_json(report: dict) -> str:
+    """Byte-stable serialization of a diff report."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+_MARK = {"regressed": "!", "improved": "+", "added": ">", "removed": "<"}
+
+
+def render_diff(report: dict) -> str:
+    """Per-frame delta table; regressions are marked with ``!``."""
+    s = report["summary"]
+    lines = [
+        f"profile diff: {s['n_frames']} frame(s), "
+        f"{s['n_regressed']} regressed, {s['n_improved']} improved, "
+        f"{s['n_added']} added, {s['n_removed']} removed "
+        f"(threshold {report['threshold']:.2f}x)",
+        f"wall: {report['base']['wall_s']:.3f} s -> "
+        f"{report['target']['wall_s']:.3f} s "
+        f"({s['delta_wall_s']:+.3f} s)",
+        f"  {'path':52s} {'base':>9s} {'target':>9s} {'delta':>9s} "
+        f"{'ratio':>7s}",
+    ]
+    for f in report["frames"]:
+        mark = _MARK.get(f["status"], " ")
+        ratio = f"{f['ratio']:.2f}x" if f["ratio"] is not None else "-"
+        lines.append(
+            f"{mark} {f['path']:52s} {f['base_total_s']:>8.3f}s "
+            f"{f['target_total_s']:>8.3f}s {f['delta_s']:>+8.3f}s "
+            f"{ratio:>7s}"
+        )
+    return "\n".join(lines)

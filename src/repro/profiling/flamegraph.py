@@ -1,0 +1,86 @@
+"""Flamegraph and Chrome-trace exporters for profiler captures.
+
+* :func:`to_collapsed` — the collapsed-stack format consumed by inferno
+  (``inferno-flamegraph``), Brendan Gregg's ``flamegraph.pl`` and
+  speedscope: one line per call path, ``a;b;c <microseconds>``, weighted
+  by *self* time so stack depth renders correctly.
+* :func:`profiler_chrome_events` / :func:`augment_chrome_trace` — profiling
+  frames as Chrome trace-event spans on their own process (pid 2, host
+  time), merged into the trace the telemetry ``--trace`` flag writes so
+  Perfetto shows simulated spans and host-time profiling frames side by
+  side.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.profiling.capture import PATH_SEP
+from repro.profiling.core import Profiler
+
+#: Chrome-trace process id for profiling frames (pid 1 is the simulation).
+PROFILER_PID = 2
+
+
+def to_collapsed(payload: dict) -> str:
+    """Collapsed-stack flamegraph text for a ``repro-profile/v1`` capture.
+
+    Lines are sorted by path so repeated exports of the same capture are
+    byte-identical; weights are integer microseconds of self time (frames
+    rounding to 0 µs are kept — they still document the call path).
+    """
+    lines = []
+    for frame in sorted(payload["frames"], key=lambda f: f["path"]):
+        weight = int(round(frame["self_s"] * 1e6))
+        lines.append(f"{frame['path']} {weight}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def profiler_chrome_events(profiler: Profiler) -> list[dict]:
+    """Chrome trace events ('X' spans + 'M' metadata) for raw frame entries.
+
+    Timestamps are host microseconds since the profiler was created — a
+    different timebase than the simulation's pid-1 spans, which is exactly
+    why the frames live on their own process row.
+    """
+    depth = {}
+    events = []
+    for path, start_s, duration_s in sorted(profiler.events):
+        depth.setdefault(path, len(path))
+        events.append(
+            {
+                "name": path[-1],
+                "cat": "profiling",
+                "ph": "X",
+                "ts": start_s * 1e6,
+                "dur": duration_s * 1e6,
+                "pid": PROFILER_PID,
+                "tid": 1,
+                "args": {"path": PATH_SEP.join(path)},
+            }
+        )
+    if not events:
+        return []
+    meta = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": PROFILER_PID,
+            "args": {"name": "profiler (host time)"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": PROFILER_PID,
+            "tid": 1,
+            "args": {"name": "frames"},
+        },
+    ]
+    return meta + events
+
+
+def augment_chrome_trace(trace_text: str, profiler: Profiler) -> str:
+    """Merge profiling frames into an existing Chrome-trace JSON document."""
+    doc = json.loads(trace_text)
+    doc.setdefault("traceEvents", []).extend(profiler_chrome_events(profiler))
+    return json.dumps(doc)

@@ -1,0 +1,80 @@
+"""Scoped profiling: install the profiler, run, export, restore.
+
+Mirrors :class:`repro.telemetry.session.TelemetrySession` — the CLI's
+``--profile PATH`` / ``--flamegraph PATH`` flags (and ``repro profile
+--run ...``) wrap each command in a :class:`ProfileSession`; libraries can
+do the same around any block of work::
+
+    with ProfileSession(profile_path="prof.json") as session:
+        run_tuning("lr-higgs", SHASpec(256, 2, 2), budget_usd=20.0)
+    # prof.json now holds the repro-profile/v1 capture
+
+On clean exit the session writes the capture and/or collapsed-stack
+flamegraph, then restores whatever profiler was installed before —
+sessions nest safely. With no paths and ``force_install=False`` the
+session installs nothing and writes nothing, so callers never branch.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.profiling import get_profiler, set_profiler
+from repro.profiling.capture import capture_payload, to_json
+from repro.profiling.core import Profiler
+from repro.profiling.flamegraph import to_collapsed
+
+
+class ProfileSession:
+    """Context manager that profiles a block and exports the capture."""
+
+    def __init__(
+        self,
+        profile_path: str | Path | None = None,
+        flamegraph_path: str | Path | None = None,
+        meta: dict | None = None,
+        sample_memory: bool = False,
+        force_install: bool = False,
+    ) -> None:
+        self.profile_path = Path(profile_path) if profile_path else None
+        self.flamegraph_path = Path(flamegraph_path) if flamegraph_path else None
+        self.meta = dict(meta or {})
+        self.sample_memory = sample_memory
+        self.force_install = force_install
+        self.profiler: Profiler | None = None
+        self._prev = None
+
+    @property
+    def active(self) -> bool:
+        return (
+            self.profile_path is not None
+            or self.flamegraph_path is not None
+            or self.force_install
+        )
+
+    def payload(self) -> dict:
+        """The capture document for this session's profiler."""
+        if self.profiler is None:
+            raise RuntimeError("session never installed a profiler")
+        return capture_payload(self.profiler, meta=self.meta)
+
+    def __enter__(self) -> "ProfileSession":
+        if self.active:
+            self._prev = get_profiler()
+            self.profiler = Profiler(sample_memory=self.sample_memory)
+            set_profiler(self.profiler)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.profiler is None:
+            return
+        set_profiler(self._prev)
+        self.profiler.close()
+        if exc_type is not None:
+            return  # don't write partial captures over a crash
+        if self.profile_path is not None or self.flamegraph_path is not None:
+            payload = self.payload()
+            if self.profile_path is not None:
+                self.profile_path.write_text(to_json(payload))
+            if self.flamegraph_path is not None:
+                self.flamegraph_path.write_text(to_collapsed(payload))

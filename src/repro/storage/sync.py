@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.errors import ValidationError
+from repro.profiling import profile_phase
 from repro.storage.base import ExternalStorageService
 
 
@@ -63,6 +64,14 @@ class BSPSynchronizer:
             raise ValidationError(
                 f"expected {self.n_workers} gradients, got {len(gradients)}"
             )
+        with profile_phase("storage/sync_round") as ph:
+            merged, report = self._run_round(gradients)
+            ph.add("transfers", report.transfers)
+        return merged, report
+
+    def _run_round(
+        self, gradients: list[np.ndarray]
+    ) -> tuple[np.ndarray, SyncRoundReport]:
         r = self.round_index
         self.round_index += 1
         merged_key = f"round/{r}/merged"

@@ -25,6 +25,7 @@ from repro.tuning.plan import Objective
 from repro.ml.models import Workload
 from repro.training.offline_predictor import OfflinePredictor
 from repro.training.online_predictor import OnlinePredictor
+from repro.profiling import profile_phase
 from repro.telemetry import get_registry
 from repro.slo.events import get_event_bus
 
@@ -225,9 +226,13 @@ class AdaptiveScheduler:
     # ------------------------------------------------------------------ protocol
     def initial_decision(self) -> SchedulerDecision:
         """Alg. 2 lines 2-7: offline prediction + first selection."""
-        self.predicted_total_epochs = max(1.0, self.offline.predict_total_epochs())
-        overhead = self._search_overhead()
-        self.current = self._select(self.predicted_total_epochs)
+        with profile_phase("scheduler/initial_decision") as ph:
+            self.predicted_total_epochs = max(
+                1.0, self.offline.predict_total_epochs()
+            )
+            overhead = self._search_overhead()
+            self.current = self._select(self.predicted_total_epochs)
+            ph.add("candidates_considered", len(self.candidates))
         return SchedulerDecision(
             point=self.current,
             restart=False,
@@ -244,17 +249,21 @@ class AdaptiveScheduler:
         self.epochs_done += 1
         self.spent_usd += epoch_cost_usd
         self.elapsed_s += epoch_time_s
-        self.online.observe(loss)
-        try:
-            raw_prediction = self.online.predict_total_epochs()
-            # Smooth over the last three fits: a single unstable fit must
-            # not trigger a restart (the real system's fits are equally
-            # jumpy early on; δ plus smoothing is what keeps restarts rare).
-            self._prediction_history.append(raw_prediction)
-            recent = self._prediction_history[-3:]
-            new_prediction = float(sorted(recent)[len(recent) // 2])
-        except PredictionError:
-            # Too few points / degenerate fit: keep the current plan.
+        with profile_phase("scheduler/refit"):
+            self.online.observe(loss)
+            try:
+                raw_prediction = self.online.predict_total_epochs()
+                # Smooth over the last three fits: a single unstable fit
+                # must not trigger a restart (the real system's fits are
+                # equally jumpy early on; δ plus smoothing is what keeps
+                # restarts rare).
+                self._prediction_history.append(raw_prediction)
+                recent = self._prediction_history[-3:]
+                new_prediction = float(sorted(recent)[len(recent) // 2])
+            except PredictionError:
+                # Too few points / degenerate fit: keep the current plan.
+                new_prediction = None
+        if new_prediction is None:
             self._m_holds.inc()
             return SchedulerDecision(
                 point=self.current,
@@ -299,9 +308,11 @@ class AdaptiveScheduler:
                 search_overhead_s=0.0,
             )
         self.predicted_total_epochs = new_prediction
-        overhead = self._search_overhead()
-        remaining = max(1.0, new_prediction - self.epochs_done)
-        new_point = self._select(remaining)
+        with profile_phase("scheduler/replan") as ph:
+            overhead = self._search_overhead()
+            remaining = max(1.0, new_prediction - self.epochs_done)
+            new_point = self._select(remaining)
+            ph.add("candidates_considered", len(self.candidates))
         restart = new_point.allocation != self.current.allocation
         if restart:
             self._m_reallocations.inc()

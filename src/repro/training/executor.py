@@ -31,6 +31,7 @@ from repro.ml.models import Workload
 from repro.ml.sgd import DistributedSGD, SGDConfig
 from repro.tuning.plan import Objective
 from repro.training.delayed_restart import DelayedRestartPlanner
+from repro.profiling import profile_phase
 from repro.telemetry import get_registry, get_tracer
 from repro.slo.events import get_event_bus
 
@@ -171,6 +172,10 @@ class TrainingExecutor:
 
     def run(self) -> JobResult:
         """Run to convergence (or cap/budget exhaustion); returns the result."""
+        with profile_phase("train/run"):
+            return self._run()
+
+    def _run(self) -> JobResult:
         spec = self.spec
         w = spec.workload
         platform = FaaSPlatform(
@@ -233,20 +238,22 @@ class TrainingExecutor:
                 base = epoch_time(w, alloc, self.platform_config)
                 epoch_start = platform.sim.now
                 try:
-                    result = platform.execute_epoch(
-                        EpochExecution(
-                            group=group,
-                            n_functions=alloc.n_functions,
-                            memory_mb=alloc.memory_mb,
-                            load_s=base.load_s,
-                            compute_s=base.compute_s,
-                            sync_s=base.sync_s,
-                            prewarmed=(group == prewarmed_group),
-                            epoch_index=epoch_idx,
-                            storage=alloc.storage.value,
-                            incarnation=epoch_attempt,
+                    with profile_phase("train/execute_epoch") as ph:
+                        ph.add("functions", alloc.n_functions)
+                        result = platform.execute_epoch(
+                            EpochExecution(
+                                group=group,
+                                n_functions=alloc.n_functions,
+                                memory_mb=alloc.memory_mb,
+                                load_s=base.load_s,
+                                compute_s=base.compute_s,
+                                sync_s=base.sync_s,
+                                prewarmed=(group == prewarmed_group),
+                                epoch_index=epoch_idx,
+                                storage=alloc.storage.value,
+                                incarnation=epoch_attempt,
+                            )
                         )
-                    )
                     break
                 except RetryExhaustedError:
                     # The gang (or its storage sync) burned through the

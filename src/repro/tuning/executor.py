@@ -19,6 +19,7 @@ from repro.config import DEFAULT_PLATFORM, PlatformConfig
 from repro.tuning.plan import PartitionPlan, stage_waves
 from repro.tuning.sha import SHAEngine, SHASpec, StageShape, Trial
 from repro.ml.models import Workload
+from repro.profiling import profile_phase
 from repro.telemetry import get_tracer
 from repro.slo.events import get_event_bus
 
@@ -85,6 +86,15 @@ class TuningExecutor:
         ``engine`` (e.g. a BOHB engine with model-sampled configurations)
         may replace the default SHA engine; it must match the spec's shape.
         """
+        with profile_phase("tune/run"):
+            return self._run(plan, scheduling_overhead_s, engine)
+
+    def _run(
+        self,
+        plan: PartitionPlan,
+        scheduling_overhead_s: float,
+        engine: SHAEngine | None,
+    ) -> TuningRunResult:
         if len(plan.stages) != self.spec.n_stages:
             raise ValidationError(
                 f"plan has {len(plan.stages)} stages, spec needs {self.spec.n_stages}"
@@ -99,62 +109,67 @@ class TuningExecutor:
         total_jct = scheduling_overhead_s
         total_cost = 0.0
         for i, point in enumerate(plan.stages):
-            q = self.spec.trials_in_stage(i)
-            r = self.spec.epochs_in_stage(i)
-            waves = stage_waves(q, point.allocation.n_functions, self.platform)
-            # Stage wall time: r epochs at the profiled per-epoch time with
-            # network/compute jitter, serialized over concurrency waves.
-            time_noise = float(
-                rng.lognormal(0.0, self.platform.network_noise_sigma)
-            )
-            stage_jct = r * point.time_s * waves * time_noise
-            cost_noise = rng.lognormal(
-                0.0, self.platform.compute_noise_sigma, size=q
-            )
-            stage_cost = float(r * point.cost_usd * cost_noise.sum())
-            sync_s = r * point.time.sync_s * waves * time_noise
-            if self.fault_injector is not None:
-                penalty = self.fault_injector.stage_penalty(
-                    i, point.allocation.storage.value, total_jct, stage_jct
+            with profile_phase("tune/stage") as ph:
+                q = self.spec.trials_in_stage(i)
+                r = self.spec.epochs_in_stage(i)
+                ph.add("trials", q)
+                waves = stage_waves(
+                    q, point.allocation.n_functions, self.platform
                 )
-                if penalty.extra_s > 0.0:
-                    stage_jct += penalty.extra_s
-                    sync_s += penalty.extra_s
-                    if bus.enabled:
-                        bus.emit(
-                            "fault_injected", total_jct + stage_jct,
-                            scope="tune", stage=i,
-                            n_faults=penalty.n_transient
-                            + (1 if penalty.throttled_s else 0),
-                            overhead_s=penalty.extra_s,
-                        )
-            records.append(
-                StageRecord(
-                    stage=i,
-                    n_trials=q,
-                    epochs_per_trial=r,
-                    allocation=point.allocation,
-                    jct_s=stage_jct,
-                    cost_usd=stage_cost,
-                    sync_s=sync_s,
-                    waves=waves,
+                # Stage wall time: r epochs at the profiled per-epoch time
+                # with network/compute jitter, serialized over concurrency
+                # waves.
+                time_noise = float(
+                    rng.lognormal(0.0, self.platform.network_noise_sigma)
                 )
-            )
-            get_tracer().span(
-                "stage", "stage", total_jct, stage_jct, "stages",
-                stage=i, trials=q, epochs_per_trial=r, waves=waves,
-                allocation=point.allocation.describe(), cost_usd=stage_cost,
-            )
-            total_jct += stage_jct
-            total_cost += stage_cost
-            if bus.enabled:
-                bus.emit(
-                    "stage_done", total_jct, scope="tune",
-                    stage=i, n_trials=q, epochs_per_trial=r,
-                    jct_s=stage_jct, cost_usd=stage_cost,
-                    allocation=point.allocation.describe(),
+                stage_jct = r * point.time_s * waves * time_noise
+                cost_noise = rng.lognormal(
+                    0.0, self.platform.compute_noise_sigma, size=q
                 )
-            engine.run_stage()
+                stage_cost = float(r * point.cost_usd * cost_noise.sum())
+                sync_s = r * point.time.sync_s * waves * time_noise
+                if self.fault_injector is not None:
+                    penalty = self.fault_injector.stage_penalty(
+                        i, point.allocation.storage.value, total_jct, stage_jct
+                    )
+                    if penalty.extra_s > 0.0:
+                        stage_jct += penalty.extra_s
+                        sync_s += penalty.extra_s
+                        if bus.enabled:
+                            bus.emit(
+                                "fault_injected", total_jct + stage_jct,
+                                scope="tune", stage=i,
+                                n_faults=penalty.n_transient
+                                + (1 if penalty.throttled_s else 0),
+                                overhead_s=penalty.extra_s,
+                            )
+                records.append(
+                    StageRecord(
+                        stage=i,
+                        n_trials=q,
+                        epochs_per_trial=r,
+                        allocation=point.allocation,
+                        jct_s=stage_jct,
+                        cost_usd=stage_cost,
+                        sync_s=sync_s,
+                        waves=waves,
+                    )
+                )
+                get_tracer().span(
+                    "stage", "stage", total_jct, stage_jct, "stages",
+                    stage=i, trials=q, epochs_per_trial=r, waves=waves,
+                    allocation=point.allocation.describe(), cost_usd=stage_cost,
+                )
+                total_jct += stage_jct
+                total_cost += stage_cost
+                if bus.enabled:
+                    bus.emit(
+                        "stage_done", total_jct, scope="tune",
+                        stage=i, n_trials=q, epochs_per_trial=r,
+                        jct_s=stage_jct, cost_usd=stage_cost,
+                        allocation=point.allocation.describe(),
+                    )
+                engine.run_stage()
         winner = engine.winner()
         extra: dict = {}
         if self.fault_injector is not None:

@@ -31,12 +31,13 @@ scheduling-overhead experiment (Fig. 21a).
 
 from __future__ import annotations
 
-import time as _time
 from dataclasses import dataclass, field
 
 from repro.common.errors import ConstraintError
 from repro.analytical.pareto import ProfiledAllocation
 from repro.config import DEFAULT_PLATFORM, PlatformConfig
+from repro.profiling import profile_phase
+from repro.profiling.clock import host_clock_s
 from repro.tuning.plan import (
     Objective,
     PartitionPlan,
@@ -223,27 +224,38 @@ class GreedyHeuristicPlanner:
         When no static plan satisfies the constraint, the closest-to-
         feasible static plan is returned with ``feasible=False``.
         """
-        start = _time.perf_counter()
+        start = host_clock_s()
         stats = PlannerStats()
-        ladder = sorted(candidates, key=lambda p: p.cost_usd)
-        self._build_cache(ladder, spec)
-        registry = get_registry()
+        with profile_phase("planner/plan"):
+            ladder = sorted(candidates, key=lambda p: p.cost_usd)
+            with profile_phase("planner/build_cache"):
+                self._build_cache(ladder, spec)
+            registry = get_registry()
 
-        warm = optimal_static_plan(
-            ladder, spec, objective, budget_usd=budget_usd, qos_s=qos_s,
-            platform=self.platform,
-        )
-        # The warm start enumerates every candidate as a uniform plan;
-        # account for those evaluations (they dominate WO-pa's overhead).
-        stats.candidates_evaluated += len(ladder)
-        warm_ev = self._eval(warm, spec, stats)
-        feasible = self._within_constraint(warm_ev, objective, budget_usd, qos_s)
+            with profile_phase("planner/warm_start") as ph:
+                warm = optimal_static_plan(
+                    ladder, spec, objective, budget_usd=budget_usd, qos_s=qos_s,
+                    platform=self.platform,
+                )
+                # The warm start enumerates every candidate as a uniform plan;
+                # account for those evaluations (they dominate WO-pa's
+                # overhead).
+                stats.candidates_evaluated += len(ladder)
+                warm_ev = self._eval(warm, spec, stats)
+                feasible = self._within_constraint(
+                    warm_ev, objective, budget_usd, qos_s
+                )
+                best, best_ev = warm, warm_ev
+                starts = (
+                    self._warm_starts(
+                        warm, ladder, spec, objective, budget_usd, qos_s, stats
+                    )
+                    if feasible
+                    else []
+                )
+                ph.add("candidates_evaluated", stats.candidates_evaluated)
 
-        best, best_ev = warm, warm_ev
-        if feasible:
-            for start_plan in self._warm_starts(
-                warm, ladder, spec, objective, budget_usd, qos_s, stats
-            ):
+            for start_plan in starts:
                 cand, cand_ev = self._improve(
                     start_plan, ladder, spec, objective, budget_usd, qos_s, stats
                 )
@@ -251,7 +263,7 @@ class GreedyHeuristicPlanner:
                     best_ev, objective
                 ):
                     best, best_ev = cand, cand_ev
-        stats.wall_time_s = _time.perf_counter() - start
+        stats.wall_time_s = host_clock_s() - start
         registry.counter(
             "repro_planner_candidates_evaluated_total",
             "Plan evaluations performed by the knapsack heuristic",
@@ -322,13 +334,23 @@ class GreedyHeuristicPlanner:
         qos_s: float | None,
         stats: PlannerStats,
     ) -> tuple[PartitionPlan, PlanEvaluation]:
-        ev = self._eval(plan, spec, stats)
-        plan, ev = self._recycle_and_reinvest(
-            plan, ev, ladder, spec, objective, budget_usd, qos_s, stats
-        )
-        return self._spend_remainder(
-            plan, ev, ladder, spec, objective, budget_usd, qos_s, stats
-        )
+        # Counter deltas credit each refinement phase with exactly the plan
+        # evaluations it performed, so the per-frame "candidates_evaluated"
+        # counters sum to stats.candidates_evaluated.
+        with profile_phase("planner/recycle_reinvest") as ph:
+            before = stats.candidates_evaluated
+            ev = self._eval(plan, spec, stats)
+            plan, ev = self._recycle_and_reinvest(
+                plan, ev, ladder, spec, objective, budget_usd, qos_s, stats
+            )
+            ph.add("candidates_evaluated", stats.candidates_evaluated - before)
+        with profile_phase("planner/spend_remainder") as ph:
+            before = stats.candidates_evaluated
+            result = self._spend_remainder(
+                plan, ev, ladder, spec, objective, budget_usd, qos_s, stats
+            )
+            ph.add("candidates_evaluated", stats.candidates_evaluated - before)
+        return result
 
     # -- phase 1: recycle & reinvest (Alg. 1 lines 2-14) ---------------------
     def _recycle_and_reinvest(

@@ -20,6 +20,7 @@ from repro.tuning.executor import TuningRunResult
 from repro.tuning.plan import Objective
 from repro.tuning.sha import SHASpec, Trial
 from repro.workflow.runner import profile_workload, run_training, run_tuning
+from repro.profiling import profile_phase
 from repro.slo.events import get_event_bus
 
 
@@ -83,17 +84,18 @@ def run_workflow(
     profile = profile_workload(w, platform=platform)
 
     tuning_budget = budget_usd * tuning_fraction
-    tuning_run = run_tuning(
-        w,
-        spec,
-        method=method,
-        objective=Objective.MIN_JCT_GIVEN_BUDGET,
-        budget_usd=tuning_budget,
-        seed=seed,
-        platform=platform,
-        profile=profile,
-        fault_plan=fault_plan,
-    )
+    with profile_phase("workflow/tuning"):
+        tuning_run = run_tuning(
+            w,
+            spec,
+            method=method,
+            objective=Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=tuning_budget,
+            seed=seed,
+            platform=platform,
+            profile=profile,
+            fault_plan=fault_plan,
+        )
     winner = tuning_run.result.winner
     bus = get_event_bus()
     if bus.enabled:
@@ -105,15 +107,16 @@ def run_workflow(
     remaining = max(budget_usd * 0.05, budget_usd - tuning_run.result.cost_usd)
 
     train_w = effective_workload(w, winner)
-    training_run = run_training(
-        train_w,
-        method=method,
-        objective=Objective.MIN_JCT_GIVEN_BUDGET,
-        budget_usd=remaining,
-        seed=seed,
-        platform=platform,
-        fault_plan=fault_plan,
-    )
+    with profile_phase("workflow/training"):
+        training_run = run_training(
+            train_w,
+            method=method,
+            objective=Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=remaining,
+            seed=seed,
+            platform=platform,
+            fault_plan=fault_plan,
+        )
     if bus.enabled:
         bus.emit(
             "phase_done",

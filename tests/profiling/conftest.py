@@ -1,0 +1,18 @@
+"""Fixtures for the profiling suite: a scoped real profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.profiling import Profiler, get_profiler, set_profiler
+
+
+@pytest.fixture
+def profiler():
+    """A real Profiler installed globally for one test, then restored."""
+    prev = get_profiler()
+    prof = Profiler()
+    set_profiler(prof)
+    yield prof
+    set_profiler(prev)
+    prof.close()

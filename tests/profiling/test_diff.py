@@ -1,0 +1,128 @@
+"""Capture-to-capture diffing: statuses, determinism, regression gate."""
+
+import copy
+
+from repro.profiling import (
+    Profiler,
+    capture_payload,
+    diff_captures,
+    diff_to_json,
+    has_regressions,
+    render_diff,
+)
+
+from tests.profiling.test_core import FakeClock
+
+
+def _capture(extra_phase: str | None = None) -> dict:
+    prof = Profiler(clock=FakeClock())
+    with prof.phase("planner") as ph:
+        ph.add("candidates", 100)
+        with prof.phase("warm_start"):
+            pass
+    if extra_phase:
+        with prof.phase(extra_phase):
+            pass
+    return capture_payload(prof, meta={"workload": "lr-higgs"})
+
+
+def _scale(payload: dict, path: str, factor: float) -> dict:
+    doctored = copy.deepcopy(payload)
+    for frame in doctored["frames"]:
+        if frame["path"] == path:
+            frame["total_s"] *= factor
+    return doctored
+
+
+class TestStatuses:
+    def test_self_diff_is_all_unchanged(self):
+        report = diff_captures(_capture(), _capture())
+        assert {f["status"] for f in report["frames"]} == {"unchanged"}
+        assert not has_regressions(report)
+        assert report["summary"]["delta_wall_s"] == 0.0
+
+    def test_slower_target_regresses(self):
+        base = _capture()
+        report = diff_captures(base, _scale(base, "planner", 2.0))
+        by_path = {f["path"]: f for f in report["frames"]}
+        assert by_path["planner"]["status"] == "regressed"
+        assert by_path["planner"]["ratio"] == 2.0
+        assert has_regressions(report)
+
+    def test_faster_target_improves(self):
+        base = _capture()
+        report = diff_captures(base, _scale(base, "planner", 0.5))
+        by_path = {f["path"]: f for f in report["frames"]}
+        assert by_path["planner"]["status"] == "improved"
+        assert not has_regressions(report)
+
+    def test_added_and_removed_frames(self):
+        report = diff_captures(_capture(), _capture(extra_phase="new_pass"))
+        by_path = {f["path"]: f for f in report["frames"]}
+        assert by_path["new_pass"]["status"] == "added"
+        assert report["summary"]["n_added"] == 1
+        reverse = diff_captures(_capture(extra_phase="new_pass"), _capture())
+        assert reverse["summary"]["n_removed"] == 1
+        assert not has_regressions(report)
+
+    def test_min_s_filters_timer_noise(self):
+        base = _capture()
+        # A 10x blowup on a sub-threshold frame must not count.
+        tiny = copy.deepcopy(base)
+        for frame in tiny["frames"]:
+            frame["total_s"] = 1e-5
+        report = diff_captures(tiny, _scale(tiny, "planner", 10.0))
+        assert not has_regressions(report)
+
+    def test_threshold_is_respected(self):
+        base = _capture()
+        target = _scale(base, "planner", 1.3)
+        assert has_regressions(diff_captures(base, target, threshold=1.2))
+        assert not has_regressions(diff_captures(base, target, threshold=1.5))
+
+
+class TestCounters:
+    def test_counter_deltas_per_frame(self):
+        base = _capture()
+        target = copy.deepcopy(base)
+        for frame in target["frames"]:
+            if frame["path"] == "planner":
+                frame["counters"]["candidates"] = 140.0
+        report = diff_captures(base, target)
+        by_path = {f["path"]: f for f in report["frames"]}
+        assert by_path["planner"]["counters"]["candidates"] == {
+            "base": 100.0,
+            "target": 140.0,
+            "delta": 40.0,
+        }
+
+
+class TestDeterminism:
+    def test_json_byte_identical_across_calls(self):
+        base, target = _capture(), _capture(extra_phase="new_pass")
+        assert diff_to_json(diff_captures(base, target)) == diff_to_json(
+            diff_captures(base, target)
+        )
+
+    def test_frame_order_in_report_ignores_input_order(self):
+        base, target = _capture(), _capture()
+        shuffled = copy.deepcopy(base)
+        shuffled["frames"].reverse()
+        assert diff_to_json(diff_captures(base, target)) == diff_to_json(
+            diff_captures(shuffled, target)
+        )
+
+
+class TestRender:
+    def test_regressions_marked(self):
+        base = _capture()
+        text = render_diff(diff_captures(base, _scale(base, "planner", 2.0)))
+        assert "1 regressed" in text
+        assert any(
+            line.startswith("!") and "planner" in line
+            for line in text.splitlines()
+        )
+
+    def test_self_diff_render_mentions_zero_regressions(self):
+        text = render_diff(diff_captures(_capture(), _capture()))
+        assert "0 regressed" in text

@@ -1,0 +1,62 @@
+"""Collapsed-stack and Chrome-trace exporters."""
+
+import json
+
+from repro.profiling import Profiler, augment_chrome_trace, capture_payload, to_collapsed
+from repro.profiling.flamegraph import PROFILER_PID, profiler_chrome_events
+
+from tests.profiling.test_core import FakeClock
+
+
+def _profiler() -> Profiler:
+    prof = Profiler(clock=FakeClock())
+    with prof.phase("b"):
+        with prof.phase("leaf"):
+            pass
+    with prof.phase("a"):
+        pass
+    return prof
+
+
+class TestCollapsed:
+    def test_lines_sorted_with_microsecond_weights(self):
+        text = to_collapsed(capture_payload(_profiler()))
+        lines = text.splitlines()
+        assert lines == sorted(lines)
+        # FakeClock steps 1 s per read: "a" spends 1 s of self time.
+        assert "a 1000000" in lines
+        # "b" has 1 s of child time inside 3 s inclusive -> 2 s self.
+        assert "b 2000000" in lines
+        assert "b;leaf 1000000" in lines
+
+    def test_trailing_newline_and_empty_capture(self):
+        assert to_collapsed(capture_payload(_profiler())).endswith("\n")
+        assert to_collapsed(capture_payload(Profiler(clock=FakeClock()))) == ""
+
+    def test_byte_stable_across_exports(self):
+        payload = capture_payload(_profiler())
+        assert to_collapsed(payload) == to_collapsed(payload)
+
+
+class TestChromeEvents:
+    def test_spans_and_metadata_on_profiler_pid(self):
+        events = profiler_chrome_events(_profiler())
+        phases = {e["ph"] for e in events}
+        assert phases == {"X", "M"}
+        assert all(e["pid"] == PROFILER_PID for e in events)
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {e["args"]["path"] for e in spans} == {"a", "b", "b;leaf"}
+        assert all(e["dur"] > 0 for e in spans)
+
+    def test_no_events_yields_empty_list(self):
+        assert profiler_chrome_events(Profiler(clock=FakeClock())) == []
+
+    def test_augment_merges_into_existing_trace(self):
+        trace = json.dumps(
+            {"traceEvents": [{"name": "sim", "ph": "X", "pid": 1}]}
+        )
+        doc = json.loads(augment_chrome_trace(trace, _profiler()))
+        pids = {e.get("pid") for e in doc["traceEvents"]}
+        assert pids == {1, PROFILER_PID}
+        # The original simulation span survives untouched.
+        assert doc["traceEvents"][0] == {"name": "sim", "ph": "X", "pid": 1}

@@ -6,10 +6,13 @@ so results are identical across processes and platforms. These tests pin
 that contract at every layer.
 """
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.common.types import StorageKind
+from repro.profiling import Profiler, get_profiler, set_profiler
 from repro.telemetry.exporters import to_json
 from repro.telemetry.metrics import MetricsRegistry
 from repro.ml.curves import LossCurveSampler
@@ -114,3 +117,84 @@ class TestLayerDeterminism:
         assert [p.allocation for p in base_before.pareto] == [
             p.allocation for p in base_after.pareto
         ]
+
+
+class TestHotPathProfilerDeterminism:
+    """The hot-path profiler is observational: on or off, same bytes out.
+
+    Same contract the telemetry collectors carry (see
+    ``tests/telemetry/test_determinism.py``): profiler phases never consume
+    randomness and never branch simulation logic.
+    """
+
+    @staticmethod
+    def _fingerprint(result) -> str:
+        return json.dumps(
+            {
+                "jct_s": result.jct_s,
+                "cost_usd": result.cost_usd,
+                "epochs": [
+                    [
+                        e.index,
+                        e.allocation.describe(),
+                        e.loss,
+                        e.cost.total_usd,
+                        e.time.total_s,
+                        e.scheduling_overhead_s,
+                    ]
+                    for e in result.epochs
+                ],
+            },
+            sort_keys=True,
+        )
+
+    def _train(self, w, profile):
+        budget = training_envelope(w, profile).budget(2.5)
+        return run_training(
+            w, method="ce-scaling", objective=Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=budget, seed=9, max_epochs=15, profile=profile,
+        ).result
+
+    def test_training_identical_with_profiler_on_and_off(
+        self, mobilenet, mobilenet_profile
+    ):
+        baseline = self._fingerprint(self._train(mobilenet, mobilenet_profile))
+        prev = get_profiler()
+        profiler = Profiler()
+        set_profiler(profiler)
+        try:
+            profiled = self._fingerprint(
+                self._train(mobilenet, mobilenet_profile)
+            )
+        finally:
+            set_profiler(prev)
+            profiler.close()
+        assert profiled == baseline
+        # Guard against the trivial pass: the profiler saw the run.
+        assert ("train/run",) in profiler.frames
+
+    def test_tuning_identical_with_profiler_on_and_off(
+        self, lr_higgs, lr_profile
+    ):
+        spec = SHASpec(32, 2, 2)
+        budget = tuning_envelope(lr_profile, spec).budget(1.3)
+        kw = dict(
+            method="ce-scaling", objective=Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=budget, seed=5, profile=lr_profile,
+        )
+        a = run_tuning(lr_higgs, spec, **kw)
+        prev = get_profiler()
+        profiler = Profiler()
+        set_profiler(profiler)
+        try:
+            b = run_tuning(lr_higgs, spec, **kw)
+        finally:
+            set_profiler(prev)
+            profiler.close()
+        assert a.result.jct_s == b.result.jct_s
+        assert a.result.cost_usd == b.result.cost_usd
+        assert a.result.winner.index == b.result.winner.index
+        assert [p.allocation for p in a.plan.stages] == [
+            p.allocation for p in b.plan.stages
+        ]
+        assert ("planner/plan",) in profiler.frames

@@ -32,6 +32,7 @@ def _load(name: str):
         "diagnose_run",
         "slo_guard",
         "chaos_run",
+        "profile_planner",
     ],
 )
 def test_example_runs(name, capsys):

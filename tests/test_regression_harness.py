@@ -33,6 +33,15 @@ class TestRecord:
         entry = doc["experiments"]["fig03"]
         assert entry["wall_s"] > 0.0
         assert set(entry["counters"]) <= set(harness.TRACKED_COUNTERS)
+        # Every tracked counter also gets an informational per-second rate.
+        assert set(entry["rates"]) == {
+            f"{name}_per_s" for name in entry["counters"]
+        }
+        for name, value in entry["counters"].items():
+            expected = round(value / entry["wall_s"], 1)
+            assert entry["rates"][f"{name}_per_s"] == pytest.approx(
+                expected, rel=0.01
+            )
 
     def test_unknown_experiment_rejected(self, harness, tmp_path):
         with pytest.raises(SystemExit):
@@ -133,4 +142,9 @@ class TestCommittedBaseline:
         assert doc["schema"] == harness.JSON_SCHEMA
         assert set(doc["experiments"]) == set(
             harness.REGISTRY.available()
-        ) | {harness.GUARD_ENTRY}
+        ) | {harness.GUARD_ENTRY, harness.PROFILE_ENTRY}
+        # The profiler probe's entry carries the per-phase breakdown.
+        profile = doc["experiments"][harness.PROFILE_ENTRY]["profile"]
+        assert profile, "profiler probe recorded no phases"
+        for frame in profile.values():
+            assert {"n_calls", "total_s", "self_s"} <= set(frame)
