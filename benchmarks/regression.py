@@ -23,10 +23,12 @@ regressions fail the run.
 
 Each entry also records counter *rates* (counter / wall second, e.g.
 planner candidates evaluated per second) — informational only, never
-gated. Two overhead probes re-run ``fig12`` with (a) a live SLO guard and
-(b) the hot-path profiler installed, each interleaved against a fresh
-probe-off measurement and gated at 1.05x; the profiler entry additionally
-records the per-phase wall-time breakdown under a ``profile`` key.
+gated. Three overhead probes re-run ``fig12`` with (a) a live SLO guard,
+(b) the hot-path profiler installed, and (c) the simulated-time series
+sampler installed, each interleaved against a fresh probe-off measurement
+and gated at 1.05x; the profiler entry additionally records the per-phase
+wall-time breakdown under a ``profile`` key, and the sampler entry records
+the capture's series/point counts under a ``timeseries`` key.
 
 ``--inject-slowdown FACTOR`` multiplies the measured wall times before
 comparison — a synthetic regression used by the harness's own tests and
@@ -76,6 +78,12 @@ GUARD_OVERHEAD_RATIO = 1.05
 #: installed; its phase hooks must stay under the same ratio.
 PROFILE_ENTRY = "fig12+profiler"
 PROFILE_OVERHEAD_RATIO = 1.05
+
+#: Time-series sampler overhead probe: the same experiment with the
+#: simulated-time sampler recording; its epoch/event hooks must stay under
+#: the same ratio.
+TS_ENTRY = "fig12+timeseries"
+TS_OVERHEAD_RATIO = 1.05
 
 #: Chaos matrix (--chaos): every Fig-12 workload must complete under the
 #: default fault profile — recovering via retries, checkpoint restores and
@@ -235,6 +243,72 @@ def measure_profile_overhead(
         if profiled_again["wall_s"] < profiled["wall_s"]:
             profiled = profiled_again
     return base, profiled
+
+
+def measure_sampled(experiment: str, scale: str, seed: int, rounds: int) -> dict:
+    """Like :func:`measure`, with the simulated-time sampler installed.
+
+    The returned entry carries a ``timeseries`` key: how many series,
+    stored points and markers the capture held — a cheap fingerprint of
+    what the sampler actually recorded during the bench run.
+    """
+    from repro.timeseries import TimeSeriesSampler, get_sampler, set_sampler
+
+    walls: list[float] = []
+    counters: dict[str, float] = {}
+    recorded: dict = {}
+    for _ in range(rounds):
+        sampler = TimeSeriesSampler()
+        registry = MetricsRegistry()
+        prev_registry = get_registry()
+        prev_sampler = get_sampler()
+        set_registry(registry)
+        set_sampler(sampler)
+        start = time.perf_counter()
+        try:
+            run_experiment(experiment, scale=scale, seed=seed)
+        finally:
+            set_registry(prev_registry)
+            set_sampler(prev_sampler)
+        walls.append(time.perf_counter() - start)
+        counters = {
+            snap.name: sum(s.value for s in snap.samples)
+            for snap in registry.snapshot()
+            if snap.name in TRACKED_COUNTERS
+        }
+        recorded = {
+            "n_series": len(sampler.series),
+            "n_points": sampler.n_points(),
+            "n_markers": len(sampler.markers),
+        }
+    wall = round(min(walls), 4)
+    return {
+        "wall_s": wall,
+        "counters": counters,
+        "rates": _rates(counters, wall),
+        "timeseries": recorded,
+    }
+
+
+def measure_sampler_overhead(
+    experiment: str, scale: str, seed: int, rounds: int
+) -> tuple[dict, dict]:
+    """(sampler-off, sampler-on) entries from interleaved best-of pairs.
+
+    Same discipline as :func:`measure_guard_overhead`: alternate the two
+    variants so load drift cancels, then compare each side's best.
+    """
+    pairs = max(3, rounds)
+    base = measure(experiment, scale, seed, 1)
+    sampled = measure_sampled(experiment, scale, seed, 1)
+    for _ in range(pairs - 1):
+        base_again = measure(experiment, scale, seed, 1)
+        sampled_again = measure_sampled(experiment, scale, seed, 1)
+        if base_again["wall_s"] < base["wall_s"]:
+            base = base_again
+        if sampled_again["wall_s"] < sampled["wall_s"]:
+            sampled = sampled_again
+    return base, sampled
 
 
 def measure_guard_overhead(
@@ -476,6 +550,31 @@ def main(argv: list[str] | None = None) -> int:
                 f"{PROFILE_ENTRY}: {entry['wall_s']:.3f} s vs profiler-off "
                 f"{base_wall:.3f} s ({entry['wall_s'] / base_wall:.2f}x > "
                 f"{PROFILE_OVERHEAD_RATIO:.2f}x phase-hook overhead budget)"
+            )
+
+    # Time-series sampler overhead probe: the same experiment with the
+    # simulated-time sampler recording every epoch boundary and bus event.
+    # The null-object default means runs without the sampler pay one
+    # attribute check; this keeps the sampler-on path cheap too.
+    if GUARD_BASE_EXPERIMENT in current["experiments"]:
+        base, entry = measure_sampler_overhead(
+            GUARD_BASE_EXPERIMENT, args.scale, args.seed, args.rounds
+        )
+        if args.inject_slowdown != 1.0:
+            entry["wall_s"] = round(entry["wall_s"] * args.inject_slowdown, 4)
+            base["wall_s"] = round(base["wall_s"] * args.inject_slowdown, 4)
+        current["experiments"][TS_ENTRY] = entry
+        print(f"  {TS_ENTRY:20s} {entry['wall_s']:9.3f} s"
+              f"  (interleaved sampler-off {base['wall_s']:.3f} s)")
+        base_wall = base["wall_s"]
+        if (
+            base_wall >= MIN_COMPARABLE_WALL_S
+            and entry["wall_s"] > base_wall * TS_OVERHEAD_RATIO
+        ):
+            guard_regressions.append(
+                f"{TS_ENTRY}: {entry['wall_s']:.3f} s vs sampler-off "
+                f"{base_wall:.3f} s ({entry['wall_s'] / base_wall:.2f}x > "
+                f"{TS_OVERHEAD_RATIO:.2f}x sampling overhead budget)"
             )
 
     chaos_failures: list[str] = []

@@ -28,6 +28,8 @@ Layer map (bottom-up):
   layer: retries, checkpoint/restore, degraded replanning.
 * ``repro.profiling`` — deterministic hot-path profiler: host-time
   frames, attributed counters, flamegraphs, capture diffing.
+* ``repro.timeseries`` — simulated-time resource series: sampler,
+  terminal dashboard, capture diffing, anomaly detection.
 """
 
 from repro.common.types import Allocation, JobResult, PricingPattern, StorageKind
@@ -45,6 +47,12 @@ from repro.analytical.profiler import ParetoProfiler, ProfileResult
 from repro.ml.models import WORKLOADS, Workload, workload
 from repro.profiling import Profiler, profile_phase, set_profiler
 from repro.slo import SLOGuard, SLOSession, SLOSpec, evaluate_guard, replay_events
+from repro.timeseries import (
+    TimeSeriesSampler,
+    TimeSeriesSession,
+    detect_anomalies,
+    set_sampler,
+)
 from repro.training.adaptive_scheduler import AdaptiveScheduler
 from repro.training.offline_predictor import OfflinePredictor
 from repro.training.online_predictor import OnlinePredictor
@@ -81,10 +89,13 @@ __all__ = [
     "SLOSession",
     "SLOSpec",
     "StorageKind",
+    "TimeSeriesSampler",
+    "TimeSeriesSession",
     "Tracer",
     "WORKLOADS",
     "Workload",
     "__version__",
+    "detect_anomalies",
     "diagnose",
     "evaluate_guard",
     "profile_phase",
@@ -93,6 +104,7 @@ __all__ = [
     "run_tuning",
     "set_profiler",
     "set_registry",
+    "set_sampler",
     "set_tracer",
     "workload",
 ]

@@ -47,6 +47,7 @@ _CLOCK_CALLS = frozenset(
 #: module — must route host timing through that helper.
 _SIM_PACKAGES = (
     "faas", "training", "tuning", "workflow", "slo", "faults", "profiling",
+    "timeseries",
 )
 
 

@@ -59,6 +59,15 @@ SCHEMA_KEYS: dict[str, frozenset[str]] = {
     "repro-profile-diff/v1": frozenset(
         {"schema", "meta", "base", "target", "threshold", "frames", "summary"}
     ),
+    "repro-report/v2": frozenset(
+        {"schema", "meta", "run", "time", "cost", "activity", "peaks"}
+    ),
+    "repro-timeseries/v1": frozenset(
+        {"schema", "meta", "series", "markers", "totals"}
+    ),
+    "repro-timeseries-diff/v1": frozenset(
+        {"schema", "meta", "base", "target", "series", "summary"}
+    ),
 }
 
 _VERSIONED = re.compile(r"^[a-z][a-z0-9-]*/v\d+$")

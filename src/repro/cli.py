@@ -10,6 +10,9 @@ Usage examples::
     python -m repro diagnose lr-higgs --budget 2.0
     python -m repro diagnose out.json --trace out.trace.json --format json
     python -m repro tune lr-higgs --trials 256 --budget-multiple 1.3
+    python -m repro train lr-higgs --timeseries ts.json
+    python -m repro dash --replay ts.json
+    python -m repro timeseries diff base.json target.json
     python -m repro experiment fig09 --scale small
     python -m repro experiments
 """
@@ -210,6 +213,60 @@ def _finish_profile(args, prof) -> None:
     )
 
 
+def _add_timeseries_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--timeseries", metavar="PATH",
+        help="sample resource time-series (concurrency, warm pool, storage "
+             "bandwidth, cost, ...) on the simulated clock; write the "
+             "repro-timeseries/v1 capture to PATH (view with `repro dash "
+             "--replay PATH`)",
+    )
+
+
+def _timeseries_session(args, command: str):
+    """Time-series sampling scoped to one CLI command (inert without flags).
+
+    Must enter *after* the SLO session so a live event bus is already
+    installed when the sampler subscribes its marker hook.
+    """
+    from repro.timeseries import TimeSeriesSession
+
+    return TimeSeriesSession(
+        capture_path=getattr(args, "timeseries", None),
+        meta={
+            "command": command,
+            "workload": getattr(args, "workload", ""),
+            "method": getattr(args, "method", ""),
+            "seed": getattr(args, "seed", 0),
+        },
+    )
+
+
+def _peaks(summary: dict, tser) -> dict:
+    """Attach high-water marks to a run summary when sampling was live.
+
+    Sampler-off runs keep their exact pre-existing telemetry bytes; the
+    ``peaks`` block only exists when ``--timeseries`` was given.
+    """
+    if tser.sampler is not None:
+        from repro.timeseries import peaks_summary
+
+        summary["peaks"] = peaks_summary(tser.sampler)
+    return summary
+
+
+def _finish_timeseries(tser) -> None:
+    """One-line confirmation of what the sampler captured and wrote."""
+    if tser.sampler is None or tser.capture_path is None:
+        return
+    sampler = tser.sampler
+    print(
+        f"timeseries : {len(sampler.series)} series, "
+        f"{sampler.n_points()} point(s), {len(sampler.markers)} marker(s) "
+        f"-> {tser.capture_path}"
+    )
+
+
 def cmd_list_workloads(_args) -> int:
     print(f"{'name':20s} {'model MB':>10s} {'dataset MB':>12s} "
           f"{'batch':>8s} {'target loss':>12s}")
@@ -384,7 +441,8 @@ def cmd_train(args) -> int:
         print(f"repro train: {exc}", file=sys.stderr)
         return 2
     prof = _profile_session(args, "train")
-    with _session(args, "train") as session, slo, prof:
+    tser = _timeseries_session(args, "train")
+    with _session(args, "train") as session, slo, prof, tser:
         profile = profile_workload(w, storage_pin=_parse_storage(args.storage))
         env = training_envelope(w, profile)
         if args.qos_multiple is not None:
@@ -407,21 +465,24 @@ def cmd_train(args) -> int:
         )
         r = run.result
         session.set_run_summary(
-            {
-                "jct_s": r.jct_s,
-                "cost_usd": r.cost_usd,
-                "converged": r.converged,
-                "n_epochs": len(r.epochs),
-                "n_restarts": r.n_restarts,
-                "comm_overhead_s": r.comm_overhead_s,
-                "scheduling_overhead_s": r.scheduling_overhead_s,
-                "storage_cost_usd": r.storage_cost_usd,
-                # Constraint context, so `repro diagnose` on this capture
-                # can re-judge the scheduler's decisions (ex-post regret).
-                "objective": objective.value,
-                "budget_usd": budget,
-                "qos_s": qos,
-            }
+            _peaks(
+                {
+                    "jct_s": r.jct_s,
+                    "cost_usd": r.cost_usd,
+                    "converged": r.converged,
+                    "n_epochs": len(r.epochs),
+                    "n_restarts": r.n_restarts,
+                    "comm_overhead_s": r.comm_overhead_s,
+                    "scheduling_overhead_s": r.scheduling_overhead_s,
+                    "storage_cost_usd": r.storage_cost_usd,
+                    # Constraint context, so `repro diagnose` on this capture
+                    # can re-judge the scheduler's decisions (ex-post regret).
+                    "objective": objective.value,
+                    "budget_usd": budget,
+                    "qos_s": qos,
+                },
+                tser,
+            )
         )
     print(f"method={args.method}  converged={r.converged}  "
           f"epochs={len(r.epochs)}  restarts={r.n_restarts}")
@@ -431,6 +492,7 @@ def cmd_train(args) -> int:
           f"scheduling {format_duration(r.scheduling_overhead_s)}")
     _finish_faults(args, run.fault_ledger, plan, "train")
     _finish_profile(args, prof)
+    _finish_timeseries(tser)
     return _finish_slo(slo)
 
 
@@ -444,7 +506,8 @@ def cmd_tune(args) -> int:
         print(f"repro tune: {exc}", file=sys.stderr)
         return 2
     prof = _profile_session(args, "tune")
-    with _session(args, "tune") as session, slo, prof:
+    tser = _timeseries_session(args, "tune")
+    with _session(args, "tune") as session, slo, prof, tser:
         profile = profile_workload(w)
         env = tuning_envelope(profile, spec)
         budget = env.budget(args.budget_multiple)
@@ -456,13 +519,16 @@ def cmd_tune(args) -> int:
         )
         r = run.result
         session.set_run_summary(
-            {
-                "jct_s": r.jct_s,
-                "cost_usd": r.cost_usd,
-                "comm_overhead_s": r.comm_overhead_s,
-                "scheduling_overhead_s": r.scheduling_overhead_s,
-                "n_stages": len(r.stages),
-            }
+            _peaks(
+                {
+                    "jct_s": r.jct_s,
+                    "cost_usd": r.cost_usd,
+                    "comm_overhead_s": r.comm_overhead_s,
+                    "scheduling_overhead_s": r.scheduling_overhead_s,
+                    "n_stages": len(r.stages),
+                },
+                tser,
+            )
         )
     print(f"SHA {spec.n_trials} trials / {spec.n_stages} stages; "
           f"budget {format_usd(budget)}")
@@ -472,6 +538,7 @@ def cmd_tune(args) -> int:
           f"momentum={r.winner.momentum:.2f} (quality {r.winner.quality:.2f})")
     _finish_faults(args, run.fault_ledger, plan, "tune")
     _finish_profile(args, prof)
+    _finish_timeseries(tser)
     return _finish_slo(slo)
 
 
@@ -486,26 +553,30 @@ def cmd_workflow(args) -> int:
         print(f"repro workflow: {exc}", file=sys.stderr)
         return 2
     prof = _profile_session(args, "workflow")
-    with _session(args, "workflow") as session, slo, prof:
+    tser = _timeseries_session(args, "workflow")
+    with _session(args, "workflow") as session, slo, prof, tser:
         result = run_workflow(
             args.workload, spec, budget_usd=args.budget,
             tuning_fraction=args.tuning_fraction, seed=args.seed,
             fault_plan=plan,
         )
         session.set_run_summary(
-            {
-                "jct_s": result.total_jct_s,
-                "cost_usd": result.total_cost_usd,
-                "converged": result.training.converged,
-                "comm_overhead_s": (
-                    result.tuning.comm_overhead_s
-                    + result.training.comm_overhead_s
-                ),
-                "scheduling_overhead_s": (
-                    result.tuning.scheduling_overhead_s
-                    + result.training.scheduling_overhead_s
-                ),
-            }
+            _peaks(
+                {
+                    "jct_s": result.total_jct_s,
+                    "cost_usd": result.total_cost_usd,
+                    "converged": result.training.converged,
+                    "comm_overhead_s": (
+                        result.tuning.comm_overhead_s
+                        + result.training.comm_overhead_s
+                    ),
+                    "scheduling_overhead_s": (
+                        result.tuning.scheduling_overhead_s
+                        + result.training.scheduling_overhead_s
+                    ),
+                },
+                tser,
+            )
         )
     print(f"tuning : JCT {format_duration(result.tuning.jct_s)}  "
           f"cost {format_usd(result.tuning.cost_usd)}  "
@@ -519,6 +590,7 @@ def cmd_workflow(args) -> int:
           f"{format_usd(args.budget)}")
     _finish_faults(args, result.fault_ledger, plan, "workflow")
     _finish_profile(args, prof)
+    _finish_timeseries(tser)
     return _finish_slo(slo)
 
 
@@ -537,6 +609,130 @@ def cmd_report(args) -> int:
     else:
         print(RunReport.from_payload(payload).render())
     return 0
+
+
+def cmd_dash(args) -> int:
+    """``repro dash``: terminal dashboard, from a live run or a capture."""
+    from repro.timeseries import TimeSeriesSession, load_capture, render_dashboard
+
+    if args.replay:
+        try:
+            payload = load_capture(Path(args.replay).read_text())
+        except (OSError, ValueError, ReproError) as exc:
+            print(f"repro dash: {exc}", file=sys.stderr)
+            return 2
+        print(render_dashboard(payload, width=args.width), end="")
+        return 0
+    if not args.workload:
+        print(
+            "repro dash: a workload name is required unless --replay is given",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        plan = _fault_plan(args)
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"repro dash: {exc}", file=sys.stderr)
+        return 2
+    tser = TimeSeriesSession(
+        capture_path=args.out,
+        force_install=True,
+        meta={
+            "command": "dash",
+            "workload": args.workload,
+            "method": args.method,
+            "seed": args.seed,
+        },
+    )
+    try:
+        with tser:
+            w = workload(args.workload)
+            profile = profile_workload(w)
+            env = training_envelope(w, profile)
+            budget = (
+                args.budget if args.budget is not None
+                else env.budget(args.budget_multiple)
+            )
+            run_training(
+                w, method=args.method,
+                objective=Objective.MIN_JCT_GIVEN_BUDGET,
+                budget_usd=budget, seed=args.seed, profile=profile,
+                fault_plan=plan,
+            )
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"repro dash: {exc}", file=sys.stderr)
+        return 2
+    print(render_dashboard(tser.payload(), width=args.width), end="")
+    return 0
+
+
+def cmd_timeseries(args) -> int:
+    """``repro timeseries``: validate and diff saved captures."""
+    from repro.timeseries import (
+        diff_captures,
+        diff_to_json,
+        has_drift,
+        load_capture,
+        render_diff,
+    )
+
+    if args.action == "validate":
+        if len(args.paths) != 1:
+            print(
+                "repro timeseries: validate needs exactly one capture PATH",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            payload = load_capture(Path(args.paths[0]).read_text())
+        except (OSError, ValueError, ReproError) as exc:
+            print(f"repro timeseries: {exc}", file=sys.stderr)
+            return 2
+        # Belt and braces, as in `repro profile --validate`: the capture
+        # must also match the REP006 registry's pinned key set.
+        from repro.analysis.rules.schema import SCHEMA_KEYS
+
+        expected = SCHEMA_KEYS.get(payload["schema"])
+        if expected is None or set(payload) != expected:
+            print(
+                f"repro timeseries: capture keys {sorted(payload)} disagree "
+                f"with the REP006 registry entry for {payload['schema']!r}",
+                file=sys.stderr,
+            )
+            return 2
+        totals = payload["totals"]
+        print(
+            f"valid {payload['schema']} capture: {totals['n_series']} "
+            f"series, {totals['n_points']} point(s) from "
+            f"{totals['n_samples']} sample(s), {len(payload['markers'])} "
+            f"marker(s)"
+        )
+        return 0
+    # diff
+    if len(args.paths) != 2:
+        print(
+            "repro timeseries: diff needs BASE and TARGET capture paths",
+            file=sys.stderr,
+        )
+        return 2
+    base_path, target_path = args.paths
+    try:
+        base = load_capture(Path(base_path).read_text())
+        target = load_capture(Path(target_path).read_text())
+    except (OSError, ValueError, ReproError) as exc:
+        print(f"repro timeseries: {exc}", file=sys.stderr)
+        return 2
+    report = diff_captures(
+        base, target, threshold=args.threshold,
+        meta={"base": base_path, "target": target_path},
+    )
+    if args.out:
+        Path(args.out).write_text(diff_to_json(report))
+    if args.format == "json":
+        print(diff_to_json(report), end="")
+    else:
+        print(render_diff(report))
+    return 1 if has_drift(report) else 0
 
 
 def _parse_stragglers(values: list[str]) -> dict[int, float]:
@@ -573,6 +769,7 @@ def cmd_diagnose(args) -> int:
         print(f"repro diagnose: {exc}", file=sys.stderr)
         return 2
     faults_summary = None
+    ts_payload = None
     target = Path(args.target)
     candidates = None
     if target.exists():
@@ -585,6 +782,16 @@ def cmd_diagnose(args) -> int:
             print(f"repro diagnose: {exc}", file=sys.stderr)
             return 2
         obs = RunObservation.from_capture(payload, trace)
+        if getattr(args, "timeseries", None):
+            # Capture mode: --timeseries names a saved repro-timeseries/v1
+            # capture; its series feed the anomaly detector.
+            from repro.timeseries import load_capture
+
+            try:
+                ts_payload = load_capture(Path(args.timeseries).read_text())
+            except (OSError, ValueError, ReproError) as exc:
+                print(f"repro diagnose: {exc}", file=sys.stderr)
+                return 2
     elif target.suffix in (".json", ".jsonl") or "/" in args.target:
         # Looks like a capture path, not a workload name: don't fall
         # through to live mode on a typo'd filename.
@@ -612,16 +819,33 @@ def cmd_diagnose(args) -> int:
         registry = MetricsRegistry()
         prev = get_registry()
         set_registry(registry)
+        # Live mode: --timeseries samples this run and writes the capture
+        # to that path; the fresh series feed the anomaly detector.
+        from repro.timeseries import TimeSeriesSession
+
+        tser = TimeSeriesSession(
+            capture_path=getattr(args, "timeseries", None),
+            meta={
+                "command": "diagnose",
+                "workload": args.target,
+                "method": args.method,
+                "seed": args.seed,
+            },
+        )
         try:
-            run = run_training(
-                w, method=args.method, objective=objective, budget_usd=budget,
-                qos_s=qos, seed=args.seed, profile=profile,
-                storage_pin=_parse_storage(args.storage),
-                straggler_factors=_parse_stragglers(args.straggler),
-                fault_plan=fault_plan,
-            )
+            with tser:
+                run = run_training(
+                    w, method=args.method, objective=objective,
+                    budget_usd=budget,
+                    qos_s=qos, seed=args.seed, profile=profile,
+                    storage_pin=_parse_storage(args.storage),
+                    straggler_factors=_parse_stragglers(args.straggler),
+                    fault_plan=fault_plan,
+                )
         finally:
             set_registry(prev)
+        if tser.sampler is not None:
+            ts_payload = tser.payload()
         obs = RunObservation.from_training_run(run, registry=registry)
         candidates = run.profile.candidates
         faults_summary = run.result.extra.get("faults")
@@ -637,7 +861,7 @@ def cmd_diagnose(args) -> int:
     report = diagnose(
         obs, candidates=candidates, top_k=args.top_k, z=args.z,
         drift_threshold=args.drift_threshold, slo_spec=slo_spec,
-        faults=faults_summary,
+        faults=faults_summary, timeseries=ts_payload,
     )
     if args.out:
         Path(args.out).write_text(report.to_json())
@@ -934,6 +1158,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_slo_flags(p)
     _add_fault_flags(p)
     _add_profile_flags(p)
+    _add_timeseries_flags(p)
     p.set_defaults(fn=cmd_train)
 
     p = sub.add_parser("tune", help="run one hyperparameter-tuning job")
@@ -948,6 +1173,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_slo_flags(p)
     _add_fault_flags(p)
     _add_profile_flags(p)
+    _add_timeseries_flags(p)
     p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser("workflow", help="run the full tune-then-train pipeline")
@@ -962,6 +1188,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_slo_flags(p)
     _add_fault_flags(p)
     _add_profile_flags(p)
+    _add_timeseries_flags(p)
     p.set_defaults(fn=cmd_workflow)
 
     p = sub.add_parser(
@@ -1015,7 +1242,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-report", metavar="PATH",
                    help="capture mode: attribute faults from this saved "
                         "repro-faults-report/v1 document")
+    p.add_argument("--timeseries", metavar="PATH",
+                   help="feed resource time-series to the anomaly detector: "
+                        "a saved repro-timeseries/v1 capture (capture mode) "
+                        "or the path to sample this run into (live mode)")
     p.set_defaults(fn=cmd_diagnose)
+
+    p = sub.add_parser(
+        "dash",
+        help="terminal dashboard of a run's resource time-series",
+        description="Render sparkline time-series (in-flight invocations, "
+                    "warm pool, storage bandwidth, allocation, cost, ...) "
+                    "plus event markers. Either replay a saved "
+                    "repro-timeseries/v1 capture (--replay) or run a "
+                    "training job here under the live sampler (optionally "
+                    "writing the capture with --out).",
+    )
+    p.add_argument("workload", nargs="?",
+                   help="workload name for a live sampled run "
+                        "(omit with --replay)")
+    p.add_argument("--replay", metavar="CAPTURE",
+                   help="render a saved repro-timeseries/v1 capture")
+    p.add_argument("--out", metavar="PATH",
+                   help="live mode: also write the capture to PATH")
+    p.add_argument("--width", type=int, default=60,
+                   help="sparkline width in characters")
+    p.add_argument("--method", default="ce-scaling", choices=TRAINING_METHODS)
+    p.add_argument("--budget", type=float, help="absolute budget in USD")
+    p.add_argument("--budget-multiple", type=float, default=2.5)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--faults", metavar="PLAN",
+                   help="live mode: inject faults from this repro-faults/v1 "
+                        "plan so their signatures show on the dashboard")
+    p.set_defaults(fn=cmd_dash)
+
+    p = sub.add_parser(
+        "timeseries",
+        help="validate and diff repro-timeseries/v1 captures",
+        description="Work with saved time-series captures: `validate PATH` "
+                    "checks the schema contract (exit 2 on a bad capture); "
+                    "`diff BASE TARGET` classifies per-series drift "
+                    "(identical / level_shift / peak_shift / resampled / "
+                    "jitter / divergent) and exits 1 when any series "
+                    "drifted past --threshold.",
+    )
+    p.add_argument("action", choices=("diff", "validate"))
+    p.add_argument("paths", nargs="*", metavar="PATH",
+                   help="one capture (validate) or BASE TARGET (diff)")
+    p.add_argument("--threshold", type=float, default=0.05,
+                   help="diff: relative drift tolerance on mean/peak/last")
+    p.add_argument("--format", default="table", choices=("table", "json"))
+    p.add_argument("--out", metavar="PATH",
+                   help="diff: also write the JSON report to PATH")
+    p.set_defaults(fn=cmd_timeseries)
 
     p = sub.add_parser(
         "slo",

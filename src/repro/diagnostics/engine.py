@@ -266,6 +266,7 @@ def diagnose(
     drift_threshold: float = 0.15,
     slo_spec=None,
     faults: dict | None = None,
+    timeseries: dict | None = None,
 ) -> DiagnosticsReport:
     """Run every applicable analysis over one observation.
 
@@ -277,7 +278,10 @@ def diagnose(
     attributed to critical-path components as extra findings. With a
     ``faults`` summary (a fault ledger's :meth:`~repro.faults.FaultLedger.
     summary`, e.g. ``result.extra["faults"]``), the JCT lost to injected
-    faults versus spent on recovery is attributed as findings too.
+    faults versus spent on recovery is attributed as findings too. With a
+    ``timeseries`` capture (a ``repro-timeseries/v1`` document), the
+    EWMA/MAD anomaly rules — storage saturation, warm-pool collapse,
+    concurrency plateau, budget-burn knee — contribute their findings.
     """
     if isinstance(workload, str):
         workload = lookup_workload(workload)
@@ -316,6 +320,23 @@ def diagnose(
 
         extra += error_budget_findings(
             slo_spec, critical_path, obs.jct_s, obs.cost_usd
+        )
+    if timeseries is not None:
+        from repro.timeseries import detect_anomalies
+
+        extra += tuple(
+            Finding(
+                kind="anomaly",
+                severity=a.severity,
+                message=a.message,
+                data={
+                    "rule": a.rule,
+                    "series": a.series,
+                    "t_s": _r(a.t_s),
+                    **a.data,
+                },
+            )
+            for a in detect_anomalies(timeseries)
         )
     if extra:
         order = {"warning": 0, "info": 1}

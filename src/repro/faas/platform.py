@@ -24,6 +24,7 @@ from repro.faas.events import Acquire, Join, Release, Resource, Simulator
 from repro.faas.function import WarmPool
 from repro.faas.noise import NoiseModel
 from repro.telemetry import get_registry, get_tracer
+from repro.timeseries import get_sampler
 
 
 @dataclass(frozen=True, slots=True)
@@ -147,6 +148,24 @@ class FaaSPlatform:
         """Terminate a group's instances (allocation switch)."""
         self.pool.retire(group)
 
+    def _sample_epoch(self, spec: EpochExecution, start: float, n_cold: int) -> None:
+        """Epoch-boundary platform series on this account's sim clock."""
+        ts = get_sampler()
+        if not ts.enabled:
+            return
+        sim = self.sim
+        ts.sample(
+            "platform.concurrency_limit", start,
+            float(self.platform.limits.max_concurrency),
+        )
+        ts.sample("platform.inflight", start, float(spec.n_functions))
+        ts.sample(
+            "platform.warm_pool", sim.now, float(self.pool.total_warm(sim.now))
+        )
+        ts.sample(
+            "platform.cold_start_rate", sim.now, n_cold / spec.n_functions
+        )
+
     # ------------------------------------------------------------------ execution
     def execute_epoch(self, spec: EpochExecution) -> InvocationResult:
         """Run one epoch on the event engine and bill it.
@@ -239,6 +258,7 @@ class FaaSPlatform:
         self._m_epoch_wall.observe(wall)
         self._m_occupancy.set(spec.n_functions)
         self._m_occupancy_peak.set(self.concurrency.peak_in_use)
+        self._sample_epoch(spec, start, n_cold)
         tracer = self.tracer
         if tracer.enabled:
             track = f"group:{spec.group}"
@@ -492,6 +512,7 @@ class FaaSPlatform:
         self._m_epoch_wall.observe(wall)
         self._m_occupancy.set(spec.n_functions)
         self._m_occupancy_peak.set(self.concurrency.peak_in_use)
+        self._sample_epoch(spec, start, n_cold)
 
         if gang_failed:
             detail = (

@@ -20,10 +20,11 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.slo.alerts import Alert, AlertEngine
-from repro.slo.burnrate import BurnRateAccountant
+from repro.slo.burnrate import STATUSES, BurnRateAccountant
 from repro.slo.events import Event, EventBus, EventLog, get_event_bus, set_event_bus
 from repro.slo.spec import SLOSpec
 from repro.telemetry import get_registry, get_tracer
+from repro.timeseries import get_sampler
 
 
 class SLOGuard:
@@ -82,9 +83,18 @@ class SLOGuard:
         self._evaluate(event.t_s)
 
     def _evaluate(self, t_s: float) -> None:
+        states = self.accountant.states()
+        ts = get_sampler()
+        if ts.enabled:
+            # The worst rung any budget dimension sits on, as an index
+            # into the ladder (0=ok .. 3=exhausted).
+            level = max(
+                (STATUSES.index(s.status) for s in states), default=0
+            )
+            ts.sample("slo.burn_level", t_s, float(level))
         fired, resolved = self.engine.evaluate(
             t_s,
-            self.accountant.states(),
+            states,
             epoch=self._epoch,
             predictor_drift=self._last_drift,
             straggler_slowdown=self._last_slowdown,

@@ -11,6 +11,7 @@ from repro.common.units import mb_from_bytes
 from repro.config import StorageServiceConfig
 from repro.storage.kvplane import KVPlane
 from repro.telemetry import get_registry
+from repro.timeseries import get_sampler
 
 
 @dataclass
@@ -88,6 +89,16 @@ class ExternalStorageService:
         self._m_requests.labels(kind=kind, op=op).inc()
         self._m_bytes.labels(kind=kind).inc(object_mb)
         self._m_latency.labels(kind=kind).observe(t)
+        ts = get_sampler()
+        if ts.enabled:
+            # Effective bandwidth of this transfer on the service's own
+            # cumulative busy-time clock; the gap to config.bandwidth_mb_s
+            # is the per-request latency tax.
+            ts.sample(
+                f"storage.{kind}.bandwidth_mb_s",
+                self.metrics.busy_time_s,
+                object_mb / t if t > 0 else 0.0,
+            )
         return t
 
     def put(self, key: str, value: np.ndarray) -> float:

@@ -26,6 +26,7 @@ import numpy as np
 from repro.common.errors import ValidationError
 from repro.profiling import profile_phase
 from repro.storage.base import ExternalStorageService
+from repro.timeseries import get_sampler
 
 
 @dataclass
@@ -67,6 +68,17 @@ class BSPSynchronizer:
         with profile_phase("storage/sync_round") as ph:
             merged, report = self._run_round(gradients)
             ph.add("transfers", report.transfers)
+        ts = get_sampler()
+        if ts.enabled:
+            busy = self.service.metrics.busy_time_s
+            # Queue depth: transfers the aggregator still has in flight
+            # behind each worker's own (n-1 peers' gradients per round).
+            ts.sample(
+                "storage.sync_queue_depth", busy, float(self.n_workers - 1)
+            )
+            ts.sample(
+                "storage.sync_transfers", busy, float(report.transfers)
+            )
         return merged, report
 
     def _run_round(

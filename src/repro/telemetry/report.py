@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from repro.telemetry.exporters import payload_to_snapshots
 from repro.telemetry.metrics import MetricSnapshot
 
-JSON_SCHEMA = "repro-report/v1"
+JSON_SCHEMA = "repro-report/v2"
 
 
 def _scalar(snapshots: dict[str, MetricSnapshot], name: str) -> float:
@@ -64,6 +64,7 @@ class RunReport:
     time_rows: list[BreakdownRow] = field(default_factory=list)
     cost_rows: list[BreakdownRow] = field(default_factory=list)
     activity_rows: list[BreakdownRow] = field(default_factory=list)
+    peaks_rows: list[BreakdownRow] = field(default_factory=list)
 
     # ------------------------------------------------------------------ builders
     @classmethod
@@ -151,9 +152,29 @@ class RunReport:
                 None, "",
             ),
         ]
+        # Trajectory high-water marks (schema v2). Primary source is the
+        # run summary's "peaks" block, written when a time-series sampler
+        # was live; the concurrency peak falls back to the platform's
+        # occupancy-peak gauge so sampler-off captures still report it.
+        peaks = run.get("peaks") or {}
+        peak_conc = float(
+            peaks.get("concurrency")
+            or _scalar(by_name, "repro_faas_concurrency_peak_in_use")
+        )
+        peaks_rows = [
+            BreakdownRow("peak concurrency in use", peak_conc, None, ""),
+            BreakdownRow(
+                "peak warm pool", float(peaks.get("warm_pool", 0.0)), None, ""
+            ),
+            BreakdownRow(
+                "peak storage bandwidth",
+                float(peaks.get("storage_bandwidth_mb_s", 0.0)), None, "MB/s",
+            ),
+        ]
         return cls(
             meta=meta, run=run, time_rows=time_rows,
             cost_rows=cost_rows, activity_rows=activity_rows,
+            peaks_rows=peaks_rows,
         )
 
     @classmethod
@@ -192,6 +213,7 @@ class RunReport:
             "time": rows(self.time_rows),
             "cost": rows(self.cost_rows),
             "activity": rows(self.activity_rows),
+            "peaks": rows(self.peaks_rows),
         }
 
     def to_json(self) -> str:
@@ -210,7 +232,10 @@ class RunReport:
             ("time breakdown", self.time_rows),
             ("cost breakdown", self.cost_rows),
             ("activity", self.activity_rows),
+            ("peaks", self.peaks_rows),
         ):
+            if not rows:
+                continue
             lines.append("")
             lines.append(title)
             width = max(len(r.label) for r in rows)
@@ -220,6 +245,8 @@ class RunReport:
                     value = f"${r.value:.6f}"
                 elif r.unit == "s":
                     value = f"{r.value:12.3f} s"
+                elif r.unit:
+                    value = f"{r.value:12.1f} {r.unit}"
                 else:
                     value = f"{r.value:12.1f}"
                 lines.append(f"  {r.label.ljust(width)}  {value}{share}")

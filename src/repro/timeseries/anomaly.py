@@ -1,0 +1,257 @@
+"""EWMA/MAD anomaly detection over ``repro-timeseries/v1`` captures.
+
+Four named rules scan the capture for trajectory pathologies that
+end-of-run aggregates hide:
+
+* ``storage_saturation`` — an upward spike in a sync-time series
+  (``train.sync_s``, ``tune.stage_sync_s``): each point's residual against
+  the running EWMA is scored in robust sigmas (median absolute deviation
+  scaled by 1.4826); a z >= 5 excursion means synchronization suddenly
+  costs far more than its own history — the signature of a throttled or
+  saturated storage backend.
+* ``warm_pool_collapse`` — the warm-container pool ends the run at a
+  small fraction of its own high-water mark, i.e. keep-alive expiries
+  outran reuse and cold starts are coming back.
+* ``concurrency_plateau`` — in-flight invocations pinned against the
+  account concurrency limit for a material share of the run; the platform
+  (not the allocation) is the binding constraint.
+* ``budget_burn_knee`` — a cumulative cost series whose late burn rate is
+  a multiple of its early rate: spend is accelerating toward the cap.
+
+Detection is a pure function of the capture document — deterministic
+order (rule, then series, then time), no randomness — and its findings
+feed ``repro diagnose`` alongside the critical-path rules. Severities are
+restricted to the diagnostics vocabulary (``info`` / ``warning``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.timeseries.capture import decode_series
+
+#: EWMA smoothing factor for the spike detector's running baseline.
+EWMA_ALPHA = 0.3
+
+#: Robust z-score a residual must reach to count as a spike.
+SPIKE_Z = 5.0
+
+#: Consistency constant: sigma ~= 1.4826 * MAD for normal data.
+MAD_SCALE = 1.4826
+
+#: Minimum raw samples before the spike detector trusts its baseline.
+#: (Raw, not stored: run-length compression stores a flat series as just
+#: its edge points, and flat-then-spike is exactly the shape to catch.)
+SPIKE_MIN_SAMPLES = 8
+
+#: Sync-time series scanned by the storage-saturation rule.
+SYNC_SERIES = ("train.sync_s", "tune.stage_sync_s")
+
+#: Collapse = the trailing value at or below this fraction of the peak.
+COLLAPSE_FRACTION = 0.25
+
+#: ...for a pool that actually grew to at least this many containers.
+COLLAPSE_MIN_PEAK = 4.0
+
+#: Plateau = in-flight at or above this fraction of the account limit...
+PLATEAU_FRACTION = 0.95
+
+#: ...for at least this share of the series' simulated-time span.
+PLATEAU_MIN_SHARE = 0.2
+
+#: Knee = late burn rate at least this multiple of the early rate.
+KNEE_RATIO = 3.0
+
+#: Minimum stored points before the knee detector compares slopes.
+KNEE_MIN_POINTS = 6
+
+#: Cumulative-cost series scanned by the budget-burn rule.
+COST_SERIES = ("train.cost_usd", "tune.cost_usd", "workflow.cost_usd")
+
+
+@dataclass(frozen=True, slots=True)
+class Anomaly:
+    """One detector finding, anchored to a series and a simulated time."""
+
+    rule: str
+    series: str
+    t_s: float
+    severity: str
+    message: str
+    data: dict = field(default_factory=dict)
+
+
+def _series_map(payload: dict) -> dict[str, dict]:
+    return {entry["name"]: entry for entry in payload["series"]}
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _spike_anomalies(name: str, entry: dict) -> list[Anomaly]:
+    times, values = decode_series(entry)
+    if entry["n_samples"] < SPIKE_MIN_SAMPLES or len(values) < 4:
+        return []
+    ewma = values[0]
+    residuals = []
+    for v in values[1:]:
+        residuals.append(v - ewma)
+        ewma = EWMA_ALPHA * v + (1.0 - EWMA_ALPHA) * ewma
+    # Trim the largest residuals before estimating the baseline spread —
+    # otherwise a lone spike in a short series inflates the MAD enough to
+    # hide itself.
+    n_trim = max(1, len(residuals) // 8)
+    baseline = sorted(residuals)[: len(residuals) - n_trim] or residuals
+    med = _median(baseline)
+    sigma = max(MAD_SCALE * _median([abs(r - med) for r in baseline]), 1e-9)
+    best: Anomaly | None = None
+    for i, r in enumerate(residuals, start=1):
+        z = (r - med) / sigma
+        if z < SPIKE_Z:
+            continue
+        if best is None or z > best.data["z"]:
+            best = Anomaly(
+                rule="storage_saturation",
+                series=name,
+                t_s=times[i],
+                severity="warning",
+                message=(
+                    f"{name} spiked to {values[i]:.6g}s at "
+                    f"t={times[i]:.3f}s ({z:.1f} robust sigmas above its "
+                    "EWMA baseline): storage bandwidth saturated or "
+                    "throttled"
+                ),
+                data={
+                    "z": round(z, 6),
+                    "value": round(values[i], 9),
+                    "baseline": round(values[i] - r, 9),
+                },
+            )
+    return [best] if best is not None else []
+
+
+def _collapse_anomalies(entry: dict) -> list[Anomaly]:
+    times, values = decode_series(entry)
+    peak = entry["high_water"]
+    if not values or peak < COLLAPSE_MIN_PEAK:
+        return []
+    if values[-1] > COLLAPSE_FRACTION * peak:
+        return []
+    return [
+        Anomaly(
+            rule="warm_pool_collapse",
+            series=entry["name"],
+            t_s=times[-1],
+            severity="warning",
+            message=(
+                f"warm pool ended at {values[-1]:g} container(s), "
+                f"{100.0 * values[-1] / peak:.0f}% of its {peak:g} peak: "
+                "keep-alive expiries are outrunning reuse"
+            ),
+            data={"last": round(values[-1], 9), "peak": round(peak, 9)},
+        )
+    ]
+
+
+def _plateau_anomalies(payload: dict) -> list[Anomaly]:
+    series = _series_map(payload)
+    inflight = series.get("platform.inflight")
+    limit_entry = series.get("platform.concurrency_limit")
+    if inflight is None or limit_entry is None or not limit_entry["values"]:
+        return []
+    limit = limit_entry["values"][-1]
+    if limit <= 0:
+        return []
+    times, values = decode_series(inflight)
+    if len(values) < 2:
+        return []
+    span = times[-1] - times[0]
+    if span <= 0:
+        return []
+    bar = PLATEAU_FRACTION * limit
+    # Run-length compression stores a sustained plateau as just its two
+    # edge points, so measure plateau *time*: segments whose endpoints
+    # both sit at/above the bar.
+    plateau_s = sum(
+        times[i + 1] - times[i]
+        for i in range(len(values) - 1)
+        if values[i] >= bar and values[i + 1] >= bar
+    )
+    if plateau_s < PLATEAU_MIN_SHARE * span:
+        return []
+    first_t = next(t for t, v in zip(times, values) if v >= bar)
+    return [
+        Anomaly(
+            rule="concurrency_plateau",
+            series="platform.inflight",
+            t_s=first_t,
+            severity="info",
+            message=(
+                f"in-flight invocations sat at >={bar:g} "
+                f"({100.0 * PLATEAU_FRACTION:.0f}% of the {limit:g} account "
+                f"limit) for {plateau_s:.3f}s of {span:.3f}s: the platform "
+                "concurrency cap, not the allocation, is binding"
+            ),
+            data={
+                "limit": round(limit, 9),
+                "plateau_s": round(plateau_s, 9),
+                "span_s": round(span, 9),
+            },
+        )
+    ]
+
+
+def _knee_anomalies(name: str, entry: dict) -> list[Anomaly]:
+    times, values = decode_series(entry)
+    if len(values) < KNEE_MIN_POINTS:
+        return []
+    mid = len(values) // 2
+    knee = 3 * len(values) // 4
+    early_dt = times[mid] - times[0]
+    late_dt = times[-1] - times[knee]
+    if early_dt <= 0 or late_dt <= 0:
+        return []
+    early_rate = (values[mid] - values[0]) / early_dt
+    late_rate = (values[-1] - values[knee]) / late_dt
+    if early_rate <= 0 or late_rate < KNEE_RATIO * early_rate:
+        return []
+    return [
+        Anomaly(
+            rule="budget_burn_knee",
+            series=name,
+            t_s=times[knee],
+            severity="info",
+            message=(
+                f"{name} burn rate rose to {late_rate:.6g} USD/s in the "
+                f"last quarter vs {early_rate:.6g} USD/s early "
+                f"({late_rate / early_rate:.1f}x): spend is accelerating "
+                "toward the cap"
+            ),
+            data={
+                "early_usd_per_s": round(early_rate, 9),
+                "late_usd_per_s": round(late_rate, 9),
+            },
+        )
+    ]
+
+
+def detect_anomalies(payload: dict) -> list[Anomaly]:
+    """Every rule's findings over one capture, deterministically ordered."""
+    series = _series_map(payload)
+    anomalies: list[Anomaly] = []
+    for name in SYNC_SERIES:
+        if name in series:
+            anomalies.extend(_spike_anomalies(name, series[name]))
+    if "platform.warm_pool" in series:
+        anomalies.extend(_collapse_anomalies(series["platform.warm_pool"]))
+    anomalies.extend(_plateau_anomalies(payload))
+    for name in COST_SERIES:
+        if name in series:
+            anomalies.extend(_knee_anomalies(name, series[name]))
+    return sorted(anomalies, key=lambda a: (a.rule, a.series, a.t_s))

@@ -1,0 +1,82 @@
+"""Deterministic terminal dashboard over a ``repro-timeseries/v1`` capture.
+
+One sparkline panel per series (sorted by name), each with its sample
+count, simulated-time span, last value and high-water mark, followed by
+the run's timeline markers. Rendering is a pure function of the capture
+document — same bytes in, same bytes out — so ``repro dash --replay`` is
+byte-stable and safe to diff across runs.
+"""
+
+from __future__ import annotations
+
+from repro.timeseries.capture import decode_series
+
+#: Eight-level block ramp; index = value scaled into the series' range.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+DEFAULT_WIDTH = 60
+
+
+def sparkline(values: list[float], width: int = DEFAULT_WIDTH) -> str:
+    """A fixed-width block-character strip for ``values``.
+
+    Longer series are bucketed down to ``width`` cells (bucket = max of its
+    members, so spikes survive); shorter series render one cell per point.
+    A flat series renders at the lowest ramp level.
+    """
+    if not values:
+        return ""
+    if len(values) > width:
+        bucketed = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            bucketed.append(max(values[lo:hi]))
+        values = bucketed
+    vmin = min(values)
+    vmax = max(values)
+    span = vmax - vmin
+    if span <= 0:
+        return SPARK_CHARS[0] * len(values)
+    top = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[min(top, int((v - vmin) / span * top + 0.5))]
+        for v in values
+    )
+
+
+def render_dashboard(payload: dict, width: int = DEFAULT_WIDTH) -> str:
+    """The full dashboard for one capture document."""
+    meta = payload.get("meta") or {}
+    totals = payload["totals"]
+    title_bits = [
+        f"{key}={meta[key]}" for key in sorted(meta) if meta[key] is not None
+    ]
+    lines = [
+        "repro dash — simulated-time series"
+        + (f" ({', '.join(title_bits)})" if title_bits else ""),
+        f"{totals['n_series']} series, {totals['n_samples']} sample(s), "
+        f"{totals['n_points']} stored point(s)",
+        "",
+    ]
+    for entry in payload["series"]:
+        times, values = decode_series(entry)
+        span = times[-1] - times[0] if times else 0.0
+        lines.append(entry["name"])
+        lines.append(f"  {sparkline(values, width=width)}")
+        lines.append(
+            f"  samples={entry['n_samples']} span={span:.3f}s "
+            f"last={values[-1] if values else 0.0:g} "
+            f"peak={entry['high_water']:g}"
+            + (f" dropped={entry['dropped']}" if entry["dropped"] else "")
+        )
+        lines.append("")
+    markers = payload["markers"]
+    if markers:
+        lines.append(f"markers ({len(markers)}):")
+        for m in markers:
+            label = f" {m['label']}" if m["label"] else ""
+            lines.append(f"  [{m['t_s']:>12.3f}s] {m['kind']}{label}")
+    else:
+        lines.append("markers: none")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,103 @@
+"""Scoped sampling: install the sampler, run, export, restore.
+
+Mirrors :class:`repro.profiling.session.ProfileSession` — the CLI's
+``--timeseries PATH`` flag (and ``repro dash WORKLOAD``) wrap each command
+in a :class:`TimeSeriesSession`; libraries can do the same around any
+block of work::
+
+    with TimeSeriesSession(capture_path="ts.json") as session:
+        run_training("lr-higgs", budget_usd=20.0)
+    # ts.json now holds the repro-timeseries/v1 capture
+
+If a live event bus is installed when the session enters, every bus event
+also lands on the sampler's timeline as a marker (kind + simulated time +
+scope), which is how reallocations, SHA stage transitions and SLO alerts
+show up on the dashboard. On clean exit the session writes the capture,
+then restores whatever sampler was installed before — sessions nest
+safely. With no path and ``force_install=False`` the session installs
+nothing and writes nothing, so callers never branch.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.timeseries.capture import capture_payload, to_json
+from repro.timeseries.core import TimeSeriesSampler
+
+
+class TimeSeriesSession:
+    """Context manager that samples a block and exports the capture."""
+
+    def __init__(
+        self,
+        capture_path: str | Path | None = None,
+        meta: dict | None = None,
+        force_install: bool = False,
+    ) -> None:
+        self.capture_path = Path(capture_path) if capture_path else None
+        self.meta = dict(meta or {})
+        self.force_install = force_install
+        self.sampler: TimeSeriesSampler | None = None
+        self._prev = None
+
+    @property
+    def active(self) -> bool:
+        return self.capture_path is not None or self.force_install
+
+    def payload(self) -> dict:
+        """The capture document for this session's sampler."""
+        if self.sampler is None:
+            raise RuntimeError("session never installed a sampler")
+        return capture_payload(self.sampler, meta=self.meta)
+
+    def __enter__(self) -> "TimeSeriesSession":
+        if self.active:
+            # Local imports: every instrumented layer (including the SLO
+            # guard, whose events module the bus lives next to) imports
+            # this package, so both dependencies resolve lazily to keep
+            # the module graph acyclic.
+            from repro.slo.events import get_event_bus
+            from repro.timeseries import get_sampler, set_sampler
+
+            self._prev = get_sampler()
+            self.sampler = TimeSeriesSampler()
+            set_sampler(self.sampler)
+            bus = get_event_bus()
+            if bus.enabled:
+                sampler = self.sampler
+                bus.subscribe(
+                    lambda event: sampler.mark(
+                        event.kind, event.t_s, label=event.scope
+                    )
+                )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.sampler is None:
+            return
+        from repro.timeseries import set_sampler
+
+        set_sampler(self._prev)
+        if exc_type is not None:
+            return  # don't write partial captures over a crash
+        if self.capture_path is not None:
+            self.capture_path.write_text(to_json(self.payload()))
+
+
+def peaks_summary(sampler: TimeSeriesSampler) -> dict:
+    """High-water marks for the run summary / ``repro report`` peaks rows.
+
+    Derived purely from the sampler's series, so the summary exists only
+    when sampling was on — sampler-off runs keep their pre-existing byte
+    output.
+    """
+    storage_peak = 0.0
+    for name in sorted(sampler.series):
+        if name.startswith("storage.") and name.endswith(".bandwidth_mb_s"):
+            storage_peak = max(storage_peak, sampler.high_water(name))
+    return {
+        "concurrency": sampler.high_water("platform.inflight"),
+        "warm_pool": sampler.high_water("platform.warm_pool"),
+        "storage_bandwidth_mb_s": storage_peak,
+    }

@@ -33,6 +33,7 @@ from repro.tuning.plan import Objective
 from repro.training.delayed_restart import DelayedRestartPlanner
 from repro.profiling import profile_phase
 from repro.telemetry import get_registry, get_tracer
+from repro.timeseries import get_sampler
 from repro.slo.events import get_event_bus
 
 
@@ -195,6 +196,7 @@ class TrainingExecutor:
         registry = get_registry()
         tracer = get_tracer()
         bus = get_event_bus()
+        ts = get_sampler()
         m_hidden = registry.counter(
             "repro_scheduler_restart_hidden_seconds_total",
             "Restart lead time overlapped with running epochs (Fig. 8)",
@@ -367,6 +369,14 @@ class TrainingExecutor:
                     loss=loss, allocation=alloc.describe(),
                     straggler_slowdown=_gang_slowdown(result.worker_durations_s),
                 )
+            if ts.enabled:
+                # Epoch-boundary samples on the scheduler's job-time clock:
+                # the active allocation (m workers x s MB), what each
+                # barrier sync cost, and the cumulative bill.
+                ts.sample("train.allocation.m", jct, float(alloc.n_functions))
+                ts.sample("train.allocation.s_mb", jct, float(alloc.memory_mb))
+                ts.sample("train.sync_s", jct, result.time.sync_s)
+                ts.sample("train.cost_usd", jct, cost)
             if loss <= w.target_loss:
                 converged = True
                 break
@@ -406,6 +416,8 @@ class TrainingExecutor:
             if decision.restart:
                 n_restarts += 1
                 new_alloc = decision.point.allocation
+                if ts.enabled:
+                    ts.mark("reallocation", jct, new_alloc.describe())
                 plan = self.restart_planner.plan_restart(w, new_alloc, epoch_wall)
                 jct += plan.visible_overhead_s
                 sched_overhead += plan.visible_overhead_s
@@ -520,6 +532,12 @@ class TrainingExecutor:
             "degraded-allocation", jct, epoch=epoch_idx, lost_s=lost_s,
             detail=f"{alloc.describe()} -> {new_point.allocation.describe()}",
         )
+        ts = get_sampler()
+        if ts.enabled:
+            ts.mark(
+                "reallocation", jct,
+                f"degraded:{new_point.allocation.describe()}",
+            )
         if bus.enabled:
             bus.emit(
                 "degraded_allocation", jct, scope="train", epoch=epoch_idx,

@@ -21,6 +21,7 @@ from repro.tuning.sha import SHAEngine, SHASpec, StageShape, Trial
 from repro.ml.models import Workload
 from repro.profiling import profile_phase
 from repro.telemetry import get_tracer
+from repro.timeseries import get_sampler
 from repro.slo.events import get_event_bus
 
 
@@ -106,6 +107,7 @@ class TuningExecutor:
             raise ValidationError("custom engine must share the executor's spec")
         records: list[StageRecord] = []
         bus = get_event_bus()
+        ts = get_sampler()
         total_jct = scheduling_overhead_s
         total_cost = 0.0
         for i, point in enumerate(plan.stages):
@@ -169,6 +171,13 @@ class TuningExecutor:
                         jct_s=stage_jct, cost_usd=stage_cost,
                         allocation=point.allocation.describe(),
                     )
+                if ts.enabled:
+                    # Stage-boundary samples on the tuning job's clock:
+                    # SHA's surviving-trial ladder, what each stage's
+                    # synchronization cost, and the cumulative bill.
+                    ts.sample("tune.survivors", total_jct, float(q))
+                    ts.sample("tune.stage_sync_s", total_jct, sync_s)
+                    ts.sample("tune.cost_usd", total_jct, total_cost)
                 engine.run_stage()
         winner = engine.winner()
         extra: dict = {}

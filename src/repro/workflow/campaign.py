@@ -21,6 +21,7 @@ from repro.tuning.plan import Objective
 from repro.tuning.sha import SHASpec, Trial
 from repro.workflow.runner import profile_workload, run_training, run_tuning
 from repro.profiling import profile_phase
+from repro.timeseries import get_sampler
 from repro.slo.events import get_event_bus
 
 
@@ -98,11 +99,18 @@ def run_workflow(
         )
     winner = tuning_run.result.winner
     bus = get_event_bus()
+    ts = get_sampler()
     if bus.enabled:
         bus.emit(
             "phase_done", tuning_run.result.jct_s, scope="workflow",
             phase="tuning", jct_s=tuning_run.result.jct_s,
             cost_usd=tuning_run.result.cost_usd,
+        )
+    if ts.enabled:
+        ts.mark("phase_done", tuning_run.result.jct_s, "tuning")
+        ts.sample(
+            "workflow.cost_usd", tuning_run.result.jct_s,
+            tuning_run.result.cost_usd,
         )
     remaining = max(budget_usd * 0.05, budget_usd - tuning_run.result.cost_usd)
 
@@ -124,6 +132,13 @@ def run_workflow(
             scope="workflow", phase="training",
             jct_s=training_run.result.jct_s,
             cost_usd=training_run.result.cost_usd,
+        )
+    if ts.enabled:
+        total_jct = tuning_run.result.jct_s + training_run.result.jct_s
+        ts.mark("phase_done", total_jct, "training")
+        ts.sample(
+            "workflow.cost_usd", total_jct,
+            tuning_run.result.cost_usd + training_run.result.cost_usd,
         )
     fault_ledger = None
     if tuning_run.fault_ledger is not None or training_run.fault_ledger is not None:

@@ -34,6 +34,7 @@ from repro.tuning.executor import TuningExecutor, TuningRunResult
 from repro.tuning.greedy_planner import GreedyHeuristicPlanner
 from repro.tuning.plan import Objective, PartitionPlan
 from repro.tuning.sha import SHASpec
+from repro.timeseries import get_sampler
 
 TRAINING_METHODS = ("ce-scaling", "siren", "cirrus", "cirrus-static", "lambdaml")
 TUNING_METHODS = ("ce-scaling", "lambdaml", "siren", "cirrus", "fixed")
@@ -301,6 +302,19 @@ def run_tuning(
         method, profile, spec, objective, budget_usd, qos_s, delta=delta,
         platform=platform,
     )
+    ts = get_sampler()
+    if ts.enabled and overhead > 0:
+        # Planner throughput: candidate (allocation, partition) points
+        # examined per second of scheduling overhead, stamped at the end
+        # of the search (the job clock starts at `overhead`).
+        evaluated = float(
+            getattr(stats, "candidates_evaluated", 0)
+            or len(profile.candidates)
+        )
+        ts.sample(
+            "planner.candidate_throughput_per_s", overhead,
+            evaluated / overhead,
+        )
     executor = TuningExecutor(
         workload=w, spec=spec, platform=platform, seed=seed,
         fault_injector=injector,

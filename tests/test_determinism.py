@@ -13,6 +13,7 @@ import pytest
 
 from repro.common.types import StorageKind
 from repro.profiling import Profiler, get_profiler, set_profiler
+from repro.timeseries import TimeSeriesSampler, get_sampler, set_sampler
 from repro.telemetry.exporters import to_json
 from repro.telemetry.metrics import MetricsRegistry
 from repro.ml.curves import LossCurveSampler
@@ -198,3 +199,94 @@ class TestHotPathProfilerDeterminism:
             p.allocation for p in b.plan.stages
         ]
         assert ("planner/plan",) in profiler.frames
+
+
+class TestTimeSeriesSamplerDeterminism:
+    """The time-series sampler is observational: on or off, same bytes out.
+
+    Same contract the telemetry collectors and hot-path profiler carry:
+    sampling sites never consume randomness and never branch simulation
+    logic, so a run is byte-identical with the sampler installed or not —
+    and two sampled runs produce byte-identical captures.
+    """
+
+    def _train(self, w, profile):
+        budget = training_envelope(w, profile).budget(2.5)
+        return run_training(
+            w, method="ce-scaling", objective=Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=budget, seed=9, max_epochs=15, profile=profile,
+        ).result
+
+    def test_training_identical_with_sampler_on_and_off(
+        self, mobilenet, mobilenet_profile
+    ):
+        fingerprint = TestHotPathProfilerDeterminism._fingerprint
+        baseline = fingerprint(self._train(mobilenet, mobilenet_profile))
+        prev = get_sampler()
+        sampler = TimeSeriesSampler()
+        set_sampler(sampler)
+        try:
+            sampled = fingerprint(self._train(mobilenet, mobilenet_profile))
+        finally:
+            set_sampler(prev)
+        assert sampled == baseline
+        # Guard against the trivial pass: the sampler saw the run.
+        assert "train.allocation.m" in sampler.series
+        assert "platform.inflight" in sampler.series
+
+    def test_tuning_identical_with_sampler_on_and_off(self, lr_higgs, lr_profile):
+        spec = SHASpec(32, 2, 2)
+        budget = tuning_envelope(lr_profile, spec).budget(1.3)
+        kw = dict(
+            method="ce-scaling", objective=Objective.MIN_JCT_GIVEN_BUDGET,
+            budget_usd=budget, seed=5, profile=lr_profile,
+        )
+        a = run_tuning(lr_higgs, spec, **kw)
+        prev = get_sampler()
+        sampler = TimeSeriesSampler()
+        set_sampler(sampler)
+        try:
+            b = run_tuning(lr_higgs, spec, **kw)
+        finally:
+            set_sampler(prev)
+        assert a.result.jct_s == b.result.jct_s
+        assert a.result.cost_usd == b.result.cost_usd
+        assert a.result.winner.index == b.result.winner.index
+        assert "tune.survivors" in sampler.series
+
+    def test_capture_bit_exact_across_runs(self, mobilenet, mobilenet_profile):
+        from repro.timeseries import TimeSeriesSession, to_json
+
+        captures = []
+        for _ in range(2):
+            with TimeSeriesSession(force_install=True) as session:
+                self._train(mobilenet, mobilenet_profile)
+            captures.append(to_json(session.payload()))
+        assert captures[0] == captures[1]
+
+    def test_telemetry_bytes_identical_with_sampler_on_and_off(
+        self, mobilenet, mobilenet_profile
+    ):
+        """The telemetry export itself must not see the sampler."""
+        from repro.telemetry import get_registry, set_registry
+        from repro.telemetry.metrics import MetricsRegistry
+
+        def capture(with_sampler: bool) -> str:
+            registry = MetricsRegistry()
+            prev_reg = get_registry()
+            set_registry(registry)
+            prev = get_sampler()
+            if with_sampler:
+                set_sampler(TimeSeriesSampler())
+            try:
+                result = self._train(mobilenet, mobilenet_profile)
+            finally:
+                set_sampler(prev)
+                set_registry(prev_reg)
+            return to_json(
+                registry.snapshot(),
+                run={"jct_s": result.jct_s, "cost_usd": result.cost_usd},
+                meta={"seed": 9},
+            )
+
+        assert capture(False) == capture(True)

@@ -33,6 +33,7 @@ def _load(name: str):
         "slo_guard",
         "chaos_run",
         "profile_planner",
+        "dashboard_run",
     ],
 )
 def test_example_runs(name, capsys):

@@ -142,9 +142,12 @@ class TestCommittedBaseline:
         assert doc["schema"] == harness.JSON_SCHEMA
         assert set(doc["experiments"]) == set(
             harness.REGISTRY.available()
-        ) | {harness.GUARD_ENTRY, harness.PROFILE_ENTRY}
+        ) | {harness.GUARD_ENTRY, harness.PROFILE_ENTRY, harness.TS_ENTRY}
         # The profiler probe's entry carries the per-phase breakdown.
         profile = doc["experiments"][harness.PROFILE_ENTRY]["profile"]
         assert profile, "profiler probe recorded no phases"
         for frame in profile.values():
             assert {"n_calls", "total_s", "self_s"} <= set(frame)
+        # The sampler probe's entry fingerprints what it recorded.
+        recorded = doc["experiments"][harness.TS_ENTRY]["timeseries"]
+        assert recorded["n_series"] > 0 and recorded["n_points"] > 0

@@ -1,0 +1,153 @@
+"""EWMA/MAD anomaly rules over capture documents."""
+
+from repro.timeseries import TimeSeriesSampler, capture_payload, detect_anomalies
+from repro.timeseries.anomaly import (
+    COLLAPSE_MIN_PEAK,
+    KNEE_MIN_POINTS,
+    SPIKE_MIN_SAMPLES,
+)
+
+
+def _capture(points: dict[str, list[tuple[float, float]]]) -> dict:
+    s = TimeSeriesSampler()
+    for name, series in points.items():
+        for t, v in series:
+            s.sample(name, t, v)
+    return capture_payload(s)
+
+
+class TestStorageSaturation:
+    def _sync(self, values: list[float]) -> dict:
+        return _capture(
+            {"train.sync_s": [(float(t), v) for t, v in enumerate(values)]}
+        )
+
+    def test_spike_detected(self):
+        # Mild noise, then one 8x excursion: a throttle-window signature.
+        values = [1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 8.0, 1.1, 1.0, 0.9]
+        found = detect_anomalies(self._sync(values))
+        assert [a.rule for a in found] == ["storage_saturation"]
+        a = found[0]
+        assert a.series == "train.sync_s"
+        assert a.severity == "warning"
+        assert a.t_s == 6.0
+        assert a.data["z"] >= 5.0
+        assert "throttled" in a.message
+
+    def test_flat_then_spike_survives_compression(self):
+        """Run-length compression must not starve the detector.
+
+        A perfectly flat prefix stores as two points; the raw-sample gate
+        (not the stored-point count) decides whether the baseline is
+        trustworthy.
+        """
+        values = [1.0] * 10 + [9.0] + [1.0] * 3
+        found = detect_anomalies(self._sync(values))
+        assert [a.rule for a in found] == ["storage_saturation"]
+
+    def test_quiet_series_is_clean(self):
+        values = [1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 1.02, 1.1, 1.0, 0.9]
+        assert detect_anomalies(self._sync(values)) == []
+
+    def test_short_series_gated(self):
+        values = [1.0, 1.1, 8.0, 1.0]
+        assert len(values) < SPIKE_MIN_SAMPLES
+        assert detect_anomalies(self._sync(values)) == []
+
+    def test_only_sync_series_scanned(self):
+        values = [1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 8.0, 1.1, 1.0, 0.9]
+        payload = _capture(
+            {"other.series": [(float(t), v) for t, v in enumerate(values)]}
+        )
+        assert detect_anomalies(payload) == []
+
+
+class TestWarmPoolCollapse:
+    def test_collapse_detected(self):
+        pool = [(0.0, 2.0), (1.0, 50.0), (2.0, 30.0), (3.0, 5.0)]
+        found = detect_anomalies(_capture({"platform.warm_pool": pool}))
+        assert [a.rule for a in found] == ["warm_pool_collapse"]
+        assert found[0].severity == "warning"
+        assert found[0].data == {"last": 5.0, "peak": 50.0}
+
+    def test_healthy_pool_is_clean(self):
+        pool = [(0.0, 2.0), (1.0, 50.0), (2.0, 45.0)]
+        assert detect_anomalies(_capture({"platform.warm_pool": pool})) == []
+
+    def test_tiny_pool_gated(self):
+        pool = [(0.0, float(COLLAPSE_MIN_PEAK - 1)), (1.0, 0.0)]
+        assert detect_anomalies(_capture({"platform.warm_pool": pool})) == []
+
+
+class TestConcurrencyPlateau:
+    def test_plateau_detected(self):
+        payload = _capture(
+            {
+                "platform.concurrency_limit": [(0.0, 100.0), (10.0, 100.0)],
+                "platform.inflight": [
+                    (0.0, 40.0), (2.0, 100.0), (8.0, 100.0), (10.0, 40.0),
+                ],
+            }
+        )
+        found = detect_anomalies(payload)
+        assert [a.rule for a in found] == ["concurrency_plateau"]
+        assert found[0].severity == "info"
+        assert found[0].data["plateau_s"] == 6.0
+
+    def test_brief_touch_is_clean(self):
+        payload = _capture(
+            {
+                "platform.concurrency_limit": [(0.0, 100.0), (10.0, 100.0)],
+                "platform.inflight": [
+                    (0.0, 40.0), (5.0, 100.0), (5.5, 100.0), (10.0, 40.0),
+                ],
+            }
+        )
+        assert detect_anomalies(payload) == []
+
+    def test_needs_both_series(self):
+        payload = _capture(
+            {"platform.inflight": [(0.0, 100.0), (10.0, 100.0)]}
+        )
+        assert detect_anomalies(payload) == []
+
+
+class TestBudgetBurnKnee:
+    def test_knee_detected(self):
+        # ~0.1 USD/s early, 1.0 USD/s in the last quarter.
+        cost = [(float(t), 0.1 * t) for t in range(6)] + [
+            (6.0, 1.5), (7.0, 2.5),
+        ]
+        found = detect_anomalies(_capture({"train.cost_usd": cost}))
+        assert [a.rule for a in found] == ["budget_burn_knee"]
+        assert found[0].severity == "info"
+        assert (
+            found[0].data["late_usd_per_s"]
+            >= 3.0 * found[0].data["early_usd_per_s"]
+        )
+
+    def test_linear_burn_is_clean(self):
+        cost = [(float(t), 0.5 * t) for t in range(10)]
+        assert detect_anomalies(_capture({"train.cost_usd": cost})) == []
+
+    def test_short_series_gated(self):
+        cost = [(float(t), float(t) ** 3) for t in range(KNEE_MIN_POINTS - 1)]
+        assert detect_anomalies(_capture({"train.cost_usd": cost})) == []
+
+
+class TestOrdering:
+    def test_findings_sorted_by_rule_series_time(self):
+        spike = [1.0, 1.1, 0.9, 1.05, 0.95, 1.0, 8.0, 1.1, 1.0, 0.9]
+        payload = _capture(
+            {
+                "train.sync_s": [(float(t), v) for t, v in enumerate(spike)],
+                "platform.warm_pool": [
+                    (0.0, 2.0), (1.0, 50.0), (2.0, 30.0), (3.0, 5.0),
+                ],
+            }
+        )
+        found = detect_anomalies(payload)
+        assert [a.rule for a in found] == [
+            "storage_saturation", "warm_pool_collapse",
+        ]
+        assert found == detect_anomalies(payload)

@@ -1,0 +1,60 @@
+"""Sparklines and the terminal dashboard: deterministic, spike-preserving."""
+
+from repro.timeseries import (
+    TimeSeriesSampler,
+    capture_payload,
+    render_dashboard,
+)
+from repro.timeseries.dashboard import SPARK_CHARS, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series_renders_lowest_level(self):
+        assert sparkline([5.0, 5.0, 5.0]) == SPARK_CHARS[0] * 3
+
+    def test_ramp_spans_the_character_range(self):
+        s = sparkline([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+        assert s[0] == SPARK_CHARS[0]
+        assert s[-1] == SPARK_CHARS[-1]
+        assert len(s) == 8
+
+    def test_bucketing_preserves_spikes(self):
+        """Down-sampling takes each bucket's max, so a lone spike survives."""
+        values = [1.0] * 100
+        values[37] = 50.0
+        s = sparkline(values, width=10)
+        assert len(s) == 10
+        assert SPARK_CHARS[-1] in s
+
+    def test_width_respected(self):
+        assert len(sparkline([float(i) for i in range(500)], width=25)) == 25
+
+
+class TestDashboard:
+    def _payload(self) -> dict:
+        s = TimeSeriesSampler()
+        for t in range(8):
+            s.sample("platform.inflight", float(t), float(100 + t))
+        s.mark("reallocation", 3.0, label="300fn/2048MB")
+        return capture_payload(s, meta={"workload": "lr-higgs", "seed": 0})
+
+    def test_render_is_byte_stable(self):
+        assert render_dashboard(self._payload()) == render_dashboard(
+            self._payload()
+        )
+
+    def test_render_contents(self):
+        text = render_dashboard(self._payload())
+        assert text.endswith("\n")
+        assert "platform.inflight" in text
+        assert "workload=lr-higgs" in text
+        assert "reallocation" in text
+        assert "peak=107" in text
+
+    def test_markerless_capture(self):
+        s = TimeSeriesSampler()
+        s.sample("a", 0.0, 1.0)
+        assert "markers: none" in render_dashboard(capture_payload(s))
