@@ -28,7 +28,10 @@ gated. Three overhead probes re-run ``fig12`` with (a) a live SLO guard,
 sampler installed, each interleaved against a fresh probe-off measurement
 and gated at 1.05x; the profiler entry additionally records the per-phase
 wall-time breakdown under a ``profile`` key, and the sampler entry records
-the capture's series/point counts under a ``timeseries`` key.
+the capture's series/point counts under a ``timeseries`` key. A fourth
+probe times the whole-repo interprocedural flow analysis (``flow-lint``)
+against an absolute wall-clock budget, since that pass gates CI on every
+change.
 
 ``--inject-slowdown FACTOR`` multiplies the measured wall times before
 comparison — a synthetic regression used by the harness's own tests and
@@ -90,6 +93,16 @@ TS_OVERHEAD_RATIO = 1.05
 #: Pareto replanning — with JCT inflated at most this much over fault-free.
 CHAOS_INFLATION_LIMIT = 2.0
 CHAOS_BUDGET_MULTIPLE = 2.5
+
+#: Flow-analysis wall-time probe: the whole-repo interprocedural pass
+#: (symbol table, call graph, and all REP009–REP013 dataflow rules over
+#: ``src/repro``) must stay under this absolute budget. The pass gates CI
+#: and is meant to run on every change, so it has to remain cheap as the
+#: tree grows; the budget is deliberately loose against machine speed
+#: (the pass takes ~1 s on a dev box) while still catching an accidental
+#: fixpoint blowup or quadratic resolution step.
+FLOW_ENTRY = "flow-lint"
+FLOW_BUDGET_WALL_S = 10.0
 
 
 def _rates(counters: dict, wall_s: float) -> dict:
@@ -396,6 +409,36 @@ def run_chaos_matrix(scale: str, seed: int) -> tuple[dict, list[str]]:
     return entries, failures
 
 
+def measure_flow_lint(rounds: int) -> dict:
+    """Best-of-``rounds`` wall time for the whole-repo flow analysis.
+
+    Runs the full interprocedural pass — project index, call graph,
+    clock-taint fixpoint, RNG hygiene, shard audit, schema cross-check —
+    over ``src/repro``, exactly what the ``flow-analysis`` CI step and
+    ``repro lint --flow`` execute. Counters record the analyzed file and
+    finding counts so a silent scope regression (the walker skipping
+    half the tree, say) shows up as counter drift in the bench document.
+    """
+    from repro.analysis import analyze_flow
+
+    walls: list[float] = []
+    n_files = 0
+    n_findings = 0
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = analyze_flow([REPO_ROOT / "src" / "repro"])
+        walls.append(time.perf_counter() - start)
+        n_files = result.files_analyzed
+        n_findings = len(result.findings)
+    wall = round(min(walls), 4)
+    counters = {
+        "repro_flow_files_analyzed_total": float(n_files),
+        "repro_flow_findings_total": float(n_findings),
+    }
+    return {"wall_s": wall, "counters": counters,
+            "rates": _rates(counters, wall)}
+
+
 def run_suite(
     experiments: list[str], scale: str, seed: int, rounds: int,
     slowdown: float = 1.0,
@@ -576,6 +619,25 @@ def main(argv: list[str] | None = None) -> int:
                 f"{base_wall:.3f} s ({entry['wall_s'] / base_wall:.2f}x > "
                 f"{TS_OVERHEAD_RATIO:.2f}x sampling overhead budget)"
             )
+
+    # Flow-analysis wall-time probe: the interprocedural lint layer gates
+    # CI on every change, so its own cost is a budgeted quantity. Unlike
+    # the overhead probes above this is an absolute budget, not a ratio —
+    # the pass has no "off" variant to interleave against.
+    entry = measure_flow_lint(args.rounds)
+    if args.inject_slowdown != 1.0:
+        entry["wall_s"] = round(entry["wall_s"] * args.inject_slowdown, 4)
+    current["experiments"][FLOW_ENTRY] = entry
+    print(f"  {FLOW_ENTRY:20s} {entry['wall_s']:9.3f} s"
+          f"  (budget {FLOW_BUDGET_WALL_S:.1f} s)")
+    # Like the baseline compare (and unlike the deterministic chaos
+    # verdicts), this is a wall-clock gate: --update-baseline records
+    # without judging it.
+    if not args.update_baseline and entry["wall_s"] > FLOW_BUDGET_WALL_S:
+        guard_regressions.append(
+            f"{FLOW_ENTRY}: {entry['wall_s']:.3f} s exceeds the "
+            f"{FLOW_BUDGET_WALL_S:.1f} s whole-repo flow-analysis budget"
+        )
 
     chaos_failures: list[str] = []
     if args.chaos:

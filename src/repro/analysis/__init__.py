@@ -6,9 +6,12 @@ artifacts are byte-stable — are invariants of the *source*, so this
 package checks them at the source level: a pluggable AST rule framework
 (:mod:`repro.analysis.core`), a package-aware walker
 (:mod:`repro.analysis.walker`), the rule catalogue
-(:mod:`repro.analysis.rules`, IDs ``REP001``–``REP007``), a baseline
-ledger for accepted findings (:mod:`repro.analysis.baseline`), and the
-deterministic ``repro-lint/v1`` report (:mod:`repro.analysis.report`).
+(:mod:`repro.analysis.rules`, IDs ``REP001``–``REP008``), a baseline
+ledger for accepted findings (:mod:`repro.analysis.baseline`), the
+deterministic ``repro-lint/v1`` report (:mod:`repro.analysis.report`),
+and an interprocedural flow layer (:mod:`repro.analysis.flow`, IDs
+``REP009``–``REP013``: call graph, clock-domain taint, RNG stream
+hygiene, shard-safety audit, schema producer cross-check).
 
 Entry point: ``repro lint`` (see ``docs/static-analysis.md``), which CI
 runs over ``src/repro`` on every change. Stdlib-only by design.
@@ -30,6 +33,23 @@ from repro.analysis.core import (
     Rule,
     run_rules,
 )
+from repro.analysis.flow import (
+    CALLGRAPH_SCHEMA,
+    SHARDING_SCHEMA,
+    CallGraph,
+    FlowResult,
+    ProjectIndex,
+    analyze_flow,
+    build_callgraph,
+    build_index,
+    callgraph_payload,
+    callgraph_to_dot,
+    callgraph_to_json,
+    flow_rules,
+    flow_rules_by_id,
+    sharding_payload,
+    sharding_to_json,
+)
 from repro.analysis.report import (
     LINT_SCHEMA,
     render_rule_list,
@@ -47,25 +67,40 @@ from repro.analysis.walker import (
 
 __all__ = [
     "BASELINE_SCHEMA",
+    "CALLGRAPH_SCHEMA",
     "DEFAULT_BASELINE_NAME",
     "LINT_SCHEMA",
     "SCHEMA_KEYS",
     "SEVERITIES",
+    "SHARDING_SCHEMA",
     "AnalysisResult",
     "Analyzer",
     "Baseline",
     "BaselineEntry",
+    "CallGraph",
     "Finding",
+    "FlowResult",
     "ModuleContext",
+    "ProjectIndex",
     "Rule",
     "all_rules",
+    "analyze_flow",
     "analyze_source",
+    "build_callgraph",
+    "build_index",
+    "callgraph_payload",
+    "callgraph_to_dot",
+    "callgraph_to_json",
     "collect_files",
     "find_baseline",
+    "flow_rules",
+    "flow_rules_by_id",
     "render_rule_list",
     "render_table",
     "rules_by_id",
     "run_rules",
+    "sharding_payload",
+    "sharding_to_json",
     "to_json",
     "to_payload",
 ]

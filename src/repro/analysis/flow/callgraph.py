@@ -1,0 +1,240 @@
+"""Project call graph: construction, ``repro-callgraph/v1``, and DOT.
+
+Nodes are functions, methods, classes and module bodies (one pseudo-node
+per module for top-level code); edges record every call site the
+:class:`~repro.analysis.flow.symbols.ProjectIndex` can resolve, split
+into ``internal`` (both ends in the analyzed tree) and ``external``
+(dotted library calls like ``time.perf_counter``). The exported JSON
+document is deterministic — sorted nodes, sorted de-duplicated edges,
+sorted keys, no timestamps or absolute paths — so two runs over the same
+tree are byte-identical and call-graph documents diff cleanly across
+commits, the same contract every other versioned artifact in the
+repository honours.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.flow.symbols import (
+    _FUNCTION_NODES,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+)
+
+CALLGRAPH_SCHEMA = "repro-callgraph/v1"
+
+
+@dataclass(frozen=True, slots=True)
+class CallEdge:
+    """One resolved call site."""
+
+    caller: str  # qualified name of the enclosing function / module body
+    callee: str  # qualified internal name or dotted external name
+    kind: str  # "internal" | "external"
+    line: int
+
+    def sort_key(self) -> tuple[str, str, int]:
+        return (self.caller, self.callee, self.line)
+
+
+@dataclass(slots=True)
+class CallGraph:
+    """The resolved call structure of one analyzed tree."""
+
+    index: ProjectIndex
+    edges: list[CallEdge] = field(default_factory=list)
+
+    def callers_of(self, callee: str) -> list[str]:
+        return sorted({e.caller for e in self.edges if e.callee == callee})
+
+    def callees_of(self, caller: str) -> list[str]:
+        return sorted({e.callee for e in self.edges if e.caller == caller})
+
+    def reachable_from(self, roots: set[str]) -> set[str]:
+        """Forward closure over internal edges from ``roots``."""
+        out: dict[str, list[str]] = {}
+        for e in self.edges:
+            if e.kind == "internal":
+                out.setdefault(e.caller, []).append(e.callee)
+        seen = set(roots)
+        stack = sorted(roots)
+        while stack:
+            cur = stack.pop()
+            for nxt in out.get(cur, ()):  # order irrelevant: closure is a set
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return seen
+
+
+def _walk_calls(
+    body: list[ast.stmt],
+) -> Iterator[ast.Call]:
+    """Call expressions in ``body``, including inside nested functions
+    (nested defs execute in the enclosing scope's dynamic extent, so their
+    calls are attributed to the enclosing function)."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                yield node
+
+
+def _module_level_statements(mod: ModuleInfo) -> list[ast.stmt]:
+    return [
+        stmt
+        for stmt in mod.ctx.tree.body
+        if not isinstance(stmt, (*_FUNCTION_NODES, ast.ClassDef))
+    ]
+
+
+def build_callgraph(index: ProjectIndex) -> CallGraph:
+    """Resolve every call site in the index into a :class:`CallGraph`."""
+    edges: set[CallEdge] = set()
+    for mod_name in sorted(index.modules):
+        mod = index.modules[mod_name]
+        for fn_name in sorted(mod.functions):
+            _collect(index, mod, mod.functions[fn_name], edges)
+        for cls_name in sorted(mod.methods):
+            for meth_name in sorted(mod.methods[cls_name]):
+                _collect(index, mod, mod.methods[cls_name][meth_name], edges)
+        caller = f"{mod.name}.<module>"
+        for call in _walk_calls(_module_level_statements(mod)):
+            _add_edge(index, mod, caller, call, None, edges)
+    graph = CallGraph(index=index)
+    graph.edges = sorted(edges, key=CallEdge.sort_key)
+    return graph
+
+
+def _collect(
+    index: ProjectIndex,
+    mod: ModuleInfo,
+    fn: FunctionInfo,
+    edges: set[CallEdge],
+) -> None:
+    for call in _walk_calls(fn.node.body):
+        _add_edge(index, mod, fn.qualname, call, fn.class_name, edges)
+
+
+def _add_edge(
+    index: ProjectIndex,
+    mod: ModuleInfo,
+    caller: str,
+    call: ast.Call,
+    class_name: str | None,
+    edges: set[CallEdge],
+) -> None:
+    target, internal = index.resolve_call(mod, call, class_name)
+    if target is None:
+        return
+    edges.add(
+        CallEdge(
+            caller=caller,
+            callee=target,
+            kind="internal" if internal else "external",
+            line=call.lineno,
+        )
+    )
+
+
+# ------------------------------------------------------------------ export
+def _nodes_payload(index: ProjectIndex) -> list[dict[str, object]]:
+    nodes: list[dict[str, object]] = []
+    for mod_name in sorted(index.modules):
+        mod = index.modules[mod_name]
+        nodes.append(
+            {
+                "id": f"{mod.name}.<module>",
+                "kind": "module",
+                "module": mod.name,
+                "path": mod.ctx.relpath,
+                "line": 1,
+            }
+        )
+        for cls_name in sorted(mod.classes):
+            nodes.append(
+                {
+                    "id": f"{mod.name}.{cls_name}",
+                    "kind": "class",
+                    "module": mod.name,
+                    "path": mod.ctx.relpath,
+                    "line": mod.classes[cls_name].lineno,
+                }
+            )
+    for qualname in sorted(index.functions):
+        fn = index.functions[qualname]
+        nodes.append(
+            {
+                "id": qualname,
+                "kind": "method" if fn.class_name else "function",
+                "module": fn.module,
+                "path": fn.ctx.relpath,
+                "line": fn.node.lineno,
+            }
+        )
+    nodes.sort(key=lambda n: str(n["id"]))
+    return nodes
+
+
+def callgraph_payload(graph: CallGraph) -> dict[str, object]:
+    """The call graph as a versioned, JSON-serializable document."""
+    index = graph.index
+    roots = sorted({ctx.parts[0] for ctx in index.contexts})
+    n_external = sum(1 for e in graph.edges if e.kind == "external")
+    return {
+        "schema": CALLGRAPH_SCHEMA,
+        "meta": {
+            "tool": "repro-flow",
+            "roots": roots,
+            "n_files": len(index.contexts),
+        },
+        "nodes": _nodes_payload(index),
+        "edges": [
+            {
+                "caller": e.caller,
+                "callee": e.callee,
+                "kind": e.kind,
+                "line": e.line,
+            }
+            for e in graph.edges
+        ],
+        "summary": {
+            "n_nodes": len(_nodes_payload(index)),
+            "n_edges": len(graph.edges),
+            "n_internal": len(graph.edges) - n_external,
+            "n_external": n_external,
+        },
+    }
+
+
+def callgraph_to_json(graph: CallGraph) -> str:
+    return (
+        json.dumps(callgraph_payload(graph), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def callgraph_to_dot(graph: CallGraph, internal_only: bool = True) -> str:
+    """GraphViz rendering: one node per function, clustered by module."""
+    lines = ["digraph callgraph {", "  rankdir=LR;", "  node [shape=box];"]
+    by_module: dict[str, list[str]] = {}
+    for qualname in sorted(graph.index.functions):
+        fn = graph.index.functions[qualname]
+        by_module.setdefault(fn.module, []).append(qualname)
+    for i, mod_name in enumerate(sorted(by_module)):
+        lines.append(f'  subgraph "cluster_{i}" {{')
+        lines.append(f'    label="{mod_name}";')
+        for qualname in by_module[mod_name]:
+            short = qualname[len(mod_name) + 1:]
+            lines.append(f'    "{qualname}" [label="{short}"];')
+        lines.append("  }")
+    for e in graph.edges:
+        if internal_only and e.kind != "internal":
+            continue
+        style = "" if e.kind == "internal" else " [style=dashed]"
+        lines.append(f'  "{e.caller}" -> "{e.callee}"{style};')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

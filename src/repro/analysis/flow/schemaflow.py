@@ -1,0 +1,259 @@
+"""Schema producer cross-check: post-construction key drift (REP013).
+
+REP006 validates every versioned-schema **dict literal** against the
+registry in ``repro.analysis.rules.schema``. What it cannot see is a
+producer that builds a conforming literal and then grows it: a
+``doc["extra"] = ...`` three lines later, a ``doc.update(...)``, or a
+helper function that takes the document and adds keys inside — the
+exported artifact's top-level key set silently drifts from the parsing
+contract downstream tooling compiled against.
+
+This pass tracks, per function scope, every local bound to a registered
+versioned-schema dict literal, then follows subscript stores,
+``update``/``setdefault`` calls, and calls into project-internal helper
+functions (whose per-parameter key additions are summarized
+interprocedurally). Any key added after construction that is not part
+of the registered key set is reported at the addition site.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.core import ModuleContext
+from repro.analysis.flow.symbols import (
+    _FUNCTION_NODES,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+)
+from repro.analysis.rules.schema import SCHEMA_KEYS, _VERSIONED
+
+Raw = tuple[ModuleContext, ast.AST, str]
+
+
+@dataclass(slots=True)
+class _Doc:
+    schema: str
+    keys: set[str] = field(default_factory=set)
+
+
+def _literal_keys(
+    index: ProjectIndex, mod: ModuleInfo, node: ast.Dict
+) -> tuple[str | None, set[str]]:
+    """(schema id, constant keys) for a dict literal, if schema'd."""
+    schema: str | None = None
+    keys: set[str] = set()
+    for key, value in zip(node.keys, node.values):
+        if key is None:
+            continue
+        resolved = index.constant_string(mod, key)
+        if resolved is None:
+            continue
+        keys.add(resolved)
+        if resolved == "schema" and value is not None:
+            candidate = index.constant_string(mod, value)
+            if candidate is not None and _VERSIONED.match(candidate):
+                schema = candidate
+    return schema, keys
+
+
+def _param_names(fn: FunctionInfo) -> list[str]:
+    args = fn.node.args
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    if fn.class_name is not None and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+def _helper_key_adds(
+    index: ProjectIndex, fn: FunctionInfo
+) -> dict[str, set[str]]:
+    """Constant top-level keys ``fn`` adds to each of its parameters."""
+    mod = index.modules[fn.module]
+    params = set(_param_names(fn))
+    adds: dict[str, set[str]] = {}
+    for stmt in fn.node.body:
+        for node in ast.walk(stmt):
+            for param, key in _key_additions(index, mod, node, params):
+                adds.setdefault(param, set()).add(key)
+    return adds
+
+
+def _key_additions(
+    index: ProjectIndex,
+    mod: ModuleInfo,
+    node: ast.AST,
+    names: set[str],
+) -> list[tuple[str, str]]:
+    """``(name, key)`` pairs for top-level key additions in ``node``."""
+    out: list[tuple[str, str]] = []
+    if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+        targets = (
+            list(node.targets)
+            if isinstance(node, ast.Assign)
+            else [node.target]
+        )
+        for target in targets:
+            if (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in names
+            ):
+                key = index.constant_string(mod, target.slice)
+                if key is not None:
+                    out.append((target.value.id, key))
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in names
+        ):
+            if func.attr == "setdefault" and node.args:
+                key = index.constant_string(mod, node.args[0])
+                if key is not None:
+                    out.append((func.value.id, key))
+            elif func.attr == "update":
+                for arg in node.args:
+                    if isinstance(arg, ast.Dict):
+                        for k in arg.keys:
+                            if k is None:
+                                continue
+                            key = index.constant_string(mod, k)
+                            if key is not None:
+                                out.append((func.value.id, key))
+                for kw in node.keywords:
+                    if kw.arg is not None:
+                        out.append((func.value.id, kw.arg))
+    return out
+
+
+def _scope_findings(
+    index: ProjectIndex,
+    mod: ModuleInfo,
+    ctx: ModuleContext,
+    class_name: str | None,
+    body: list[ast.stmt],
+    helper_adds: dict[str, dict[str, set[str]]],
+) -> list[Raw]:
+    docs: dict[str, _Doc] = {}
+    findings: list[Raw] = []
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and isinstance(
+                        node.value, ast.Dict
+                    ):
+                        schema, keys = _literal_keys(index, mod, node.value)
+                        if schema is not None and schema in SCHEMA_KEYS:
+                            docs[target.id] = _Doc(schema=schema, keys=keys)
+                        else:
+                            docs.pop(target.id, None)
+                    elif isinstance(target, ast.Name):
+                        docs.pop(target.id, None)
+            if not docs:
+                continue
+            for name, key in _key_additions(index, mod, node, set(docs)):
+                doc = docs[name]
+                registered = SCHEMA_KEYS[doc.schema]
+                doc.keys.add(key)
+                if key not in registered:
+                    findings.append(
+                        (
+                            ctx,
+                            node,
+                            f'key "{key}" added to "{doc.schema}" '
+                            f'document "{name}" after construction is '
+                            "not in the registered key set — bump the "
+                            "schema version or update the registry in "
+                            "repro.analysis.rules.schema",
+                        )
+                    )
+            if isinstance(node, ast.Call):
+                target, internal = index.resolve_call(
+                    mod, node, class_name
+                )
+                if not internal or target not in helper_adds:
+                    continue
+                adds = helper_adds[target]
+                if not adds:
+                    continue
+                helper = index.functions[target]
+                params = _param_names(helper)
+                bound: list[tuple[str, str]] = []
+                for pos, arg in enumerate(node.args):
+                    if (
+                        isinstance(arg, ast.Name)
+                        and arg.id in docs
+                        and pos < len(params)
+                    ):
+                        bound.append((arg.id, params[pos]))
+                for kw in node.keywords:
+                    if (
+                        kw.arg is not None
+                        and isinstance(kw.value, ast.Name)
+                        and kw.value.id in docs
+                    ):
+                        bound.append((kw.value.id, kw.arg))
+                for doc_name, param in bound:
+                    doc = docs[doc_name]
+                    registered = SCHEMA_KEYS[doc.schema]
+                    for key in sorted(adds.get(param, set())):
+                        doc.keys.add(key)
+                        if key not in registered:
+                            findings.append(
+                                (
+                                    ctx,
+                                    node,
+                                    f'helper {target}() adds key "{key}" '
+                                    f'to "{doc.schema}" document '
+                                    f'"{doc_name}" — the key is not in '
+                                    "the registered key set; bump the "
+                                    "schema version or update the "
+                                    "registry",
+                                )
+                            )
+    return findings
+
+
+def run_schema_producers(index: ProjectIndex) -> list[Raw]:
+    """REP013 findings over every function and module body."""
+    helper_adds: dict[str, dict[str, set[str]]] = {}
+    for qualname in sorted(index.functions):
+        helper_adds[qualname] = _helper_key_adds(
+            index, index.functions[qualname]
+        )
+    findings: list[Raw] = []
+    for mod_name in sorted(index.modules):
+        mod = index.modules[mod_name]
+        for fn_name in sorted(mod.functions):
+            fn = mod.functions[fn_name]
+            findings.extend(
+                _scope_findings(
+                    index, mod, mod.ctx, None, fn.node.body, helper_adds
+                )
+            )
+        for cls_name in sorted(mod.methods):
+            for meth_name in sorted(mod.methods[cls_name]):
+                fn = mod.methods[cls_name][meth_name]
+                findings.extend(
+                    _scope_findings(
+                        index, mod, mod.ctx, cls_name, fn.node.body,
+                        helper_adds,
+                    )
+                )
+        module_body = [
+            stmt
+            for stmt in mod.ctx.tree.body
+            if not isinstance(stmt, (*_FUNCTION_NODES, ast.ClassDef))
+        ]
+        findings.extend(
+            _scope_findings(
+                index, mod, mod.ctx, None, module_body, helper_adds
+            )
+        )
+    findings.sort(key=lambda f: (f[0].relpath, f[1].lineno, f[1].col_offset))
+    return findings

@@ -1,0 +1,370 @@
+"""Shard-safety audit: classify module globals, emit ``repro-sharding/v1``.
+
+ROADMAP item 3 (sharded event kernel) forks the simulation across
+processes; every module-level mutable object is then duplicated
+per-shard and silent divergence follows unless the object is either
+immutable, init-time-only, or explicitly managed. This pass enumerates
+every interesting module-level binding in the analyzed tree and
+classifies it:
+
+* ``null_singleton`` — the repository's registered pattern: a private
+  global defaulting to a Null-object instance, rebound only through a
+  ``global``-declaring setter (``set_registry`` et al). Shard-aware by
+  construction: each shard installs its own collector.
+* ``registered`` — a ``global``-rebound singleton without a Null-object
+  default (still explicit, still visible to the shard bootstrapper).
+* ``table`` — a mutable container literal that is only ever built at
+  module level and never mutated from function scope: a lookup table,
+  safe to duplicate.
+* ``instance`` — a constructed object never rebound or mutated through
+  its module-level name.
+* ``cache`` — a private container mutated from function scope within
+  its own module only (memoisation); safe per-shard but flagged in the
+  report when simulation call paths reach the mutator.
+* ``bare_mutable`` — mutated from function scope without a registered
+  setter: the shard blocker rule REP012 reports.
+
+Mutation is traced interprocedurally: a mutator function is marked
+"from sim path" when it is defined in, or reachable through the call
+graph from, the simulated packages (REP002's scope). Module-level
+statements (building a table right after its literal) are init-time
+construction, not runtime mutation. The exported report is byte-stable:
+sorted globals, sorted keys, no timestamps or absolute paths.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+
+from repro.analysis.core import ModuleContext
+from repro.analysis.flow.callgraph import CallGraph
+from repro.analysis.flow.symbols import (
+    GlobalVar,
+    ModuleInfo,
+    ProjectIndex,
+)
+from repro.analysis.rules.determinism import _SIM_PACKAGES
+
+Raw = tuple[ModuleContext, ast.AST, str]
+
+SHARDING_SCHEMA = "repro-sharding/v1"
+
+#: Container methods that mutate the receiver in place.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "setdefault",
+        "pop", "popitem", "clear", "remove", "discard", "appendleft",
+        "popleft", "sort", "reverse",
+    }
+)
+
+#: Value shapes that never need shard review (immutable by shape).
+_SAFE_SHAPES = frozenset({"constant", "tuple", "frozen"})
+
+#: Classification kinds, in report order.
+KINDS = (
+    "null_singleton", "registered", "table", "instance", "cache",
+    "bare_mutable",
+)
+
+
+@dataclass(slots=True)
+class GlobalReport:
+    """Audit result for one module-level global."""
+
+    var: GlobalVar
+    kind: str
+    setter: str | None  # qualname of the global-rebinding setter, if any
+    mutators: list[str]  # function qualnames mutating it (sorted)
+    mutated_from_sim: bool
+
+
+def _constructor_name(value: ast.expr | None) -> str:
+    if not isinstance(value, ast.Call):
+        return ""
+    func = value.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _has_null_default(mod: ModuleInfo, var: GlobalVar) -> bool:
+    """True when the global's initial value is a Null-object instance."""
+    value = var.value
+    if isinstance(value, ast.Name):
+        aliased = mod.globals.get(value.id)
+        if aliased is None:
+            return False
+        value = aliased.value
+    return _constructor_name(value).startswith("Null")
+
+
+def _resolve_global_ref(
+    index: ProjectIndex, mod: ModuleInfo, expr: ast.expr
+) -> str | None:
+    """Qualified name of the module global ``expr`` refers to, if any."""
+    if isinstance(expr, ast.Name):
+        if expr.id in mod.globals:
+            return mod.globals[expr.id].qualname
+        dotted = mod.imports.objects.get(expr.id)
+        if dotted is None:
+            return None
+        return index.canonicalize(dotted)
+    if isinstance(expr, ast.Attribute):
+        dotted = mod.imports.resolve(expr)
+        if dotted is None:
+            return None
+        return index.canonicalize(dotted)
+    return None
+
+
+def _scopes(mod: ModuleInfo) -> list[tuple[str, list[ast.stmt]]]:
+    scopes: list[tuple[str, list[ast.stmt]]] = []
+    for fn_name in sorted(mod.functions):
+        fn = mod.functions[fn_name]
+        scopes.append((fn.qualname, fn.node.body))
+    for cls_name in sorted(mod.methods):
+        for meth_name in sorted(mod.methods[cls_name]):
+            fn = mod.methods[cls_name][meth_name]
+            scopes.append((fn.qualname, fn.node.body))
+    return scopes
+
+
+def _collect_mutations(
+    index: ProjectIndex, tracked: set[str]
+) -> tuple[dict[str, set[str]], dict[str, str]]:
+    """``qualname -> mutating function qualnames`` and ``-> setter``.
+
+    Only function-scope mutations count; module-level statements are
+    init-time construction. A ``global``-declared rebind is recorded as
+    the setter, not as a mutation.
+    """
+    mutators: dict[str, set[str]] = {name: set() for name in sorted(tracked)}
+    setters: dict[str, str] = {}
+    for mod_name in sorted(index.modules):
+        mod = index.modules[mod_name]
+        for owner, body in _scopes(mod):
+            declared_global: set[str] = set()
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Global):
+                        declared_global.update(node.names)
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    _record_mutations(
+                        index, mod, owner, node, declared_global,
+                        tracked, mutators, setters,
+                    )
+    return mutators, setters
+
+
+def _record_mutations(
+    index: ProjectIndex,
+    mod: ModuleInfo,
+    owner: str,
+    node: ast.AST,
+    declared_global: set[str],
+    tracked: set[str],
+    mutators: dict[str, set[str]],
+    setters: dict[str, str],
+) -> None:
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets: list[ast.expr]
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        else:
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name):
+                if target.id in declared_global:
+                    qual = f"{mod.name}.{target.id}"
+                    if qual in tracked:
+                        setters.setdefault(qual, owner)
+                continue
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                qual = _resolve_global_ref(index, mod, target.value)
+                if qual in tracked:
+                    mutators[qual].add(owner)  # type: ignore[index]
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, (ast.Subscript, ast.Attribute)):
+                qual = _resolve_global_ref(index, mod, target.value)
+                if qual in tracked:
+                    mutators[qual].add(owner)  # type: ignore[index]
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _MUTATOR_METHODS
+        ):
+            qual = _resolve_global_ref(index, mod, func.value)
+            if qual in tracked:
+                mutators[qual].add(owner)  # type: ignore[index]
+
+
+def _sim_reachable(index: ProjectIndex, graph: CallGraph) -> set[str]:
+    roots = {
+        qualname
+        for qualname, fn in index.functions.items()
+        if fn.ctx.in_package(*_SIM_PACKAGES)
+    }
+    return graph.reachable_from(roots)
+
+
+def _classify(
+    mod: ModuleInfo,
+    var: GlobalVar,
+    setter: str | None,
+    mutator_names: list[str],
+) -> str:
+    if setter is not None:
+        if _has_null_default(mod, var):
+            return "null_singleton"
+        return "registered"
+    if mutator_names:
+        in_module_only = all(
+            name.startswith(f"{var.module}.") for name in mutator_names
+        )
+        if var.name.startswith("_") and in_module_only:
+            return "cache"
+        return "bare_mutable"
+    shape = var.shape
+    if isinstance(var.value, ast.Name):
+        aliased = mod.globals.get(var.value.id)
+        if aliased is not None:
+            shape = aliased.shape
+    if shape == "mutable_literal":
+        return "table"
+    return "instance"
+
+
+def audit_globals(index: ProjectIndex, graph: CallGraph) -> list[GlobalReport]:
+    """Classify every interesting module-level global, sorted by name."""
+    tracked: set[str] = set()
+    candidates: list[tuple[ModuleInfo, GlobalVar]] = []
+    for mod_name in sorted(index.modules):
+        mod = index.modules[mod_name]
+        for var_name in sorted(mod.globals):
+            var = mod.globals[var_name]
+            if var.shape in _SAFE_SHAPES:
+                continue
+            if var_name.startswith("__") and var_name.endswith("__"):
+                continue  # __all__ et al: interpreter conventions, not state
+            candidates.append((mod, var))
+            tracked.add(var.qualname)
+    mutators, setters = _collect_mutations(index, tracked)
+    sim_reachable = _sim_reachable(index, graph)
+    reports: list[GlobalReport] = []
+    for mod, var in candidates:
+        setter = setters.get(var.qualname)
+        mutator_names = sorted(mutators.get(var.qualname, set()))
+        kind = _classify(mod, var, setter, mutator_names)
+        touched = list(mutator_names)
+        if setter is not None:
+            touched.append(setter)
+        mutated_from_sim = any(name in sim_reachable for name in touched)
+        reports.append(
+            GlobalReport(
+                var=var, kind=kind, setter=setter,
+                mutators=mutator_names,
+                mutated_from_sim=mutated_from_sim,
+            )
+        )
+    reports.sort(key=lambda r: r.var.qualname)
+    return reports
+
+
+def run_shard_safety(
+    index: ProjectIndex, graph: CallGraph
+) -> tuple[list[GlobalReport], list[Raw]]:
+    """REP012 findings: bare mutable globals (always) and caches whose
+    mutators are reachable from simulation code."""
+    reports = audit_globals(index, graph)
+    findings: list[Raw] = []
+    for report in reports:
+        var = report.var
+        if report.kind == "bare_mutable":
+            findings.append(
+                (
+                    var.ctx,
+                    var.node,
+                    f'module global "{var.name}" is mutated from '
+                    f"{', '.join(report.mutators)} without a registered "
+                    "setter — bare mutable module state breaks shard "
+                    "determinism; register it behind a get/set pair with "
+                    "a Null-object default, or pass it explicitly",
+                )
+            )
+        elif report.kind == "cache" and report.mutated_from_sim:
+            findings.append(
+                (
+                    var.ctx,
+                    var.node,
+                    f'module-level cache "{var.name}" is filled from '
+                    "simulation call paths — per-shard caches diverge "
+                    "unless keyed purely on inputs; move the cache onto "
+                    "the simulation object or prove it input-pure",
+                )
+            )
+    findings.sort(key=lambda f: (f[0].relpath, f[1].lineno, f[1].col_offset))
+    return reports, findings
+
+
+# ------------------------------------------------------------------ export
+def sharding_payload(
+    index: ProjectIndex, reports: list[GlobalReport]
+) -> dict[str, object]:
+    """The audit as a versioned, JSON-serializable document."""
+    roots = sorted({ctx.parts[0] for ctx in index.contexts})
+    by_kind = {kind: 0 for kind in KINDS}
+    n_sim = 0
+    blocking: list[str] = []
+    entries: list[dict[str, object]] = []
+    for report in reports:
+        var = report.var
+        by_kind[report.kind] += 1
+        if report.mutated_from_sim:
+            n_sim += 1
+        if report.kind == "bare_mutable":
+            blocking.append(var.qualname)
+        entries.append(
+            {
+                "qualname": var.qualname,
+                "module": var.module,
+                "name": var.name,
+                "path": var.ctx.relpath,
+                "line": var.lineno,
+                "shape": var.shape,
+                "kind": report.kind,
+                "setter": report.setter,
+                "mutators": report.mutators,
+                "mutated_from_sim": report.mutated_from_sim,
+            }
+        )
+    return {
+        "schema": SHARDING_SCHEMA,
+        "meta": {
+            "tool": "repro-flow",
+            "roots": roots,
+            "n_files": len(index.contexts),
+        },
+        "globals": entries,
+        "summary": {
+            "n_globals": len(entries),
+            "by_kind": by_kind,
+            "n_mutated_from_sim": n_sim,
+            "blocking": sorted(blocking),
+        },
+        "verdict": "ready" if not blocking else "blocked",
+    }
+
+
+def sharding_to_json(
+    index: ProjectIndex, reports: list[GlobalReport]
+) -> str:
+    payload = sharding_payload(index, reports)
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

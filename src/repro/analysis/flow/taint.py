@@ -1,0 +1,373 @@
+"""Clock-domain taint: host-clock values must not meet simulated time.
+
+Two taint domains. HOST taint originates from ``time.*`` /
+``datetime.*`` clock calls and from any project function whose return
+value is (transitively) derived from one — discovered by a project-wide
+fixpoint over return summaries, so ``host_clock_s`` and every helper
+wrapping it are sources without hand-listing. SIM taint originates from
+``.now`` attribute reads (the event loop's simulated clock surface).
+
+Sinks (rule REP009):
+
+* arithmetic or comparison whose operands carry *both* domains — the
+  canonical "wall-clock leaked into simulated math" bug;
+* a HOST-tainted value stored into a versioned-schema document (a dict
+  literal with a ``"schema": "name/vN"`` key, or a later subscript store
+  into a name bound to one) — exported artifacts must be byte-stable;
+* a HOST-tainted argument to an event-bus ``publish(...)`` call.
+
+Attribute *stores* deliberately cut taint: the profiler writing a host
+duration into ``self._wall_s`` is legitimate wall-time bookkeeping, and
+values read back out of attributes start untainted. The analysis is a
+forward pass per function (no CFG; branches merge into one environment),
+tuned to be quiet on correct code rather than complete.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.core import ModuleContext
+from repro.analysis.flow.symbols import (
+    _FUNCTION_NODES,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+)
+from repro.analysis.rules.determinism import _CLOCK_CALLS
+from repro.analysis.rules.schema import _VERSIONED
+
+Raw = tuple[ModuleContext, ast.AST, str]
+
+#: Attribute names whose reads carry SIM taint.
+_SIM_ATTRS = frozenset({"now"})
+
+
+@dataclass(frozen=True, slots=True)
+class Taint:
+    """A value's membership in the two clock domains."""
+
+    host: bool = False
+    sim: bool = False
+
+    def __or__(self, other: "Taint") -> "Taint":
+        return Taint(self.host or other.host, self.sim or other.sim)
+
+
+_CLEAN = Taint()
+_HOST = Taint(host=True)
+_SIM = Taint(sim=True)
+
+
+@dataclass(slots=True)
+class _FnResult:
+    returns: Taint = _CLEAN
+    findings: list[Raw] = field(default_factory=list)
+
+
+class _FunctionTaint:
+    """Forward taint pass over one function (or module) body."""
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        mod: ModuleInfo,
+        ctx: ModuleContext,
+        class_name: str | None,
+        summaries: dict[str, Taint],
+        collect: bool,
+    ) -> None:
+        self.index = index
+        self.mod = mod
+        self.ctx = ctx
+        self.class_name = class_name
+        self.summaries = summaries
+        self.collect = collect
+        self.env: dict[str, Taint] = {}
+        self.schema_docs: set[str] = set()
+        self.result = _FnResult()
+
+    # ---------------------------------------------------------- reporting
+    def _report(self, node: ast.AST, message: str) -> None:
+        if self.collect:
+            self.result.findings.append((self.ctx, node, message))
+
+    # --------------------------------------------------------- statements
+    def run(self, body: Iterable[ast.stmt]) -> _FnResult:
+        for stmt in body:
+            self._stmt(stmt)
+        return self.result
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taint = self._expr(stmt.value)
+            for target in stmt.targets:
+                self._assign_target(target, stmt.value, taint)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                taint = self._expr(stmt.value)
+                self._assign_target(stmt.target, stmt.value, taint)
+        elif isinstance(stmt, ast.AugAssign):
+            value_taint = self._expr(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                target_taint = self.env.get(stmt.target.id, _CLEAN)
+                self._check_mix(stmt, target_taint, value_taint)
+                self.env[stmt.target.id] = target_taint | value_taint
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.result.returns = self.result.returns | self._expr(
+                    stmt.value
+                )
+        elif isinstance(stmt, ast.Expr):
+            self._expr(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._expr(stmt.test)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_taint = self._expr(stmt.iter)
+            self._bind_names(stmt.target, iter_taint)
+            self.run(stmt.body)
+            self.run(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self._expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind_names(item.optional_vars, taint)
+            self.run(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.run(stmt.body)
+            for handler in stmt.handlers:
+                self.run(handler.body)
+            self.run(stmt.orelse)
+            self.run(stmt.finalbody)
+        elif isinstance(stmt, _FUNCTION_NODES):
+            # Nested defs share the enclosing environment (closure).
+            self.run(stmt.body)
+        elif isinstance(stmt, ast.Assert):
+            self._expr(stmt.test)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._expr(stmt.exc)
+
+    def _assign_target(
+        self, target: ast.expr, value: ast.expr, taint: Taint
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taint
+            if isinstance(value, ast.Dict) and self._schema_id(value):
+                self.schema_docs.add(target.id)
+            elif not isinstance(value, ast.Dict):
+                self.schema_docs.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_target(elt, value, taint)
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in self.schema_docs
+                and taint.host
+            ):
+                self._report(
+                    target,
+                    "host-clock value stored into versioned-schema "
+                    f'document "{base.id}" — schema\'d artifacts must be '
+                    "byte-stable across runs; record simulated time or "
+                    "drop the field",
+                )
+        # Attribute stores cut taint deliberately (see module docstring).
+
+    def _bind_names(self, target: ast.expr, taint: Taint) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taint
+        elif isinstance(target, (ast.Tuple, ast.List, ast.Starred)):
+            children = (
+                target.elts
+                if isinstance(target, (ast.Tuple, ast.List))
+                else [target.value]
+            )
+            for elt in children:
+                self._bind_names(elt, taint)
+
+    # -------------------------------------------------------- expressions
+    def _check_mix(self, node: ast.AST, left: Taint, right: Taint) -> None:
+        if (left.host and right.sim) or (left.sim and right.host):
+            self._report(
+                node,
+                "host-clock value meets simulated time in the same "
+                "expression — wall-clock durations must never enter "
+                "simulated-time arithmetic; derive both operands from "
+                "the event loop's clock",
+            )
+
+    def _schema_id(self, node: ast.Dict) -> str | None:
+        for key, value in zip(node.keys, node.values):
+            if (
+                isinstance(key, ast.Constant)
+                and key.value == "schema"
+            ):
+                schema = self.index.constant_string(self.mod, value)
+                if schema is not None and _VERSIONED.match(schema):
+                    return schema
+        return None
+
+    def _expr(self, node: ast.expr) -> Taint:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, _CLEAN)
+        if isinstance(node, ast.Attribute):
+            self._expr(node.value)
+            if node.attr in _SIM_ATTRS:
+                return _SIM
+            return _CLEAN
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.BinOp):
+            left = self._expr(node.left)
+            right = self._expr(node.right)
+            self._check_mix(node, left, right)
+            return left | right
+        if isinstance(node, ast.Compare):
+            taints = [self._expr(node.left)]
+            taints.extend(self._expr(cmp) for cmp in node.comparators)
+            combined = _CLEAN
+            for taint in taints:
+                self._check_mix(node, combined, taint)
+                combined = combined | taint
+            return _CLEAN  # a comparison result is a bool, not a time
+        if isinstance(node, ast.BoolOp):
+            combined = _CLEAN
+            for value in node.values:
+                combined = combined | self._expr(value)
+            return combined
+        if isinstance(node, ast.UnaryOp):
+            return self._expr(node.operand)
+        if isinstance(node, ast.IfExp):
+            self._expr(node.test)
+            return self._expr(node.body) | self._expr(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            combined = _CLEAN
+            for elt in node.elts:
+                combined = combined | self._expr(elt)
+            return combined
+        if isinstance(node, ast.Dict):
+            schema = self._schema_id(node)
+            combined = _CLEAN
+            for value in node.values:
+                if value is None:
+                    continue
+                taint = self._expr(value)
+                if schema is not None and taint.host:
+                    self._report(
+                        value,
+                        "host-clock value placed into versioned-schema "
+                        f'document "{schema}" — schema\'d artifacts must '
+                        "be byte-stable across runs; record simulated "
+                        "time or drop the field",
+                    )
+                combined = combined | taint
+            return combined
+        if isinstance(node, ast.Subscript):
+            return self._expr(node.value)
+        if isinstance(node, ast.Starred):
+            return self._expr(node.value)
+        if isinstance(node, ast.Await):
+            return self._expr(node.value)
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._expr(child)
+            return _CLEAN
+        if isinstance(node, ast.NamedExpr):
+            taint = self._expr(node.value)
+            self._bind_names(node.target, taint)
+            return taint
+        return _CLEAN
+
+    def _call(self, node: ast.Call) -> Taint:
+        arg_taints: list[tuple[ast.expr, Taint]] = []
+        for arg in node.args:
+            arg_taints.append((arg, self._expr(arg)))
+        for kw in node.keywords:
+            arg_taints.append((kw.value, self._expr(kw.value)))
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "publish"
+        ):
+            for arg, taint in arg_taints:
+                if taint.host:
+                    self._report(
+                        arg,
+                        "host-clock value passed to an event-bus "
+                        "publish() — bus consumers treat payload times "
+                        "as simulated; derive the value from the event "
+                        "loop's clock instead",
+                    )
+        target, internal = self.index.resolve_call(
+            self.mod, node, self.class_name
+        )
+        if target is None:
+            return _CLEAN
+        if not internal:
+            if target in _CLOCK_CALLS:
+                return _HOST
+            return _CLEAN
+        return self.summaries.get(target, _CLEAN)
+
+
+def _analyze_function(
+    index: ProjectIndex,
+    fn: FunctionInfo,
+    summaries: dict[str, Taint],
+    collect: bool,
+) -> _FnResult:
+    mod = index.modules[fn.module]
+    walker = _FunctionTaint(
+        index, mod, fn.ctx, fn.class_name, summaries, collect
+    )
+    return walker.run(fn.node.body)
+
+
+def compute_summaries(index: ProjectIndex) -> dict[str, Taint]:
+    """Fixpoint over per-function return taints, project-wide."""
+    summaries: dict[str, Taint] = {}
+    changed = True
+    while changed:
+        changed = False
+        for qualname in sorted(index.functions):
+            fn = index.functions[qualname]
+            result = _analyze_function(index, fn, summaries, collect=False)
+            previous = summaries.get(qualname, _CLEAN)
+            merged = previous | result.returns
+            if merged != previous:
+                summaries[qualname] = merged
+                changed = True
+    return summaries
+
+
+def run_clock_taint(
+    index: ProjectIndex,
+    summaries: dict[str, Taint] | None = None,
+) -> list[Raw]:
+    """REP009 findings over every function and module body."""
+    if summaries is None:
+        summaries = compute_summaries(index)
+    findings: list[Raw] = []
+    for qualname in sorted(index.functions):
+        fn = index.functions[qualname]
+        result = _analyze_function(index, fn, summaries, collect=True)
+        findings.extend(result.findings)
+    for mod_name in sorted(index.modules):
+        mod = index.modules[mod_name]
+        walker = _FunctionTaint(
+            index, mod, mod.ctx, None, summaries, collect=True
+        )
+        body = [
+            stmt
+            for stmt in mod.ctx.tree.body
+            if not isinstance(stmt, (*_FUNCTION_NODES, ast.ClassDef))
+        ]
+        findings.extend(walker.run(body).findings)
+    return findings

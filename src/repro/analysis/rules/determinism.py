@@ -44,10 +44,13 @@ _CLOCK_CALLS = frozenset(
 #: profiling package is included deliberately: its sole sanctioned host
 #: clock is ``repro.profiling.clock.host_clock_s`` (pragma'd at the call
 #: site); every other profiling module — and every instrumented simulation
-#: module — must route host timing through that helper.
+#: module — must route host timing through that helper. ``analysis/flow``
+#: is in scope too: its exported documents (call graph, shard report) are
+#: byte-stable contracts, so the flow analyzer itself must never read the
+#: host clock.
 _SIM_PACKAGES = (
     "faas", "training", "tuning", "workflow", "slo", "faults", "profiling",
-    "timeseries",
+    "timeseries", "flow",
 )
 
 

@@ -68,6 +68,12 @@ SCHEMA_KEYS: dict[str, frozenset[str]] = {
     "repro-timeseries-diff/v1": frozenset(
         {"schema", "meta", "base", "target", "series", "summary"}
     ),
+    "repro-callgraph/v1": frozenset(
+        {"schema", "meta", "nodes", "edges", "summary"}
+    ),
+    "repro-sharding/v1": frozenset(
+        {"schema", "meta", "globals", "summary", "verdict"}
+    ),
 }
 
 _VERSIONED = re.compile(r"^[a-z][a-z0-9-]*/v\d+$")

@@ -1024,7 +1024,10 @@ def cmd_lint(args) -> int:
     from repro.common.errors import AnalysisError
 
     catalogue = analysis.all_rules()
+    if args.flow:
+        catalogue = catalogue + analysis.flow_rules()
     by_id = {r.rule_id: r for r in catalogue}
+    flow_ids = set(analysis.flow_rules_by_id())
 
     def pick(spec: str | None) -> set[str]:
         if not spec:
@@ -1048,8 +1051,19 @@ def cmd_lint(args) -> int:
 
     paths = args.paths or [str(Path(__file__).resolve().parent)]
     try:
-        analyzer = analysis.Analyzer(rules)
+        analyzer = analysis.Analyzer(
+            [r for r in rules if r.rule_id not in flow_ids]
+        )
         result = analyzer.analyze_paths(paths)
+        if args.flow:
+            flow_result = analysis.analyze_flow(paths, select=selected)
+            # REP000 would double-report: the per-file walker already
+            # surfaced any syntax errors on this same path list.
+            result.findings.extend(
+                f for f in flow_result.findings if f.rule != "REP000"
+            )
+            result.findings.sort(key=analysis.Finding.sort_key)
+            result.suppressed += flow_result.suppressed
 
         if args.write_baseline:
             target = Path(args.baseline) if args.baseline else (
@@ -1081,6 +1095,85 @@ def cmd_lint(args) -> int:
         print(analysis.to_json(result, rules, new, baselined), end="")
     else:
         print(analysis.render_table(result, new, baselined))
+    return 1 if new else 0
+
+
+def _emit(text: str, out: str | None) -> None:
+    if out:
+        Path(out).write_text(text, encoding="utf-8")
+        print(f"wrote {out}")
+    else:
+        print(text, end="" if text.endswith("\n") else "\n")
+
+
+def cmd_analyze(args) -> int:
+    # Lazy import, same as cmd_lint: only this subcommand needs analysis.
+    from repro import analysis
+    from repro.common.errors import AnalysisError
+
+    paths = args.paths or [str(Path(__file__).resolve().parent)]
+    try:
+        if args.target == "graph":
+            index, errors, _, _ = analysis.build_index(paths)
+            graph = analysis.build_callgraph(index)
+            if args.format == "dot":
+                _emit(analysis.callgraph_to_dot(graph), args.out)
+            else:
+                _emit(analysis.callgraph_to_json(graph), args.out)
+            for finding in errors:
+                print(
+                    f"{finding.path}:{finding.line}: {finding.message}",
+                    file=sys.stderr,
+                )
+            return 1 if errors else 0
+
+        select = {
+            "taint": {"REP009", "REP010", "REP011", "REP013"},
+            "shard-safety": {"REP012"},
+        }[args.target]
+        result = analysis.analyze_flow(paths, select=select)
+        if args.no_baseline:
+            baseline = analysis.Baseline.empty()
+        else:
+            found = analysis.find_baseline(
+                Path(paths[0]), explicit=args.baseline
+            )
+            baseline = (
+                analysis.Baseline.load(found)
+                if found is not None
+                else analysis.Baseline.empty()
+            )
+        new, baselined = baseline.apply(result.findings)
+    except AnalysisError as exc:
+        print(f"repro analyze: {exc}", file=sys.stderr)
+        return 2
+
+    if args.target == "shard-safety":
+        payload = analysis.sharding_payload(result.index, result.shard_reports)
+        if args.format == "json":
+            _emit(analysis.sharding_to_json(result.index, result.shard_reports),
+                  args.out)
+        else:
+            summary = payload["summary"]
+            print(f"shard-safety: {payload['verdict']}  "
+                  f"({summary['n_globals']} globals audited, "  # type: ignore[index]
+                  f"{summary['n_mutated_from_sim']} touched from sim paths)")  # type: ignore[index]
+            by_kind = summary["by_kind"]  # type: ignore[index]
+            for kind in sorted(by_kind):
+                if by_kind[kind]:
+                    print(f"  {kind:>14}: {by_kind[kind]}")
+            for finding in new:
+                print(f"  {finding.path}:{finding.line}: {finding.message}")
+        return 1 if (new or payload["verdict"] != "ready") else 0
+
+    lint_result = result.as_analysis_result()
+    rules = [
+        r for r in analysis.flow_rules() if r.rule_id in select | {"REP000"}
+    ]
+    if args.format == "json":
+        print(analysis.to_json(lint_result, rules, new, baselined), end="")
+    else:
+        print(analysis.render_table(lint_result, new, baselined))
     return 1 if new else 0
 
 
@@ -1351,12 +1444,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="static determinism & simulation-safety checks (REP001-REP008)",
+        help="static determinism & simulation-safety checks (REP001-REP008, "
+             "plus REP009-REP013 with --flow)",
         description="AST-based lint for the repository's reproducibility "
                     "invariants: seeded randomness only, no wall-clock in "
                     "simulated packages, event-loop safety, unit-suffix "
                     "consistency, exception hygiene, schema discipline, "
-                    "deterministic iteration order, and bounded retries.",
+                    "deterministic iteration order, and bounded retries. "
+                    "--flow adds the interprocedural passes: clock-domain "
+                    "taint, RNG stream hygiene, shard safety, and schema "
+                    "producer cross-checks.",
     )
     p.add_argument("paths", nargs="*",
                    help="files or directories to analyze "
@@ -1377,7 +1474,40 @@ def build_parser() -> argparse.ArgumentParser:
                         "and exit 0")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalogue and exit")
+    p.add_argument("--flow", action="store_true",
+                   help="also run the interprocedural flow rules "
+                        "(REP009-REP013)")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="whole-program flow analysis: call graph, clock/RNG taint, "
+             "shard-safety audit",
+        description="Interprocedural analyses over the project call graph. "
+                    "'graph' exports the deterministic repro-callgraph/v1 "
+                    "document (or DOT); 'taint' runs the clock-domain and "
+                    "RNG dataflow rules (REP009-REP011, REP013); "
+                    "'shard-safety' classifies every module-level global "
+                    "and emits the repro-sharding/v1 readiness report that "
+                    "gates the sharded event-kernel refactor.",
+    )
+    p.add_argument("target", choices=("graph", "taint", "shard-safety"),
+                   help="which analysis to run")
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to analyze "
+                        "(default: the installed repro package)")
+    p.add_argument("--format", default="table",
+                   choices=("table", "json", "dot"),
+                   help="output format (dot applies to 'graph' only; "
+                        "'graph' table output falls back to JSON)")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the document to PATH instead of stdout")
+    p.add_argument("--baseline", metavar="PATH",
+                   help="baseline file (default: nearest lint-baseline.json "
+                        "above the first path)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore any baseline; report every finding as new")
+    p.set_defaults(fn=cmd_analyze)
     return parser
 
 

@@ -1,0 +1,11 @@
+"""Shared paths for the flow-analysis test suite."""
+
+from pathlib import Path
+
+FLOW_FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def fixture_tree(rule_dir: str, kind: str) -> Path:
+    """The analyzable package root of one golden fixture, e.g.
+    ``fixture_tree("rep009", "bad")``."""
+    return FLOW_FIXTURES / rule_dir / kind / "pkg"

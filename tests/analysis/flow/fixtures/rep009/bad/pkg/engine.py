@@ -1,0 +1,24 @@
+"""Host-clock taint reaching all three REP009 sinks."""
+
+from pkg.helper import indirect_wall
+
+
+def mix_with_sim_clock(sim, task):
+    start = indirect_wall()
+    # Sink 1: host x sim arithmetic.
+    return sim.now - start
+
+
+def leak_into_document(sim):
+    started = indirect_wall()
+    doc = {"schema": "repro-events/v1", "meta": {}}
+    # Sink 2: host value stored into a versioned-schema document
+    # ("meta" is a registered key, so only REP009 fires here).
+    doc["meta"] = started
+    return doc
+
+
+def leak_onto_bus(bus):
+    stamp = indirect_wall()
+    # Sink 3: host value published onto the event bus.
+    bus.publish(stamp)

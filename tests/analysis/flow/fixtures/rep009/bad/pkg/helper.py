@@ -1,0 +1,12 @@
+"""A helper that (transitively) returns a host-clock value."""
+
+import time
+
+
+def wall_now():
+    return time.perf_counter()
+
+
+def indirect_wall():
+    # One hop of indirection: the fixpoint must still see HOST taint.
+    return wall_now()

@@ -1,0 +1,16 @@
+"""Clean simulated-time arithmetic and documents: both domains stay apart."""
+
+
+def simulated_latency(sim, task):
+    # Pure simulated-time arithmetic: no host values anywhere.
+    return sim.now - task.submitted_s
+
+
+def export_document(sim, task):
+    doc = {"schema": "repro-events/v1", "meta": {}}
+    doc["meta"] = {"finished_s": sim.now, "latency_s": simulated_latency(sim, task)}
+    return doc
+
+
+def publish_completion(sim, bus):
+    bus.publish(sim.now)

@@ -1,0 +1,19 @@
+"""Legitimate host-clock instrumentation: taint is cut at attribute stores."""
+
+import time
+
+
+def wall_now():
+    return time.perf_counter()
+
+
+class Stopwatch:
+    def __init__(self):
+        self.t0_s = 0.0
+
+    def start(self):
+        # Attribute stores cut taint: wall-time bookkeeping is fine.
+        self.t0_s = wall_now()
+
+    def elapsed_s(self):
+        return wall_now() - self.t0_s

@@ -1,0 +1,12 @@
+"""A label tuple reused verbatim by a second call site."""
+
+from repro.common.rng import stream_for
+
+
+def pilot_stream(seed):
+    return stream_for(seed, "pilot", "stage-0")
+
+
+def rootlike_stream(seed):
+    # No labels at all: indistinguishable from the root seed.
+    return stream_for(seed)

@@ -1,0 +1,9 @@
+"""The colliding call site: identical constant labels, different consumer."""
+
+from repro.common.rng import stream_for
+
+
+def shadow_stream(seed):
+    # Same ("pilot", "stage-0") tuple as pkg.first.pilot_stream: both
+    # consumers would draw the very same stream.
+    return stream_for(seed, "pilot", "stage-0")

@@ -1,0 +1,22 @@
+"""Distinguishable streams: unique constants or dynamic labels."""
+
+from repro.common.rng import stream_for
+
+STAGE_LABEL = "stage-0"
+
+
+def pilot_stream(seed):
+    return stream_for(seed, "pilot", STAGE_LABEL)
+
+
+def exec_stream(seed):
+    return stream_for(seed, "exec", STAGE_LABEL)
+
+
+def per_site_stream(seed, site):
+    # Dynamic label component: distinguished at run time, exempt here.
+    return stream_for(seed, "faults", site)
+
+
+def another_site_stream(seed, site):
+    return stream_for(seed, "faults", site)

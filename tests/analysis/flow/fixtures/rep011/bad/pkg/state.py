@@ -1,0 +1,14 @@
+"""RNG generators escaping into module globals, both ways."""
+
+from repro.common.rng import stream_for
+
+# Escape 1: a stream bound at module level is shared mutable state.
+SHARED_RNG = stream_for(0, "module-shared")
+
+_LAZY_RNG = None
+
+
+def setup(seed):
+    # Escape 2: a generator rebound onto a module global from a function.
+    global _LAZY_RNG
+    _LAZY_RNG = stream_for(seed, "lazy-shared")

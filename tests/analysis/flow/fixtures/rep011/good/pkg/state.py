@@ -1,0 +1,12 @@
+"""Streams created where they are consumed and threaded explicitly."""
+
+from repro.common.rng import stream_for
+
+
+def run_trial(seed, n):
+    rng = stream_for(seed, "trial-local")
+    return [draw(rng) for _ in range(n)]
+
+
+def draw(rng):
+    return rng.random()

@@ -1,0 +1,21 @@
+"""Simulation code mutating shard-unsafe module state."""
+
+from pkg.state import RUN_LOG
+
+_MEMO = {}
+
+
+def record(run_id, cost_usd):
+    # Cross-module mutation of a bare global: shards would diverge.
+    RUN_LOG[run_id] = cost_usd
+
+
+def lookup(key):
+    # A module-level cache filled from a simulation call path.
+    if key not in _MEMO:
+        _MEMO[key] = expensive(key)
+    return _MEMO[key]
+
+
+def expensive(key):
+    return key * 2

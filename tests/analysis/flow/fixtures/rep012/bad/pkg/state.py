@@ -1,0 +1,3 @@
+"""A bare mutable module global, mutated from another module."""
+
+RUN_LOG = {}

@@ -1,0 +1,11 @@
+"""Simulation code using only registered state access."""
+
+from pkg.state import KNOB_TABLE, get_sink
+
+
+def record(run_id, cost_usd):
+    get_sink().emit((run_id, cost_usd))
+
+
+def knob(name):
+    return KNOB_TABLE[name]

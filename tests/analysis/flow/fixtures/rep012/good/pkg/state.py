@@ -1,0 +1,22 @@
+"""The registered patterns: null-object singleton and a pure lookup table."""
+
+
+class NullSink:
+    def emit(self, record):
+        return None
+
+
+_NULL_SINK = NullSink()
+_sink = _NULL_SINK
+
+#: Built once at import, never mutated: safe to duplicate per shard.
+KNOB_TABLE = {"burst": 2.0, "steady": 1.0}
+
+
+def get_sink():
+    return _sink
+
+
+def set_sink(sink):
+    global _sink
+    _sink = sink

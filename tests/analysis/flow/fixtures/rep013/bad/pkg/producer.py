@@ -1,0 +1,19 @@
+"""Schema documents that drift after construction."""
+
+
+def produce_direct():
+    doc = {"schema": "repro-events/v1", "meta": {}}
+    # Post-construction key not in the registered key set.
+    doc["extra"] = 1
+    return doc
+
+
+def _decorate(doc):
+    # The helper adds an unregistered top-level key.
+    doc["sneaky"] = 2
+
+
+def produce_via_helper():
+    doc = {"schema": "repro-events/v1", "meta": {}}
+    _decorate(doc)
+    return doc

@@ -1,0 +1,1 @@
+"""Flow-analysis golden fixture package."""

@@ -1,0 +1,23 @@
+"""Conforming producers: only registered keys, before or after literal."""
+
+
+def produce_direct():
+    doc = {"schema": "repro-events/v1", "meta": {}}
+    doc["meta"] = {"n": 3}
+    return doc
+
+
+def _fill_meta(doc):
+    doc["meta"] = {"n": 4}
+
+
+def produce_via_helper():
+    doc = {"schema": "repro-events/v1", "meta": {}}
+    _fill_meta(doc)
+    return doc
+
+
+def unversioned_dicts_are_free():
+    scratch = {"anything": 1}
+    scratch["goes"] = 2
+    return scratch

@@ -1,0 +1,103 @@
+"""Call-graph construction, resolution, and byte-determinism."""
+
+import json
+
+from repro.analysis.flow import (
+    CALLGRAPH_SCHEMA,
+    build_callgraph,
+    build_index,
+    callgraph_payload,
+    callgraph_to_dot,
+    callgraph_to_json,
+)
+
+from tests.analysis.conftest import SRC_REPRO
+from tests.analysis.flow.conftest import fixture_tree
+
+
+def _graph(paths):
+    index, errors, _, _ = build_index(paths)
+    assert errors == []
+    return build_callgraph(index)
+
+
+class TestResolution:
+    def test_cross_module_internal_edge(self):
+        graph = _graph([fixture_tree("rep009", "bad")])
+        edges = {(e.caller, e.callee, e.kind) for e in graph.edges}
+        assert (
+            "pkg.engine.mix_with_sim_clock",
+            "pkg.helper.indirect_wall",
+            "internal",
+        ) in edges
+
+    def test_external_edge_keeps_dotted_name(self):
+        graph = _graph([fixture_tree("rep009", "bad")])
+        external = {
+            e.callee for e in graph.edges if e.kind == "external"
+        }
+        assert "time.perf_counter" in external
+
+    def test_self_method_call_resolves_within_class(self):
+        graph = _graph([fixture_tree("rep009", "good")])
+        edges = {(e.caller, e.callee) for e in graph.edges
+                 if e.kind == "internal"}
+        assert (
+            "pkg.helper.Stopwatch.start",
+            "pkg.helper.wall_now",
+        ) in edges
+        assert (
+            "pkg.helper.Stopwatch.elapsed_s",
+            "pkg.helper.wall_now",
+        ) in edges
+
+    def test_reexport_canonicalizes_through_package_init(self):
+        index, _, _, _ = build_index([SRC_REPRO])
+        canon = index.canonicalize("repro.profiling.host_clock_s")
+        assert canon == "repro.profiling.clock.host_clock_s"
+
+    def test_reachability_closure(self):
+        graph = _graph([fixture_tree("rep009", "bad")])
+        reachable = graph.reachable_from({"pkg.engine.mix_with_sim_clock"})
+        assert "pkg.helper.indirect_wall" in reachable
+        assert "pkg.helper.wall_now" in reachable
+        assert "pkg.engine.leak_onto_bus" not in reachable
+
+
+class TestDocument:
+    def test_payload_shape_matches_registered_schema(self):
+        from repro.analysis import SCHEMA_KEYS
+
+        graph = _graph([fixture_tree("rep010", "good")])
+        payload = callgraph_payload(graph)
+        assert payload["schema"] == CALLGRAPH_SCHEMA
+        assert set(payload) == SCHEMA_KEYS[CALLGRAPH_SCHEMA]
+
+    def test_whole_repo_json_is_byte_identical_across_builds(self):
+        first = callgraph_to_json(_graph([SRC_REPRO]))
+        second = callgraph_to_json(_graph([SRC_REPRO]))
+        assert first == second
+        doc = json.loads(first)
+        assert doc["summary"]["n_edges"] == len(doc["edges"])
+        assert doc["summary"]["n_nodes"] == len(doc["nodes"])
+        assert doc["summary"]["n_internal"] + doc["summary"]["n_external"] \
+            == doc["summary"]["n_edges"]
+
+    def test_document_contains_no_absolute_paths(self):
+        text = callgraph_to_json(_graph([fixture_tree("rep013", "good")]))
+        assert str(fixture_tree("rep013", "good").resolve().parent) not in text
+
+    def test_dot_rendering_clusters_by_module(self):
+        graph = _graph([fixture_tree("rep009", "bad")])
+        dot = callgraph_to_dot(graph)
+        assert dot.startswith("digraph callgraph {")
+        assert 'label="pkg.helper";' in dot
+        assert '"pkg.engine.mix_with_sim_clock" -> "pkg.helper.indirect_wall"' in dot
+        # internal_only by default: no external targets in the rendering
+        assert "time.perf_counter" not in dot
+
+    def test_edges_are_deduplicated_and_sorted(self):
+        graph = _graph([fixture_tree("rep010", "bad")])
+        keys = [(e.caller, e.callee, e.line) for e in graph.edges]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))

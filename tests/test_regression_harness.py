@@ -142,7 +142,8 @@ class TestCommittedBaseline:
         assert doc["schema"] == harness.JSON_SCHEMA
         assert set(doc["experiments"]) == set(
             harness.REGISTRY.available()
-        ) | {harness.GUARD_ENTRY, harness.PROFILE_ENTRY, harness.TS_ENTRY}
+        ) | {harness.GUARD_ENTRY, harness.PROFILE_ENTRY, harness.TS_ENTRY,
+             harness.FLOW_ENTRY}
         # The profiler probe's entry carries the per-phase breakdown.
         profile = doc["experiments"][harness.PROFILE_ENTRY]["profile"]
         assert profile, "profiler probe recorded no phases"
@@ -151,3 +152,8 @@ class TestCommittedBaseline:
         # The sampler probe's entry fingerprints what it recorded.
         recorded = doc["experiments"][harness.TS_ENTRY]["timeseries"]
         assert recorded["n_series"] > 0 and recorded["n_points"] > 0
+        # The flow-analysis probe ran within budget and found nothing.
+        flow = doc["experiments"][harness.FLOW_ENTRY]
+        assert flow["wall_s"] <= harness.FLOW_BUDGET_WALL_S
+        assert flow["counters"]["repro_flow_files_analyzed_total"] > 0
+        assert flow["counters"]["repro_flow_findings_total"] == 0.0
