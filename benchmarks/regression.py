@@ -88,6 +88,13 @@ PROFILE_OVERHEAD_RATIO = 1.05
 TS_ENTRY = "fig12+timeseries"
 TS_OVERHEAD_RATIO = 1.05
 
+#: Run-bundle probe: the same experiment with every --save-run collector
+#: forced on (registry, tracer, event log, sampler) plus bundle
+#: serialization and a content-addressed store write at exit; the whole
+#: ride-along must stay under the same ratio.
+SAVE_RUN_ENTRY = "fig12+save-run"
+SAVE_RUN_OVERHEAD_RATIO = 1.05
+
 #: Chaos matrix (--chaos): every Fig-12 workload must complete under the
 #: default fault profile — recovering via retries, checkpoint restores and
 #: Pareto replanning — with JCT inflated at most this much over fault-free.
@@ -322,6 +329,87 @@ def measure_sampler_overhead(
         if sampled_again["wall_s"] < sampled["wall_s"]:
             sampled = sampled_again
     return base, sampled
+
+
+def measure_saved(experiment: str, scale: str, seed: int, rounds: int) -> dict:
+    """Like :func:`measure`, with the full --save-run ride-along attached.
+
+    Forces on every collector ``--save-run`` forces on (metrics registry,
+    tracer, SLO event log, time-series sampler), then — still inside the
+    timed region — serializes the bundle and saves it into a throwaway
+    content-addressed store, so the entry prices the whole ride-along:
+    collection, serialization, hashing and store writes. The returned
+    entry carries a ``bundle`` key with the artifact count and total
+    stored bytes as a fingerprint of what the saver captured.
+    """
+    import shutil
+    import tempfile
+
+    from repro.runs import ProvenanceStamp, RunStore, save_run
+    from repro.slo import SLOSession
+    from repro.telemetry.session import TelemetrySession
+    from repro.timeseries import TimeSeriesSession
+
+    walls: list[float] = []
+    counters: dict[str, float] = {}
+    recorded: dict = {}
+    for _ in range(rounds):
+        stamp = ProvenanceStamp.collect("bench", workload=experiment, seed=seed)
+        tmp = tempfile.mkdtemp(prefix="repro-bench-runs-")
+        try:
+            start = time.perf_counter()
+            with (
+                TelemetrySession(meta=stamp, force_install=True) as telemetry,
+                SLOSession(meta=stamp, force_log=True) as slo,
+                TimeSeriesSession(meta=stamp, force_install=True) as ts,
+            ):
+                run_experiment(experiment, scale=scale, seed=seed)
+            bundle = save_run(
+                RunStore(tmp), stamp,
+                telemetry=telemetry, slo=slo, timeseries=ts,
+            )
+            walls.append(time.perf_counter() - start)
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+        counters = {
+            snap.name: sum(s.value for s in snap.samples)
+            for snap in telemetry.registry.snapshot()
+            if snap.name in TRACKED_COUNTERS
+        }
+        recorded = {
+            "n_artifacts": len(bundle.artifacts),
+            "n_bytes": sum(
+                len(a.text.encode("utf-8")) for a in bundle.artifacts
+            ),
+        }
+    wall = round(min(walls), 4)
+    return {
+        "wall_s": wall,
+        "counters": counters,
+        "rates": _rates(counters, wall),
+        "bundle": recorded,
+    }
+
+
+def measure_save_run_overhead(
+    experiment: str, scale: str, seed: int, rounds: int
+) -> tuple[dict, dict]:
+    """(save-run-off, save-run-on) entries from interleaved best-of pairs.
+
+    Same discipline as :func:`measure_guard_overhead`: alternate the two
+    variants so load drift cancels, then compare each side's best.
+    """
+    pairs = max(3, rounds)
+    base = measure(experiment, scale, seed, 1)
+    saved = measure_saved(experiment, scale, seed, 1)
+    for _ in range(pairs - 1):
+        base_again = measure(experiment, scale, seed, 1)
+        saved_again = measure_saved(experiment, scale, seed, 1)
+        if base_again["wall_s"] < base["wall_s"]:
+            base = base_again
+        if saved_again["wall_s"] < saved["wall_s"]:
+            saved = saved_again
+    return base, saved
 
 
 def measure_guard_overhead(
@@ -618,6 +706,30 @@ def main(argv: list[str] | None = None) -> int:
                 f"{TS_ENTRY}: {entry['wall_s']:.3f} s vs sampler-off "
                 f"{base_wall:.3f} s ({entry['wall_s'] / base_wall:.2f}x > "
                 f"{TS_OVERHEAD_RATIO:.2f}x sampling overhead budget)"
+            )
+
+    # Run-bundle probe: the same experiment with every --save-run collector
+    # forced on plus bundle serialization and the store write. Prices the
+    # full provenance ride-along, not just one collector.
+    if GUARD_BASE_EXPERIMENT in current["experiments"]:
+        base, entry = measure_save_run_overhead(
+            GUARD_BASE_EXPERIMENT, args.scale, args.seed, args.rounds
+        )
+        if args.inject_slowdown != 1.0:
+            entry["wall_s"] = round(entry["wall_s"] * args.inject_slowdown, 4)
+            base["wall_s"] = round(base["wall_s"] * args.inject_slowdown, 4)
+        current["experiments"][SAVE_RUN_ENTRY] = entry
+        print(f"  {SAVE_RUN_ENTRY:20s} {entry['wall_s']:9.3f} s"
+              f"  (interleaved save-run-off {base['wall_s']:.3f} s)")
+        base_wall = base["wall_s"]
+        if (
+            base_wall >= MIN_COMPARABLE_WALL_S
+            and entry["wall_s"] > base_wall * SAVE_RUN_OVERHEAD_RATIO
+        ):
+            guard_regressions.append(
+                f"{SAVE_RUN_ENTRY}: {entry['wall_s']:.3f} s vs save-run-off "
+                f"{base_wall:.3f} s ({entry['wall_s'] / base_wall:.2f}x > "
+                f"{SAVE_RUN_OVERHEAD_RATIO:.2f}x run-bundle overhead budget)"
             )
 
     # Flow-analysis wall-time probe: the interprocedural lint layer gates

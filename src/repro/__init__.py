@@ -30,6 +30,8 @@ Layer map (bottom-up):
   frames, attributed counters, flamegraphs, capture diffing.
 * ``repro.timeseries`` — simulated-time resource series: sampler,
   terminal dashboard, capture diffing, anomaly detection.
+* ``repro.runs`` — provenance-stamped run bundles: content-addressed
+  local registry plus the cross-run regression observatory.
 """
 
 from repro.common.types import Allocation, JobResult, PricingPattern, StorageKind
@@ -46,6 +48,13 @@ from repro.telemetry import (
 from repro.analytical.profiler import ParetoProfiler, ProfileResult
 from repro.ml.models import WORKLOADS, Workload, workload
 from repro.profiling import Profiler, profile_phase, set_profiler
+from repro.runs import (
+    ProvenanceStamp,
+    RunBundle,
+    RunStore,
+    compare_runs,
+    save_run,
+)
 from repro.slo import SLOGuard, SLOSession, SLOSpec, evaluate_guard, replay_events
 from repro.timeseries import (
     TimeSeriesSampler,
@@ -61,7 +70,7 @@ from repro.tuning.plan import Objective
 from repro.tuning.sha import SHASpec
 from repro.workflow.runner import run_training, run_tuning
 
-__version__ = "1.0.0"
+from repro._version import __version__
 
 __all__ = [
     "AdaptiveScheduler",
@@ -82,8 +91,11 @@ __all__ = [
     "PricingPattern",
     "ProfileResult",
     "Profiler",
+    "ProvenanceStamp",
+    "RunBundle",
     "RunObservation",
     "RunReport",
+    "RunStore",
     "SHASpec",
     "SLOGuard",
     "SLOSession",
@@ -95,6 +107,7 @@ __all__ = [
     "WORKLOADS",
     "Workload",
     "__version__",
+    "compare_runs",
     "detect_anomalies",
     "diagnose",
     "evaluate_guard",
@@ -102,6 +115,7 @@ __all__ = [
     "replay_events",
     "run_training",
     "run_tuning",
+    "save_run",
     "set_profiler",
     "set_registry",
     "set_sampler",

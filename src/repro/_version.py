@@ -1,0 +1,8 @@
+"""Single source of the package version.
+
+A leaf module (no imports) so provenance stamping — which runs inside
+capture writers at the bottom of the layer stack — can read the version
+without triggering the full ``repro`` package import.
+"""
+
+__version__ = "1.0.0"

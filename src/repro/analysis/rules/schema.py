@@ -74,6 +74,12 @@ SCHEMA_KEYS: dict[str, frozenset[str]] = {
     "repro-sharding/v1": frozenset(
         {"schema", "meta", "globals", "summary", "verdict"}
     ),
+    "repro-bundle/v1": frozenset(
+        {"schema", "meta", "run_id", "artifacts", "summary"}
+    ),
+    "repro-compare/v1": frozenset(
+        {"schema", "meta", "base", "target", "deltas", "attribution", "verdict"}
+    ),
 }
 
 _VERSIONED = re.compile(r"^[a-z][a-z0-9-]*/v\d+$")

@@ -27,6 +27,7 @@ from repro.common.errors import ReproError, SLOError
 from repro.common.types import StorageKind
 from repro.common.units import format_duration, format_usd
 from repro.ml.models import WORKLOADS, workload
+from repro.runs.store import DEFAULT_STORE_ROOT
 from repro.telemetry.exporters import from_json_payload
 from repro.telemetry.report import RunReport
 from repro.telemetry.session import TelemetrySession
@@ -49,17 +50,51 @@ def _parse_storage(value: str | None) -> StorageKind | None:
     return StorageKind(value)
 
 
+def _capture_error(command: str, exc: Exception) -> int:
+    """The unified bad-capture/bad-input path: one stderr line, exit 2.
+
+    Every subcommand that loads a versioned artifact (report, diagnose,
+    profile --diff/--validate, timeseries diff|validate, dash --replay,
+    runs ...) routes its failures here so the contract stays pinned in
+    one place.
+    """
+    print(f"repro {command}: {exc}", file=sys.stderr)
+    return 2
+
+
+def _stamp(args, command: str, workload_name: str | None = None):
+    """The run's :class:`~repro.runs.ProvenanceStamp` from CLI context."""
+    from repro.runs import ProvenanceStamp
+
+    return ProvenanceStamp.collect(
+        command,
+        workload=(
+            workload_name
+            if workload_name is not None
+            else getattr(args, "workload", "") or ""
+        ),
+        method=getattr(args, "method", "") or "",
+        seed=getattr(args, "seed", 0),
+        argv=getattr(args, "_argv", ()),
+    )
+
+
+def _save_store(args) -> str | None:
+    """The --save-run store root, or None when the flag was not given."""
+    return getattr(args, "save_run", None)
+
+
 def _session(args, command: str) -> TelemetrySession:
-    """Telemetry capture scoped to one CLI command (no-op without flags)."""
+    """Telemetry capture scoped to one CLI command (no-op without flags).
+
+    ``--save-run`` forces the collectors on (without file writes) so the
+    bundle saver can snapshot them after exit.
+    """
     return TelemetrySession(
         metrics_path=getattr(args, "telemetry", None),
         trace_path=getattr(args, "trace", None),
-        meta={
-            "command": command,
-            "workload": getattr(args, "workload", ""),
-            "method": getattr(args, "method", ""),
-            "seed": getattr(args, "seed", 0),
-        },
+        meta=_stamp(args, command),
+        force_install=bool(_save_store(args)),
     )
 
 
@@ -70,12 +105,8 @@ def _slo_session(args, command: str):
     return SLOSession(
         spec=getattr(args, "slo", None),
         events_path=getattr(args, "events", None),
-        meta={
-            "command": command,
-            "workload": getattr(args, "workload", ""),
-            "method": getattr(args, "method", ""),
-            "seed": getattr(args, "seed", 0),
-        },
+        meta=_stamp(args, command),
+        force_log=bool(_save_store(args)),
     )
 
 
@@ -141,11 +172,7 @@ def _finish_faults(args, ledger, plan, command: str) -> None:
         Path(out).write_text(
             ledger.to_json(
                 plan.to_payload() if plan is not None else None,
-                meta={
-                    "command": command,
-                    "workload": getattr(args, "workload", ""),
-                    "seed": getattr(args, "seed", 0),
-                },
+                meta=_stamp(args, command),
             )
         )
 
@@ -182,12 +209,7 @@ def _profile_session(args, command: str):
     return ProfileSession(
         profile_path=getattr(args, "profile", None),
         flamegraph_path=getattr(args, "flamegraph", None),
-        meta={
-            "command": command,
-            "workload": getattr(args, "workload", ""),
-            "method": getattr(args, "method", ""),
-            "seed": getattr(args, "seed", 0),
-        },
+        meta=_stamp(args, command),
     )
 
 
@@ -233,12 +255,8 @@ def _timeseries_session(args, command: str):
 
     return TimeSeriesSession(
         capture_path=getattr(args, "timeseries", None),
-        meta={
-            "command": command,
-            "workload": getattr(args, "workload", ""),
-            "method": getattr(args, "method", ""),
-            "seed": getattr(args, "seed", 0),
-        },
+        meta=_stamp(args, command),
+        force_install=bool(_save_store(args)),
     )
 
 
@@ -267,6 +285,41 @@ def _finish_timeseries(tser) -> None:
     )
 
 
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--save-run", nargs="?", const=DEFAULT_STORE_ROOT, metavar="STORE",
+        help="bundle every enabled capture (plus telemetry, trace, events "
+             "and timeseries, forced on) into the content-addressed run "
+             f"store (default {DEFAULT_STORE_ROOT}); inspect with "
+             "`repro runs list|show|compare`",
+    )
+
+
+def _save_run_bundle(
+    args, command: str, session, slo, prof, tser, ledger=None, plan=None
+) -> None:
+    """The ``--save-run`` ride-along: snapshot the sessions into the store."""
+    store_root = _save_store(args)
+    if not store_root:
+        return
+    from repro.runs import RunStore, save_run
+
+    bundle = save_run(
+        RunStore(store_root),
+        _stamp(args, command),
+        telemetry=session,
+        slo=slo,
+        profile=prof,
+        timeseries=tser,
+        fault_ledger=ledger,
+        fault_plan=plan,
+    )
+    print(
+        f"run    : {bundle.run_id} ({len(bundle.artifacts)} artifact(s)) "
+        f"-> {store_root}"
+    )
+
+
 def cmd_list_workloads(_args) -> int:
     print(f"{'name':20s} {'model MB':>10s} {'dataset MB':>12s} "
           f"{'batch':>8s} {'target loss':>12s}")
@@ -291,8 +344,7 @@ def _profile_diff(args) -> int:
         base = load_capture(Path(base_path).read_text())
         target = load_capture(Path(target_path).read_text())
     except (OSError, ValueError, ReproError) as exc:
-        print(f"repro profile: {exc}", file=sys.stderr)
-        return 2
+        return _capture_error("profile", exc)
     report = diff_captures(
         base, target, threshold=args.threshold, min_s=args.min_s,
         meta={"base": base_path, "target": target_path},
@@ -314,8 +366,7 @@ def _profile_validate(args) -> int:
     try:
         payload = load_capture(Path(args.validate).read_text())
     except (OSError, ValueError, ReproError) as exc:
-        print(f"repro profile: {exc}", file=sys.stderr)
-        return 2
+        return _capture_error("profile", exc)
     # Belt and braces: the capture must also match the REP006 registry's
     # pinned key set, so a drifted registry fails loudly here, not in lint.
     expected = SCHEMA_KEYS.get(payload["schema"])
@@ -351,12 +402,7 @@ def _profile_run(args) -> int:
         flamegraph_path=args.flamegraph,
         sample_memory=args.memory,
         force_install=True,
-        meta={
-            "command": f"profile --run {args.run}",
-            "workload": args.workload,
-            "method": args.method,
-            "seed": args.seed,
-        },
+        meta=_stamp(args, f"profile --run {args.run}"),
     )
     try:
         with prof:
@@ -493,6 +539,10 @@ def cmd_train(args) -> int:
     _finish_faults(args, run.fault_ledger, plan, "train")
     _finish_profile(args, prof)
     _finish_timeseries(tser)
+    _save_run_bundle(
+        args, "train", session, slo, prof, tser,
+        ledger=run.fault_ledger, plan=plan,
+    )
     return _finish_slo(slo)
 
 
@@ -539,6 +589,10 @@ def cmd_tune(args) -> int:
     _finish_faults(args, run.fault_ledger, plan, "tune")
     _finish_profile(args, prof)
     _finish_timeseries(tser)
+    _save_run_bundle(
+        args, "tune", session, slo, prof, tser,
+        ledger=run.fault_ledger, plan=plan,
+    )
     return _finish_slo(slo)
 
 
@@ -591,6 +645,10 @@ def cmd_workflow(args) -> int:
     _finish_faults(args, result.fault_ledger, plan, "workflow")
     _finish_profile(args, prof)
     _finish_timeseries(tser)
+    _save_run_bundle(
+        args, "workflow", session, slo, prof, tser,
+        ledger=result.fault_ledger, plan=plan,
+    )
     return _finish_slo(slo)
 
 
@@ -598,8 +656,7 @@ def cmd_report(args) -> int:
     try:
         payload = from_json_payload(Path(args.path).read_text())
     except (OSError, ValueError) as exc:
-        print(f"repro report: {exc}", file=sys.stderr)
-        return 2
+        return _capture_error("report", exc)
     if args.format == "prometheus":
         from repro.telemetry.exporters import payload_to_snapshots, to_prometheus_text
 
@@ -619,8 +676,7 @@ def cmd_dash(args) -> int:
         try:
             payload = load_capture(Path(args.replay).read_text())
         except (OSError, ValueError, ReproError) as exc:
-            print(f"repro dash: {exc}", file=sys.stderr)
-            return 2
+            return _capture_error("dash", exc)
         print(render_dashboard(payload, width=args.width), end="")
         return 0
     if not args.workload:
@@ -637,12 +693,7 @@ def cmd_dash(args) -> int:
     tser = TimeSeriesSession(
         capture_path=args.out,
         force_install=True,
-        meta={
-            "command": "dash",
-            "workload": args.workload,
-            "method": args.method,
-            "seed": args.seed,
-        },
+        meta=_stamp(args, "dash"),
     )
     try:
         with tser:
@@ -686,8 +737,7 @@ def cmd_timeseries(args) -> int:
         try:
             payload = load_capture(Path(args.paths[0]).read_text())
         except (OSError, ValueError, ReproError) as exc:
-            print(f"repro timeseries: {exc}", file=sys.stderr)
-            return 2
+            return _capture_error("timeseries", exc)
         # Belt and braces, as in `repro profile --validate`: the capture
         # must also match the REP006 registry's pinned key set.
         from repro.analysis.rules.schema import SCHEMA_KEYS
@@ -720,8 +770,7 @@ def cmd_timeseries(args) -> int:
         base = load_capture(Path(base_path).read_text())
         target = load_capture(Path(target_path).read_text())
     except (OSError, ValueError, ReproError) as exc:
-        print(f"repro timeseries: {exc}", file=sys.stderr)
-        return 2
+        return _capture_error("timeseries", exc)
     report = diff_captures(
         base, target, threshold=args.threshold,
         meta={"base": base_path, "target": target_path},
@@ -779,8 +828,7 @@ def cmd_diagnose(args) -> int:
             payload = from_json_payload(target.read_text())
             trace = json.loads(Path(args.trace).read_text()) if args.trace else None
         except (OSError, ValueError) as exc:
-            print(f"repro diagnose: {exc}", file=sys.stderr)
-            return 2
+            return _capture_error("diagnose", exc)
         obs = RunObservation.from_capture(payload, trace)
         if getattr(args, "timeseries", None):
             # Capture mode: --timeseries names a saved repro-timeseries/v1
@@ -790,8 +838,7 @@ def cmd_diagnose(args) -> int:
             try:
                 ts_payload = load_capture(Path(args.timeseries).read_text())
             except (OSError, ValueError, ReproError) as exc:
-                print(f"repro diagnose: {exc}", file=sys.stderr)
-                return 2
+                return _capture_error("diagnose", exc)
     elif target.suffix in (".json", ".jsonl") or "/" in args.target:
         # Looks like a capture path, not a workload name: don't fall
         # through to live mode on a typo'd filename.
@@ -825,12 +872,7 @@ def cmd_diagnose(args) -> int:
 
         tser = TimeSeriesSession(
             capture_path=getattr(args, "timeseries", None),
-            meta={
-                "command": "diagnose",
-                "workload": args.target,
-                "method": args.method,
-                "seed": args.seed,
-            },
+            meta=_stamp(args, "diagnose", workload_name=args.target),
         )
         try:
             with tser:
@@ -856,8 +898,7 @@ def cmd_diagnose(args) -> int:
             payload = json.loads(Path(args.fault_report).read_text())
             faults_summary = dict(payload.get("summary") or {})
         except (OSError, ValueError) as exc:
-            print(f"repro diagnose: {exc}", file=sys.stderr)
-            return 2
+            return _capture_error("diagnose", exc)
     report = diagnose(
         obs, candidates=candidates, top_k=args.top_k, z=args.z,
         drift_threshold=args.drift_threshold, slo_spec=slo_spec,
@@ -917,12 +958,7 @@ def _run_guarded(spec, args):
     session = SLOSession(
         spec=spec,
         events_path=getattr(args, "events", None),
-        meta={
-            "command": "slo",
-            "workload": args.workload,
-            "method": args.method,
-            "seed": args.seed,
-        },
+        meta=_stamp(args, "slo"),
     )
     with session:
         run_training(
@@ -1003,6 +1039,98 @@ def cmd_faults(args) -> int:
     except (OSError, ValueError, ReproError) as exc:
         print(f"repro faults: {exc}", file=sys.stderr)
         return 2
+
+
+def cmd_runs(args) -> int:
+    """``repro runs``: the local run registry and cross-run observatory."""
+    from repro.runs import (
+        RunStore,
+        compare_runs,
+        compare_to_json,
+        has_regression,
+        manifest_to_json,
+        render_compare,
+        render_manifest,
+    )
+
+    store = RunStore(args.store)
+    try:
+        if args.action == "list":
+            manifests = store.list()
+            if args.format == "ids":
+                for manifest in manifests:
+                    print(manifest["run_id"])
+                return 0
+            if args.format == "json":
+                import json
+
+                print(
+                    json.dumps(manifests, indent=2, sort_keys=True)
+                )
+                return 0
+            if not manifests:
+                print(f"no runs in {store.root}")
+                return 0
+            print(
+                f"{'run id':>13s}  {'command':10s} {'workload':18s} "
+                f"{'method':12s} {'seed':>4s} {'arts':>4s} "
+                f"{'jct_s':>10s} {'cost_usd':>10s}"
+            )
+            for manifest in manifests:
+                meta = manifest["meta"]
+                summary = manifest.get("summary") or {}
+                jct = summary.get("jct_s")
+                cost = summary.get("cost_usd")
+                print(
+                    f"{manifest['run_id']:>13s}  "
+                    f"{(meta.get('command') or '-'):10s} "
+                    f"{(meta.get('workload') or '-'):18s} "
+                    f"{(meta.get('method') or '-'):12s} "
+                    f"{meta.get('seed', 0):>4d} "
+                    f"{len(manifest['artifacts']):>4d} "
+                    + (f"{jct:>10.3f} " if jct is not None else f"{'-':>10s} ")
+                    + (f"{cost:>10.4f}" if cost is not None else f"{'-':>10s}")
+                )
+            return 0
+        if args.action == "show":
+            if len(args.refs) != 1:
+                raise ValueError("show needs exactly one RUN id (or prefix)")
+            manifest = store.load(args.refs[0])
+            if args.format == "json":
+                print(manifest_to_json(manifest), end="")
+            else:
+                print(render_manifest(manifest))
+            return 0
+        if args.action == "compare":
+            if len(args.refs) != 2:
+                raise ValueError("compare needs BASE and TARGET run ids")
+            report = compare_runs(
+                store, args.refs[0], args.refs[1], threshold=args.threshold
+            )
+            if args.out:
+                Path(args.out).write_text(compare_to_json(report))
+            if args.format == "json":
+                print(compare_to_json(report), end="")
+            else:
+                print(render_compare(report))
+            return 1 if has_regression(report) else 0
+        if args.action == "export":
+            if len(args.refs) != 2:
+                raise ValueError("export needs RUN and DEST arguments")
+            written = store.export(args.refs[0], args.refs[1])
+            print(f"exported {len(written)} file(s) to {args.refs[1]}")
+            return 0
+        # gc: optionally remove named runs first, then sweep orphans.
+        for ref in args.refs:
+            print(f"removed {store.remove(ref)}")
+        stats = store.gc()
+        print(
+            f"gc: {stats['n_removed']} object(s) removed, "
+            f"{stats['n_kept']} kept across {stats['n_runs']} run(s)"
+        )
+        return 0
+    except (OSError, ValueError, ReproError) as exc:
+        return _capture_error("runs", exc)
 
 
 def cmd_experiment(args) -> int:
@@ -1252,6 +1380,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_flags(p)
     _add_profile_flags(p)
     _add_timeseries_flags(p)
+    _add_run_flags(p)
     p.set_defaults(fn=cmd_train)
 
     p = sub.add_parser("tune", help="run one hyperparameter-tuning job")
@@ -1267,6 +1396,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_flags(p)
     _add_profile_flags(p)
     _add_timeseries_flags(p)
+    _add_run_flags(p)
     p.set_defaults(fn=cmd_tune)
 
     p = sub.add_parser("workflow", help="run the full tune-then-train pipeline")
@@ -1282,6 +1412,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_flags(p)
     _add_profile_flags(p)
     _add_timeseries_flags(p)
+    _add_run_flags(p)
     p.set_defaults(fn=cmd_workflow)
 
     p = sub.add_parser(
@@ -1432,6 +1563,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the template to PATH instead of stdout")
     p.set_defaults(fn=cmd_faults)
 
+    p = sub.add_parser(
+        "runs",
+        help="list, inspect, compare, export and gc saved run bundles",
+        description="The content-addressed run registry written by "
+                    "--save-run: `list` the stored bundles, `show RUN` one "
+                    "manifest, `compare BASE TARGET` two runs (composing "
+                    "summary, SLO, fault, timeseries and profile deltas "
+                    "into a repro-compare/v1 verdict; exit 1 on "
+                    "regression), `export RUN DEST` a bundle's artifacts, "
+                    "or `gc [RUN...]` to drop runs and sweep orphaned "
+                    "objects. Run ids may be unique prefixes.",
+    )
+    p.add_argument("action",
+                   choices=("list", "show", "compare", "gc", "export"))
+    p.add_argument("refs", nargs="*", metavar="RUN",
+                   help="run ids/prefixes (show: RUN; compare: BASE TARGET; "
+                        "export: RUN DEST; gc: runs to remove first)")
+    p.add_argument("--store", default=DEFAULT_STORE_ROOT, metavar="DIR",
+                   help=f"run-store root (default {DEFAULT_STORE_ROOT})")
+    p.add_argument("--threshold", type=float, default=0.01,
+                   help="compare: relative tolerance on summary metrics")
+    p.add_argument("--format", default="table",
+                   choices=("table", "json", "ids"),
+                   help="ids applies to `list` (one run id per line)")
+    p.add_argument("--out", metavar="PATH",
+                   help="compare: also write the JSON report to PATH")
+    p.set_defaults(fn=cmd_runs)
+
     p = sub.add_parser("experiment", help="regenerate one paper figure/table")
     p.add_argument("experiment")
     p.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
@@ -1512,7 +1671,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
     args = build_parser().parse_args(argv)
+    # Provenance stamping records the exact invocation (informational
+    # only: argv never feeds run-id derivation).
+    args._argv = tuple(argv)
     try:
         return args.fn(args)
     except BrokenPipeError:

@@ -1,0 +1,37 @@
+"""The shared meta-block normalizer for every capture writer.
+
+Each versioned capture (telemetry, Chrome trace, events log, profile,
+timeseries, fault report, run bundle) carries a free-form ``meta`` block.
+Writers historically took a plain ``dict``; the provenance layer
+(:class:`repro.runs.ProvenanceStamp`) now threads one richer object
+through all of them. ``coerce_meta`` is the single conversion point:
+
+* ``None`` → ``{}`` — exactly what ``dict(meta or {})`` produced before;
+* a mapping → a shallow copy, byte-identical to the old behaviour;
+* anything exposing ``to_meta()`` (duck-typed, so this bottom-layer
+  module never imports ``repro.runs``) → that method's dict.
+
+Keeping the stamp duck-typed means a library user passing plain dicts
+sees bit-for-bit unchanged captures, while every CLI entry point gets a
+uniform provenance block for free.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def coerce_meta(meta: Any) -> dict:
+    """Normalize a capture writer's ``meta`` argument to a plain dict."""
+    if meta is None:
+        return {}
+    to_meta = getattr(meta, "to_meta", None)
+    if callable(to_meta):
+        out = to_meta()
+        if not isinstance(out, dict):
+            raise TypeError(
+                f"{type(meta).__name__}.to_meta() must return a dict, "
+                f"got {type(out).__name__}"
+            )
+        return out
+    return dict(meta)

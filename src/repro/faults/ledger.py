@@ -14,6 +14,7 @@ import json
 from dataclasses import dataclass, field
 
 from repro.common.errors import ValidationError
+from repro.common.meta import coerce_meta
 
 REPORT_SCHEMA = "repro-faults-report/v1"
 
@@ -201,7 +202,7 @@ class FaultLedger:
         """The ``repro-faults-report/v1`` document."""
         return {
             "schema": REPORT_SCHEMA,
-            "meta": dict(sorted((meta or {}).items())),
+            "meta": dict(sorted(coerce_meta(meta).items())),
             "plan": plan_payload or {},
             "summary": self.summary(),
             "records": [r.to_payload() for r in self.records],

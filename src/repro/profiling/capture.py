@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 
 from repro.common.errors import ValidationError
+from repro.common.meta import coerce_meta
 from repro.profiling.core import Profiler
 
 JSON_SCHEMA = "repro-profile/v1"
@@ -55,7 +56,7 @@ def capture_payload(profiler: Profiler, meta: dict | None = None) -> dict:
     top_wall = sum(f["total_s"] for f in frames if f["depth"] == 1)
     return {
         "schema": JSON_SCHEMA,
-        "meta": dict(meta or {}),
+        "meta": coerce_meta(meta),
         "frames": frames,
         "totals": {
             "wall_s": round(top_wall, 9),

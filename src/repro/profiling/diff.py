@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import json
 
+from repro.common.meta import coerce_meta
 from repro.profiling.capture import JSON_SCHEMA as CAPTURE_SCHEMA  # noqa: F401
 
 DIFF_SCHEMA = "repro-profile-diff/v1"
@@ -90,7 +91,7 @@ def diff_captures(
     target_wall = target["totals"]["wall_s"]
     return {
         "schema": DIFF_SCHEMA,
-        "meta": dict(meta or {}),
+        "meta": coerce_meta(meta),
         "base": {"meta": dict(base["meta"]), "wall_s": base_wall},
         "target": {"meta": dict(target["meta"]), "wall_s": target_wall},
         "threshold": threshold,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.common.meta import coerce_meta
 from repro.profiling import get_profiler, set_profiler
 from repro.profiling.capture import capture_payload, to_json
 from repro.profiling.core import Profiler
@@ -38,7 +39,7 @@ class ProfileSession:
     ) -> None:
         self.profile_path = Path(profile_path) if profile_path else None
         self.flamegraph_path = Path(flamegraph_path) if flamegraph_path else None
-        self.meta = dict(meta or {})
+        self.meta = coerce_meta(meta)
         self.sample_memory = sample_memory
         self.force_install = force_install
         self.profiler: Profiler | None = None

@@ -1,0 +1,230 @@
+"""The ``repro-bundle/v1`` manifest: one artifact that identifies a run.
+
+A :class:`RunBundle` ties together whichever captures a run enabled —
+telemetry, Chrome trace, event log, SLO report, profile, timeseries,
+fault ledger — as content-addressed (sha256) artifacts behind one
+byte-stable manifest. The manifest's ``run_id`` is derived from the
+provenance identity plus the digests of the *deterministic* artifacts, so
+two identical runs produce the same id and byte-identical manifests,
+while host-timed captures (the hot-path profile and its flamegraph,
+whose frame timings are wall-clock) ride along without perturbing
+identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+from repro.common.meta import coerce_meta
+from repro.runs.provenance import ProvenanceStamp
+
+BUNDLE_SCHEMA = "repro-bundle/v1"
+
+#: Canonical artifact kinds → (bundle filename, schema id or None).
+#: ``None`` marks unversioned formats (Chrome trace JSON, collapsed
+#: stacks); everything else is a REP006-registered document.
+ARTIFACT_KINDS: dict[str, tuple[str, str | None]] = {
+    "telemetry": ("telemetry.json", "repro-telemetry/v1"),
+    "trace": ("trace.json", None),
+    "events": ("events.jsonl", "repro-events/v1"),
+    "slo": ("slo-report.json", "repro-slo-report/v1"),
+    "profile": ("profile.json", "repro-profile/v1"),
+    "flamegraph": ("flamegraph.txt", None),
+    "timeseries": ("timeseries.json", "repro-timeseries/v1"),
+    "faults": ("fault-report.json", "repro-faults-report/v1"),
+}
+
+#: Kinds whose bytes depend on the host clock: they are bundled and
+#: digested, but excluded from run-id derivation so a re-run of the same
+#: (workload, seed, config) keeps the same identity.
+HOST_TIMED_KINDS = frozenset({"profile", "flamegraph"})
+
+_TOP_KEYS = frozenset({"schema", "meta", "run_id", "artifacts", "summary"})
+
+_ARTIFACT_KEYS = frozenset(
+    {"kind", "filename", "sha256", "n_bytes", "artifact_schema", "deterministic"}
+)
+
+
+def sha256_text(text: str) -> str:
+    """The hex digest content address of one artifact's bytes."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One content-addressed capture inside a bundle."""
+
+    kind: str
+    text: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARTIFACT_KINDS:
+            raise ValidationError(
+                f"unknown artifact kind {self.kind!r}; known: "
+                f"{', '.join(sorted(ARTIFACT_KINDS))}"
+            )
+
+    @property
+    def filename(self) -> str:
+        return ARTIFACT_KINDS[self.kind][0]
+
+    @property
+    def schema(self) -> str | None:
+        return ARTIFACT_KINDS[self.kind][1]
+
+    @property
+    def sha256(self) -> str:
+        return sha256_text(self.text)
+
+    @property
+    def deterministic(self) -> bool:
+        return self.kind not in HOST_TIMED_KINDS
+
+    def to_entry(self) -> dict:
+        """The manifest row for this artifact."""
+        return {
+            "kind": self.kind,
+            "filename": self.filename,
+            "sha256": self.sha256,
+            "n_bytes": len(self.text.encode("utf-8")),
+            "artifact_schema": self.schema,
+            "deterministic": self.deterministic,
+        }
+
+
+def derive_run_id(stamp: ProvenanceStamp, artifacts: list[Artifact]) -> str:
+    """Deterministic run id: provenance identity + deterministic digests."""
+    ingredients = {
+        "provenance": stamp.identity(),
+        "artifacts": [
+            [a.kind, a.sha256]
+            for a in sorted(artifacts, key=lambda a: a.kind)
+            if a.deterministic
+        ],
+    }
+    digest = hashlib.sha256(
+        json.dumps(ingredients, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return "r" + digest[:12]
+
+
+class RunBundle:
+    """A provenance stamp, its artifacts, and the derived manifest."""
+
+    def __init__(
+        self,
+        stamp: ProvenanceStamp,
+        artifacts: dict[str, str],
+        summary: dict | None = None,
+    ) -> None:
+        self.artifacts = [
+            Artifact(kind, text) for kind, text in sorted(artifacts.items())
+        ]
+        self.stamp = stamp.with_schemas(
+            {a.kind: a.schema for a in self.artifacts if a.schema is not None}
+        )
+        self.summary = dict(summary or {})
+        self.run_id = derive_run_id(self.stamp, self.artifacts)
+
+    def manifest(self) -> dict:
+        """The ``repro-bundle/v1`` document for this bundle."""
+        return {
+            "schema": BUNDLE_SCHEMA,
+            "meta": coerce_meta(self.stamp),
+            "run_id": self.run_id,
+            "artifacts": [a.to_entry() for a in self.artifacts],
+            "summary": self.summary,
+        }
+
+    def artifact(self, kind: str) -> Artifact | None:
+        for a in self.artifacts:
+            if a.kind == kind:
+                return a
+        return None
+
+
+def manifest_to_json(manifest: dict) -> str:
+    """Byte-stable serialization (sorted keys, trailing newline)."""
+    return json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+
+
+def load_manifest(text: str) -> dict:
+    """Parse and validate a ``repro-bundle/v1`` manifest document."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"manifest is not valid JSON: {exc}") from exc
+    validate_manifest(payload)
+    return payload
+
+
+def validate_manifest(payload: dict) -> None:
+    """Raise :class:`ValidationError` unless ``payload`` matches the schema."""
+    if not isinstance(payload, dict):
+        raise ValidationError("manifest must be a JSON object")
+    schema = payload.get("schema")
+    if schema != BUNDLE_SCHEMA:
+        raise ValidationError(
+            f"expected schema {BUNDLE_SCHEMA!r}, got {schema!r}"
+        )
+    if set(payload) != _TOP_KEYS:
+        raise ValidationError(
+            f"manifest top-level keys {sorted(payload)} do not match the "
+            f"{BUNDLE_SCHEMA} contract {sorted(_TOP_KEYS)}"
+        )
+    if not isinstance(payload["artifacts"], list):
+        raise ValidationError("manifest 'artifacts' must be a list")
+    for entry in payload["artifacts"]:
+        missing = _ARTIFACT_KEYS - set(entry)
+        if missing:
+            raise ValidationError(
+                f"manifest artifact {entry.get('kind')!r} lacks keys "
+                f"{sorted(missing)}"
+            )
+        if entry["kind"] not in ARTIFACT_KINDS:
+            raise ValidationError(
+                f"manifest names unknown artifact kind {entry['kind']!r}"
+            )
+    run_id = payload.get("run_id", "")
+    if not (isinstance(run_id, str) and run_id.startswith("r") and len(run_id) == 13):
+        raise ValidationError(f"malformed run id {run_id!r}")
+
+
+def render_manifest(manifest: dict) -> str:
+    """Human-readable ``repro runs show`` view of one manifest."""
+    meta = manifest.get("meta", {})
+    prov = dict(meta.get("provenance") or {})
+    lines = [
+        f"run {manifest['run_id']}",
+        f"  command : {meta.get('command', '-') or '-'}"
+        + (f"  workload={meta['workload']}" if meta.get("workload") else "")
+        + (f"  method={meta['method']}" if meta.get("method") else "")
+        + f"  seed={meta.get('seed', 0)}",
+        f"  version : {prov.get('package_version', '-') or '-'}"
+        f"  config={prov.get('config_hash', '-') or '-'}",
+    ]
+    if prov.get("argv"):
+        lines.append(f"  argv    : {' '.join(prov['argv'])}")
+    lines.append("  artifacts:")
+    for entry in manifest["artifacts"]:
+        schema = entry["artifact_schema"] or "-"
+        det = "" if entry["deterministic"] else "  (host-timed)"
+        lines.append(
+            f"    {entry['kind']:>10s}  {entry['filename']:<18s} "
+            f"{entry['n_bytes']:>9d} B  sha256={entry['sha256'][:12]}  "
+            f"{schema}{det}"
+        )
+    summary = manifest.get("summary") or {}
+    if summary:
+        parts = []
+        for key in sorted(summary):
+            value = summary[key]
+            parts.append(
+                f"{key}={value:.4f}" if isinstance(value, float) else f"{key}={value}"
+            )
+        lines.append("  summary : " + "  ".join(parts))
+    return "\n".join(lines)

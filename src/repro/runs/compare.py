@@ -1,0 +1,419 @@
+"""The cross-run observatory: two bundles → one ``repro-compare/v1`` verdict.
+
+``compare_runs`` composes every comparison surface the repo already has —
+run-summary deltas (JCT, cost, convergence, restarts), SLO verdict flips,
+fault-ledger deltas, the timeseries drift classifier and the hot-path
+profile diff — into a single report with a ``regressed`` / ``improved`` /
+``identical`` / ``indeterminate`` verdict. Summary, SLO and fault deltas
+*decide* the verdict; timeseries drift and the (host-timed, noisy)
+profile diff *attribute* it. ``repro runs compare`` exits 1 exactly when
+the verdict is ``regressed``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.common.meta import coerce_meta
+from repro.profiling import capture as profile_capture
+from repro.profiling import diff as profile_diff
+from repro.runs.store import RunStore
+from repro.timeseries import capture as timeseries_capture
+from repro.timeseries import diff as timeseries_diff
+
+COMPARE_SCHEMA = "repro-compare/v1"
+
+#: Relative change below which a numeric summary delta is noise.
+DEFAULT_THRESHOLD = 0.01
+
+#: Summary keys where an increase is a regression (and a decrease an
+#: improvement). Everything else in the summary is reported but neutral.
+_BAD_IF_UP = (
+    "jct_s",
+    "cost_usd",
+    "storage_cost_usd",
+    "comm_overhead_s",
+    "scheduling_overhead_s",
+)
+
+#: Integer counters where *any* increase regresses (no noise floor).
+_COUNT_BAD_IF_UP = ("n_restarts",)
+
+
+def _endpoint(manifest: dict) -> dict:
+    """The per-run block of the compare report."""
+    meta = manifest.get("meta", {})
+    return {
+        "run_id": manifest["run_id"],
+        "command": meta.get("command", ""),
+        "workload": meta.get("workload", ""),
+        "method": meta.get("method", ""),
+        "seed": meta.get("seed", 0),
+        "artifacts": sorted(e["kind"] for e in manifest["artifacts"]),
+        "summary": dict(manifest.get("summary") or {}),
+    }
+
+
+def _summary_deltas(
+    base: dict, target: dict, threshold: float
+) -> tuple[list[dict], list[dict], list[dict]]:
+    """(rows, regressions, improvements) over the two run summaries."""
+    rows: list[dict] = []
+    regressions: list[dict] = []
+    improvements: list[dict] = []
+    for key in sorted(set(base) | set(target)):
+        b, t = base.get(key), target.get(key)
+        row: dict = {"key": key, "base": b, "target": t}
+        if isinstance(b, bool) or isinstance(t, bool):
+            if key == "converged" and b is True and t is False:
+                row["direction"] = "regressed"
+            elif key == "converged" and b is False and t is True:
+                row["direction"] = "improved"
+            else:
+                row["direction"] = "identical" if b == t else "changed"
+        elif isinstance(b, (int, float)) and isinstance(t, (int, float)):
+            delta = t - b
+            row["delta"] = round(delta, 9)
+            row["ratio"] = round(t / b, 6) if b else None
+            if key in _COUNT_BAD_IF_UP:
+                row["direction"] = (
+                    "regressed" if delta > 0
+                    else "improved" if delta < 0
+                    else "identical"
+                )
+            elif key in _BAD_IF_UP:
+                floor = threshold * abs(b) if b else 0.0
+                row["direction"] = (
+                    "regressed" if delta > floor
+                    else "improved" if delta < -floor
+                    else "identical" if delta == 0
+                    else "noise"
+                )
+            else:
+                row["direction"] = "identical" if delta == 0 else "changed"
+        else:
+            row["direction"] = "identical" if b == t else "changed"
+        rows.append(row)
+        if row["direction"] == "regressed":
+            regressions.append(
+                {
+                    "kind": "summary",
+                    "what": key,
+                    "detail": f"{key}: {b} -> {t}",
+                }
+            )
+        elif row["direction"] == "improved":
+            improvements.append(
+                {
+                    "kind": "summary",
+                    "what": key,
+                    "detail": f"{key}: {b} -> {t}",
+                }
+            )
+    return rows, regressions, improvements
+
+
+def _slo_delta(base: dict | None, target: dict | None) -> dict | None:
+    """Verdict flip between two ``repro-slo-report/v1`` payloads."""
+    if base is None and target is None:
+        return None
+    b = bool((base or {}).get("verdict", {}).get("violated"))
+    t = bool((target or {}).get("verdict", {}).get("violated"))
+    return {
+        "base_violated": b,
+        "target_violated": t,
+        "base_violations": sorted((base or {}).get("verdict", {}).get("violations", [])),
+        "target_violations": sorted((target or {}).get("verdict", {}).get("violations", [])),
+    }
+
+
+def _faults_delta(base: dict | None, target: dict | None) -> dict | None:
+    """Summary deltas between two ``repro-faults-report/v1`` payloads."""
+    if base is None and target is None:
+        return None
+    b = dict((base or {}).get("summary") or {})
+    t = dict((target or {}).get("summary") or {})
+    out: dict = {}
+    for key in ("n_faults", "n_recoveries", "fault_time_s", "recovery_time_s"):
+        bv, tv = b.get(key, 0) or 0, t.get(key, 0) or 0
+        out[key] = {"base": bv, "target": tv, "delta": round(tv - bv, 9)}
+    by_kind: dict[str, dict] = {}
+    b_kinds = dict(b.get("by_kind") or {})
+    t_kinds = dict(t.get("by_kind") or {})
+    for kind in sorted(set(b_kinds) | set(t_kinds)):
+        bv, tv = b_kinds.get(kind, 0), t_kinds.get(kind, 0)
+        by_kind[kind] = {"base": bv, "target": tv, "delta": tv - bv}
+    out["by_kind"] = by_kind
+    return out
+
+
+def _events_delta(base: str | None, target: str | None) -> dict | None:
+    """Per-kind event-count deltas between two ``repro-events/v1`` logs."""
+    if base is None and target is None:
+        return None
+
+    def counts(text: str | None) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for line in (text or "").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            if "schema" in doc:  # header line
+                continue
+            kind = str(doc.get("kind", ""))
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    b, t = counts(base), counts(target)
+    return {
+        kind: {"base": b.get(kind, 0), "target": t.get(kind, 0),
+               "delta": t.get(kind, 0) - b.get(kind, 0)}
+        for kind in sorted(set(b) | set(t))
+    }
+
+
+def _maybe_artifact(store: RunStore, manifest: dict, kind: str) -> str | None:
+    kinds = {e["kind"] for e in manifest["artifacts"]}
+    if kind not in kinds:
+        return None
+    return store.read_artifact(manifest, kind)
+
+
+def compare_runs(
+    store: RunStore,
+    base_ref: str,
+    target_ref: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    meta: dict | None = None,
+) -> dict:
+    """The ``repro-compare/v1`` report for two stored runs."""
+    base = store.load(base_ref)
+    target = store.load(target_ref)
+
+    summary_rows, regressions, improvements = _summary_deltas(
+        dict(base.get("summary") or {}),
+        dict(target.get("summary") or {}),
+        threshold,
+    )
+
+    slo = _slo_delta(
+        _load_json(_maybe_artifact(store, base, "slo")),
+        _load_json(_maybe_artifact(store, target, "slo")),
+    )
+    if slo is not None:
+        if not slo["base_violated"] and slo["target_violated"]:
+            regressions.append(
+                {
+                    "kind": "slo",
+                    "what": "verdict",
+                    "detail": (
+                        "SLO met -> violated "
+                        f"({', '.join(slo['target_violations']) or 'unknown'})"
+                    ),
+                }
+            )
+        elif slo["base_violated"] and not slo["target_violated"]:
+            improvements.append(
+                {"kind": "slo", "what": "verdict", "detail": "SLO violated -> met"}
+            )
+
+    faults = _faults_delta(
+        _load_json(_maybe_artifact(store, base, "faults")),
+        _load_json(_maybe_artifact(store, target, "faults")),
+    )
+    if faults is not None and faults["n_faults"]["delta"] > 0:
+        kinds = sorted(
+            kind for kind, row in faults["by_kind"].items() if row["delta"] > 0
+        )
+        regressions.append(
+            {
+                "kind": "faults",
+                "what": "n_faults",
+                "detail": (
+                    f"fault count {faults['n_faults']['base']} -> "
+                    f"{faults['n_faults']['target']}"
+                    + (f" ({', '.join(kinds)})" if kinds else "")
+                ),
+            }
+        )
+    elif faults is not None and faults["n_faults"]["delta"] < 0:
+        improvements.append(
+            {
+                "kind": "faults",
+                "what": "n_faults",
+                "detail": (
+                    f"fault count {faults['n_faults']['base']} -> "
+                    f"{faults['n_faults']['target']}"
+                ),
+            }
+        )
+
+    events = _events_delta(
+        _maybe_artifact(store, base, "events"),
+        _maybe_artifact(store, target, "events"),
+    )
+
+    # Attribution surfaces: where did the regression come from?
+    ts_report = None
+    b_ts = _maybe_artifact(store, base, "timeseries")
+    t_ts = _maybe_artifact(store, target, "timeseries")
+    if b_ts is not None and t_ts is not None:
+        ts_report = timeseries_diff.diff_captures(
+            timeseries_capture.load_capture(b_ts),
+            timeseries_capture.load_capture(t_ts),
+        )
+
+    prof_report = None
+    b_prof = _maybe_artifact(store, base, "profile")
+    t_prof = _maybe_artifact(store, target, "profile")
+    if b_prof is not None and t_prof is not None:
+        prof_report = profile_diff.diff_captures(
+            profile_capture.load_capture(b_prof),
+            profile_capture.load_capture(t_prof),
+        )
+
+    verdict = _verdict(base, target, regressions, improvements, summary_rows)
+    return {
+        "schema": COMPARE_SCHEMA,
+        "meta": coerce_meta(meta),
+        "base": _endpoint(base),
+        "target": _endpoint(target),
+        "deltas": {
+            "threshold": threshold,
+            "summary": summary_rows,
+            "slo": slo,
+            "faults": faults,
+            "events": events,
+        },
+        "attribution": {
+            "timeseries": None if ts_report is None else {
+                "classes": ts_report["summary"]["classes"],
+                "drifted": ts_report["summary"]["drifted"],
+            },
+            # Host-timed: frame timings vary run to run, so the profile
+            # diff attributes but never decides the verdict.
+            "profile": None if prof_report is None else {
+                "n_regressed": prof_report["summary"]["n_regressed"],
+                "n_improved": prof_report["summary"]["n_improved"],
+                "delta_wall_s": prof_report["summary"]["delta_wall_s"],
+            },
+        },
+        "verdict": {
+            "verdict": verdict,
+            "regressions": regressions,
+            "improvements": improvements,
+        },
+    }
+
+
+def _load_json(text: str | None) -> dict | None:
+    return None if text is None else json.loads(text)
+
+
+def _verdict(
+    base: dict,
+    target: dict,
+    regressions: list[dict],
+    improvements: list[dict],
+    summary_rows: list[dict],
+) -> str:
+    if regressions:
+        return "regressed"
+    if improvements:
+        return "improved"
+    if base["run_id"] == target["run_id"]:
+        return "identical"
+    base_digests = {
+        (e["kind"], e["sha256"])
+        for e in base["artifacts"]
+        if e["deterministic"]
+    }
+    target_digests = {
+        (e["kind"], e["sha256"])
+        for e in target["artifacts"]
+        if e["deterministic"]
+    }
+    changed = [r for r in summary_rows if r["direction"] not in ("identical",)]
+    if base_digests == target_digests and not changed:
+        return "identical"
+    return "indeterminate"
+
+
+def has_regression(report: dict) -> bool:
+    """True exactly when the verdict is ``regressed`` (CLI exit 1)."""
+    return report["verdict"]["verdict"] == "regressed"
+
+
+def compare_to_json(report: dict) -> str:
+    """Byte-stable serialization (sorted keys, trailing newline)."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
+def render_compare(report: dict) -> str:
+    """Human-readable ``repro runs compare`` view."""
+    base, target = report["base"], report["target"]
+    lines = [
+        f"compare {base['run_id']} -> {target['run_id']}",
+        f"  base   : {base['command'] or '-'} {base['workload']} "
+        f"{base['method']} seed={base['seed']}".rstrip(),
+        f"  target : {target['command'] or '-'} {target['workload']} "
+        f"{target['method']} seed={target['seed']}".rstrip(),
+        "",
+    ]
+    rows = report["deltas"]["summary"]
+    if rows:
+        lines.append(
+            f"  {'metric'.ljust(22)}  {'base'.rjust(14)}  "
+            f"{'target'.rjust(14)}  {'delta'.rjust(12)}  direction"
+        )
+        for row in rows:
+            b, t = row["base"], row["target"]
+
+            def fmt(v) -> str:
+                if v is None:
+                    return "-"
+                if isinstance(v, float):
+                    return f"{v:.4f}"
+                text = str(v)
+                # Structured values (the peaks dict) would blow the column.
+                return text if len(text) <= 14 else text[:11] + "..."
+
+            delta = row.get("delta")
+            lines.append(
+                f"  {row['key'].ljust(22)}  {fmt(b).rjust(14)}  "
+                f"{fmt(t).rjust(14)}  {fmt(delta).rjust(12)}  "
+                f"{row['direction']}"
+            )
+        lines.append("")
+    faults = report["deltas"]["faults"]
+    if faults is not None and faults["n_faults"]["delta"] != 0:
+        lines.append(
+            f"  faults : {faults['n_faults']['base']} -> "
+            f"{faults['n_faults']['target']} "
+            f"(fault time {faults['fault_time_s']['base']} -> "
+            f"{faults['fault_time_s']['target']} s)"
+        )
+    slo = report["deltas"]["slo"]
+    if slo is not None:
+        lines.append(
+            f"  slo    : violated={slo['base_violated']} -> "
+            f"violated={slo['target_violated']}"
+        )
+    ts = report["attribution"]["timeseries"]
+    if ts is not None and ts["drifted"]:
+        lines.append(f"  drift  : {', '.join(ts['drifted'])}")
+    prof = report["attribution"]["profile"]
+    if prof is not None:
+        lines.append(
+            f"  profile: {prof['n_regressed']} regressed / "
+            f"{prof['n_improved']} improved frames (host-timed, advisory)"
+        )
+    lines.append("")
+    verdict = report["verdict"]
+    lines.append(f"  verdict: {verdict['verdict'].upper()}")
+    for entry in verdict["regressions"]:
+        lines.append(f"    - regression [{entry['kind']}] {entry['detail']}")
+    for entry in verdict["improvements"]:
+        lines.append(f"    + improvement [{entry['kind']}] {entry['detail']}")
+    return "\n".join(lines)

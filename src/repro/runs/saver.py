@@ -1,0 +1,87 @@
+"""The ``--save-run`` ride-along: snapshot live sessions into a bundle.
+
+``save_run`` runs *after* a command's session context managers exit
+cleanly: each session still holds its collector (registry, tracer, event
+log, sampler, profiler), so the saver serializes exactly the documents
+the sessions would have written to ``--telemetry``/``--events``/... paths
+— same writers, same bytes — and stores them as one content-addressed
+:class:`~repro.runs.bundle.RunBundle`.
+"""
+
+from __future__ import annotations
+
+from repro.runs.bundle import RunBundle
+from repro.runs.provenance import ProvenanceStamp
+from repro.runs.store import RunStore
+
+
+def collect_artifacts(
+    stamp: ProvenanceStamp,
+    telemetry=None,
+    slo=None,
+    profile=None,
+    timeseries=None,
+    fault_ledger=None,
+    fault_plan=None,
+) -> tuple[dict[str, str], dict]:
+    """(artifact texts by kind, run summary) from live session objects.
+
+    Each argument is the session (or ledger/plan) a command already holds;
+    sessions that never installed a collector contribute nothing, so the
+    bundle carries exactly the captures the run enabled.
+    """
+    artifacts: dict[str, str] = {}
+    summary: dict = {}
+    if telemetry is not None and telemetry.registry is not None:
+        artifacts["telemetry"] = telemetry.metrics_json()
+        summary = dict(telemetry.run_summary)
+    if telemetry is not None and telemetry.tracer is not None:
+        artifacts["trace"] = telemetry.tracer.to_chrome_trace()
+    if slo is not None and slo.log is not None:
+        artifacts["events"] = slo.log.to_jsonl()
+    if slo is not None and slo.guard is not None:
+        from repro.slo import evaluate_guard
+
+        artifacts["slo"] = evaluate_guard(slo.guard, meta=slo.meta).to_json()
+    if profile is not None and profile.profiler is not None:
+        from repro.profiling.capture import to_json as profile_to_json
+        from repro.profiling.flamegraph import to_collapsed
+
+        payload = profile.payload()
+        artifacts["profile"] = profile_to_json(payload)
+        artifacts["flamegraph"] = to_collapsed(payload)
+    if timeseries is not None and timeseries.sampler is not None:
+        from repro.timeseries.capture import to_json as timeseries_to_json
+
+        artifacts["timeseries"] = timeseries_to_json(timeseries.payload())
+    if fault_ledger is not None:
+        artifacts["faults"] = fault_ledger.to_json(
+            fault_plan.to_payload() if fault_plan is not None else None,
+            meta=stamp,
+        )
+    return artifacts, summary
+
+
+def save_run(
+    store: RunStore,
+    stamp: ProvenanceStamp,
+    telemetry=None,
+    slo=None,
+    profile=None,
+    timeseries=None,
+    fault_ledger=None,
+    fault_plan=None,
+) -> RunBundle:
+    """Bundle every live capture and persist it; returns the bundle."""
+    artifacts, summary = collect_artifacts(
+        stamp,
+        telemetry=telemetry,
+        slo=slo,
+        profile=profile,
+        timeseries=timeseries,
+        fault_ledger=fault_ledger,
+        fault_plan=fault_plan,
+    )
+    bundle = RunBundle(stamp, artifacts, summary=summary)
+    store.save(bundle)
+    return bundle

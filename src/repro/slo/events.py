@@ -23,6 +23,7 @@ import json
 from dataclasses import dataclass, field
 
 from repro.common.errors import SLOError
+from repro.common.meta import coerce_meta
 
 EVENTS_SCHEMA = "repro-events/v1"
 
@@ -129,7 +130,7 @@ class EventLog:
     """
 
     def __init__(self, meta: dict | None = None) -> None:
-        self.meta = dict(meta or {})
+        self.meta = coerce_meta(meta)
         self.events: list[Event] = []
 
     def record(self, event: Event) -> None:

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.common.meta import coerce_meta
 from repro.slo.alerts import Alert, AlertEngine
 from repro.slo.burnrate import STATUSES, BurnRateAccountant
 from repro.slo.events import Event, EventBus, EventLog, get_event_bus, set_event_bus
@@ -145,10 +146,15 @@ class SLOSession:
             or ``None`` to only capture the event log.
         events_path: where to write the ``repro-events/v1`` JSONL log on a
             clean exit; ``None`` skips the write.
-        meta: run metadata for the event-log header.
+        meta: run metadata for the event-log header — a plain dict or
+            anything with a ``to_meta()`` method (a provenance stamp).
+        force_log: install the bus and capture the event log even with no
+            spec and no events path (the ``--save-run`` bundler reads
+            ``session.log`` after exit).
 
-    With neither a spec nor an events path the session is inert: nothing
-    is installed and the run stays byte-identical to a guard-off run.
+    With neither a spec, an events path, nor ``force_log`` the session is
+    inert: nothing is installed and the run stays byte-identical to a
+    guard-off run.
     """
 
     def __init__(
@@ -156,12 +162,14 @@ class SLOSession:
         spec: SLOSpec | str | Path | None = None,
         events_path: str | Path | None = None,
         meta: dict | None = None,
+        force_log: bool = False,
     ) -> None:
         if isinstance(spec, (str, Path)):
             spec = SLOSpec.load(spec)
         self.spec = spec
         self.events_path = Path(events_path) if events_path is not None else None
-        self.meta = dict(meta or {})
+        self.meta = coerce_meta(meta)
+        self.force_log = force_log
         self.guard: SLOGuard | None = None
         self.log: EventLog | None = None
         self._prev_bus = None
@@ -169,7 +177,11 @@ class SLOSession:
     @property
     def active(self) -> bool:
         """True when entering the session will install a live bus."""
-        return self.spec is not None or self.events_path is not None
+        return (
+            self.spec is not None
+            or self.events_path is not None
+            or self.force_log
+        )
 
     def __enter__(self) -> "SLOSession":
         if not self.active:

@@ -22,6 +22,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 
+from repro.common.meta import coerce_meta
 from repro.slo.alerts import Alert
 from repro.slo.events import EventLog
 from repro.slo.guard import SLOGuard
@@ -152,7 +153,7 @@ def evaluate_guard(guard: SLOGuard, meta: dict | None = None) -> SLOReport:
         for st in guard.accountant.states()
     )
     return SLOReport(
-        meta=dict(meta or {}),
+        meta=coerce_meta(meta),
         spec=guard.spec,
         objectives=objectives,
         alerts=guard.alerts,
@@ -226,7 +227,7 @@ def evaluate_summary(
             )
         )
     return SLOReport(
-        meta=dict(meta or {}),
+        meta=coerce_meta(meta),
         spec=spec,
         objectives=tuple(objectives),
         alerts=(),

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 from typing import Iterable
 
+from repro.common.meta import coerce_meta
 from repro.telemetry.metrics import MetricSnapshot, Sample
 
 JSON_SCHEMA = "repro-telemetry/v1"
@@ -140,7 +141,7 @@ def to_json(
     """Serialize a telemetry capture: metrics plus the run summary."""
     payload = {
         "schema": JSON_SCHEMA,
-        "meta": dict(meta or {}),
+        "meta": coerce_meta(meta),
         "run": dict(run or {}),
         "metrics": snapshots_to_payload(snapshots),
     }

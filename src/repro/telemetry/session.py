@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.common.meta import coerce_meta
 from repro.telemetry import get_registry, get_tracer, set_registry, set_tracer
 from repro.telemetry.exporters import to_json
 from repro.telemetry.metrics import MetricsRegistry
@@ -27,8 +28,13 @@ from repro.telemetry.spans import Tracer
 class TelemetrySession:
     """Context manager that captures metrics and/or spans to files.
 
-    Either path may be ``None``; with both ``None`` the session installs
-    nothing and writes nothing (so callers never need to branch).
+    Either path may be ``None``; with both ``None`` and
+    ``force_install=False`` the session installs nothing and writes
+    nothing (so callers never need to branch). ``force_install=True``
+    installs both collectors without writing files — the ``--save-run``
+    bundler reads :meth:`metrics_json` and the tracer after exit. ``meta``
+    accepts a plain dict or anything with a ``to_meta()`` method (a
+    :class:`~repro.runs.provenance.ProvenanceStamp`).
     """
 
     def __init__(
@@ -36,10 +42,12 @@ class TelemetrySession:
         metrics_path: str | Path | None = None,
         trace_path: str | Path | None = None,
         meta: dict | None = None,
+        force_install: bool = False,
     ) -> None:
         self.metrics_path = Path(metrics_path) if metrics_path else None
         self.trace_path = Path(trace_path) if trace_path else None
-        self.meta = dict(meta or {})
+        self.meta = coerce_meta(meta)
+        self.force_install = force_install
         self.registry: MetricsRegistry | None = None
         self.tracer: Tracer | None = None
         self._run_summary: dict = {}
@@ -48,18 +56,37 @@ class TelemetrySession:
 
     @property
     def active(self) -> bool:
-        return self.metrics_path is not None or self.trace_path is not None
+        return (
+            self.metrics_path is not None
+            or self.trace_path is not None
+            or self.force_install
+        )
+
+    @property
+    def run_summary(self) -> dict:
+        """The headline numbers attached via :meth:`set_run_summary`."""
+        return dict(self._run_summary)
 
     def set_run_summary(self, summary: dict) -> None:
         """Attach the run's headline numbers to the JSON document."""
         self._run_summary = dict(summary)
 
+    def metrics_json(self) -> str:
+        """The ``repro-telemetry/v1`` document for this session's registry."""
+        if self.registry is None:
+            raise RuntimeError("session never installed a registry")
+        return to_json(
+            self.registry.snapshot(),
+            run=self._run_summary,
+            meta=self.meta,
+        )
+
     def __enter__(self) -> "TelemetrySession":
-        if self.metrics_path is not None:
+        if self.metrics_path is not None or self.force_install:
             self._prev_registry = get_registry()
             self.registry = MetricsRegistry()
             set_registry(self.registry)
-        if self.trace_path is not None:
+        if self.trace_path is not None or self.force_install:
             self._prev_tracer = get_tracer()
             self.tracer = Tracer()
             set_tracer(self.tracer)
@@ -73,12 +100,6 @@ class TelemetrySession:
         if exc_type is not None:
             return  # don't write partial captures over a crash
         if self.registry is not None and self.metrics_path is not None:
-            self.metrics_path.write_text(
-                to_json(
-                    self.registry.snapshot(),
-                    run=self._run_summary,
-                    meta=self.meta,
-                )
-            )
+            self.metrics_path.write_text(self.metrics_json())
         if self.tracer is not None and self.trace_path is not None:
             self.trace_path.write_text(self.tracer.to_chrome_trace())

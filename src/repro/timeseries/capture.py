@@ -15,6 +15,7 @@ from __future__ import annotations
 import json
 
 from repro.common.errors import ValidationError
+from repro.common.meta import coerce_meta
 from repro.timeseries.core import TimeSeriesSampler
 
 JSON_SCHEMA = "repro-timeseries/v1"
@@ -61,7 +62,7 @@ def capture_payload(sampler: TimeSeriesSampler, meta: dict | None = None) -> dic
     ]
     return {
         "schema": JSON_SCHEMA,
-        "meta": dict(meta or {}),
+        "meta": coerce_meta(meta),
         "series": series,
         "markers": markers,
         "totals": {

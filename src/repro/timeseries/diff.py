@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 
+from repro.common.meta import coerce_meta
 from repro.timeseries.capture import validate_capture
 
 DIFF_SCHEMA = "repro-timeseries-diff/v1"
@@ -129,7 +130,7 @@ def diff_captures(
     )
     return {
         "schema": DIFF_SCHEMA,
-        "meta": dict(meta or {}),
+        "meta": coerce_meta(meta),
         "base": dict(base.get("meta") or {}),
         "target": dict(target.get("meta") or {}),
         "series": rows,

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.common.meta import coerce_meta
 from repro.timeseries.capture import capture_payload, to_json
 from repro.timeseries.core import TimeSeriesSampler
 
@@ -36,7 +37,7 @@ class TimeSeriesSession:
         force_install: bool = False,
     ) -> None:
         self.capture_path = Path(capture_path) if capture_path else None
-        self.meta = dict(meta or {})
+        self.meta = coerce_meta(meta)
         self.force_install = force_install
         self.sampler: TimeSeriesSampler | None = None
         self._prev = None

@@ -1,0 +1,126 @@
+"""RunBundle: byte-stable repro-bundle/v1 manifests, deterministic run ids."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.runs import (
+    ARTIFACT_KINDS,
+    Artifact,
+    HOST_TIMED_KINDS,
+    ProvenanceStamp,
+    RunBundle,
+    derive_run_id,
+    load_manifest,
+    manifest_to_json,
+    render_manifest,
+    validate_manifest,
+)
+
+STAMP = ProvenanceStamp.collect("train", workload="lr-higgs", seed=0)
+
+
+def _bundle(**extra_artifacts) -> RunBundle:
+    artifacts = {
+        "telemetry": '{"schema": "repro-telemetry/v1"}\n',
+        "trace": '{"traceEvents": []}\n',
+        **extra_artifacts,
+    }
+    return RunBundle(STAMP, artifacts, summary={"jct_s": 10.0, "cost_usd": 0.5})
+
+
+class TestArtifact:
+    def test_entry_fields(self):
+        art = Artifact("telemetry", '{"x": 1}\n')
+        entry = art.to_entry()
+        assert entry["filename"] == "telemetry.json"
+        assert entry["artifact_schema"] == "repro-telemetry/v1"
+        assert entry["deterministic"] is True
+        assert entry["n_bytes"] == len('{"x": 1}\n')
+        assert len(entry["sha256"]) == 64
+
+    def test_host_timed_kinds_flagged(self):
+        for kind in HOST_TIMED_KINDS:
+            assert Artifact(kind, "x").deterministic is False
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError, match="unknown artifact kind"):
+            Artifact("screenshot", "x")
+
+    def test_every_kind_has_filename_and_schema_slot(self):
+        for kind, (filename, schema) in ARTIFACT_KINDS.items():
+            assert filename
+            assert schema is None or schema.endswith("/v1"), kind
+
+
+class TestRunId:
+    def test_deterministic(self):
+        a, b = _bundle(), _bundle()
+        assert a.run_id == b.run_id
+        assert a.run_id.startswith("r") and len(a.run_id) == 13
+
+    def test_argv_does_not_change_id(self):
+        stamped = ProvenanceStamp.collect(
+            "train", workload="lr-higgs", seed=0, argv=["--telemetry", "t.json"]
+        )
+        assert (
+            RunBundle(stamped, {"trace": "{}"}).run_id
+            == RunBundle(STAMP, {"trace": "{}"}).run_id
+        )
+
+    def test_host_timed_artifacts_do_not_change_id(self):
+        base = _bundle()
+        with_prof = _bundle(
+            profile='{"schema": "repro-profile/v1", "wall": 0.123}\n',
+            flamegraph="root;train 42\n",
+        )
+        assert base.run_id == with_prof.run_id
+
+    def test_deterministic_artifact_bytes_change_id(self):
+        other = RunBundle(
+            STAMP,
+            {"telemetry": '{"schema": "repro-telemetry/v1", "n": 2}\n',
+             "trace": '{"traceEvents": []}\n'},
+        )
+        assert other.run_id != _bundle().run_id
+
+    def test_derive_run_id_order_insensitive(self):
+        arts = [Artifact("trace", "{}"), Artifact("telemetry", "{}")]
+        assert derive_run_id(STAMP, arts) == derive_run_id(STAMP, arts[::-1])
+
+
+class TestManifest:
+    def test_byte_stable(self):
+        assert manifest_to_json(_bundle().manifest()) == manifest_to_json(
+            _bundle().manifest()
+        )
+
+    def test_round_trip(self):
+        text = manifest_to_json(_bundle().manifest())
+        payload = load_manifest(text)
+        assert payload["run_id"] == _bundle().run_id
+        assert manifest_to_json(payload) == text
+
+    def test_schema_versions_recorded(self):
+        manifest = _bundle().manifest()
+        schemas = manifest["meta"]["provenance"]["schema_versions"]
+        assert schemas == {"telemetry": "repro-telemetry/v1"}
+
+    def test_validate_rejects_bad_documents(self):
+        with pytest.raises(ValidationError, match="not valid JSON"):
+            load_manifest("nope{")
+        with pytest.raises(ValidationError, match="expected schema"):
+            validate_manifest({"schema": "other/v1"})
+        good = _bundle().manifest()
+        with pytest.raises(ValidationError, match="top-level keys"):
+            validate_manifest({**good, "extra": 1})
+        with pytest.raises(ValidationError, match="malformed run id"):
+            validate_manifest({**good, "run_id": "deadbeef"})
+        bad_entry = {**good, "artifacts": [{"kind": "telemetry"}]}
+        with pytest.raises(ValidationError, match="lacks keys"):
+            validate_manifest(bad_entry)
+
+    def test_render_mentions_run_and_artifacts(self):
+        text = render_manifest(_bundle().manifest())
+        assert _bundle().run_id in text
+        assert "telemetry.json" in text
+        assert "jct_s=10.0000" in text

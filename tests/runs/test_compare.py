@@ -1,0 +1,160 @@
+"""compare_runs: the repro-compare/v1 verdict over two stored bundles."""
+
+import json
+
+import pytest
+
+from repro.runs import (
+    ProvenanceStamp,
+    RunBundle,
+    RunStore,
+    compare_runs,
+    compare_to_json,
+    has_regression,
+)
+from repro.runs.compare import render_compare
+
+
+def _stamp(seed: int = 0) -> ProvenanceStamp:
+    return ProvenanceStamp.collect("train", workload="lr-higgs", seed=seed)
+
+
+def _faults_text(n_faults: int, kind: str = "storage-throttle") -> str:
+    return json.dumps(
+        {
+            "schema": "repro-faults-report/v1",
+            "summary": {
+                "n_faults": n_faults,
+                "n_recoveries": n_faults,
+                "fault_time_s": 2.5 * n_faults,
+                "recovery_time_s": 0.5 * n_faults,
+                "by_kind": {kind: n_faults} if n_faults else {},
+            },
+        }
+    )
+
+
+def _events_text(n_alerts: int) -> str:
+    lines = ['{"schema": "repro-events/v1"}']
+    lines += ['{"kind": "alert", "t_s": %d}' % i for i in range(n_alerts)]
+    return "\n".join(lines) + "\n"
+
+
+def _save(store, seed=0, jct=10.0, cost=0.5, restarts=0, converged=True,
+          faults=None, events=None) -> str:
+    summary = {
+        "jct_s": jct,
+        "cost_usd": cost,
+        "n_restarts": restarts,
+        "converged": converged,
+    }
+    artifacts = {"trace": json.dumps({"traceEvents": [], "jct": jct})}
+    if faults is not None:
+        artifacts["faults"] = faults
+    if events is not None:
+        artifacts["events"] = events
+    return store.save(RunBundle(_stamp(seed), artifacts, summary=summary))
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "runs")
+
+
+class TestVerdict:
+    def test_self_compare_is_identical(self, store):
+        run = _save(store)
+        report = compare_runs(store, run, run)
+        assert report["verdict"]["verdict"] == "identical"
+        assert not has_regression(report)
+        assert all(
+            row["direction"] == "identical"
+            for row in report["deltas"]["summary"]
+        )
+
+    def test_jct_increase_regresses(self, store):
+        base = _save(store, seed=0, jct=10.0)
+        worse = _save(store, seed=1, jct=12.0)
+        report = compare_runs(store, base, worse)
+        assert has_regression(report)
+        whats = [r["what"] for r in report["verdict"]["regressions"]]
+        assert "jct_s" in whats
+
+    def test_small_delta_is_noise_not_regression(self, store):
+        base = _save(store, seed=0, jct=10.0)
+        near = _save(store, seed=1, jct=10.05)  # +0.5% < 1% threshold
+        report = compare_runs(store, base, near)
+        assert not has_regression(report)
+        row = next(
+            r for r in report["deltas"]["summary"] if r["key"] == "jct_s"
+        )
+        assert row["direction"] == "noise"
+
+    def test_threshold_is_tunable(self, store):
+        base = _save(store, seed=0, jct=10.0)
+        near = _save(store, seed=1, jct=10.05)
+        assert has_regression(compare_runs(store, base, near, threshold=0.001))
+
+    def test_jct_decrease_improves(self, store):
+        base = _save(store, seed=0, jct=10.0)
+        better = _save(store, seed=1, jct=8.0)
+        report = compare_runs(store, base, better)
+        assert report["verdict"]["verdict"] == "improved"
+
+    def test_any_restart_increase_regresses(self, store):
+        base = _save(store, seed=0, restarts=0)
+        worse = _save(store, seed=1, restarts=1)
+        report = compare_runs(store, base, worse)
+        assert has_regression(report)
+        assert any(
+            r["what"] == "n_restarts" for r in report["verdict"]["regressions"]
+        )
+
+    def test_convergence_flip_regresses(self, store):
+        base = _save(store, seed=0, converged=True)
+        worse = _save(store, seed=1, converged=False)
+        assert has_regression(compare_runs(store, base, worse))
+
+
+class TestFaultAttribution:
+    def test_new_faults_regress_and_name_the_kind(self, store):
+        clean = _save(store, seed=0, faults=_faults_text(0))
+        faulty = _save(store, seed=1, faults=_faults_text(3))
+        report = compare_runs(store, clean, faulty)
+        assert has_regression(report)
+        entry = next(
+            r for r in report["verdict"]["regressions"] if r["kind"] == "faults"
+        )
+        assert "storage-throttle" in entry["detail"]
+        assert report["deltas"]["faults"]["n_faults"]["delta"] == 3
+
+    def test_event_counts_delta(self, store):
+        quiet = _save(store, seed=0, events=_events_text(0))
+        noisy = _save(store, seed=1, events=_events_text(4))
+        report = compare_runs(store, quiet, noisy)
+        assert report["deltas"]["events"]["alert"]["delta"] == 4
+
+    def test_absent_artifacts_yield_null_deltas(self, store):
+        a, b = _save(store, seed=0), _save(store, seed=1)
+        report = compare_runs(store, a, b)
+        assert report["deltas"]["slo"] is None
+        assert report["deltas"]["faults"] is None
+        assert report["attribution"]["timeseries"] is None
+        assert report["attribution"]["profile"] is None
+
+
+class TestSerialization:
+    def test_report_is_byte_stable(self, store):
+        run = _save(store)
+        a = compare_to_json(compare_runs(store, run, run))
+        b = compare_to_json(compare_runs(store, run, run))
+        assert a == b
+        assert json.loads(a)["schema"] == "repro-compare/v1"
+
+    def test_render_shows_verdict_and_regressions(self, store):
+        base = _save(store, seed=0, jct=10.0, faults=_faults_text(0))
+        worse = _save(store, seed=1, jct=12.0, faults=_faults_text(2))
+        text = render_compare(compare_runs(store, base, worse))
+        assert "verdict: REGRESSED" in text
+        assert "- regression [summary] jct_s" in text
+        assert "- regression [faults]" in text

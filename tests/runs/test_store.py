@@ -1,0 +1,107 @@
+"""RunStore: the content-addressed registry under .repro/runs."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.runs import ProvenanceStamp, RunBundle, RunStore
+
+
+def _bundle(seed: int = 0, text: str = '{"traceEvents": []}\n') -> RunBundle:
+    stamp = ProvenanceStamp.collect("train", workload="lr-higgs", seed=seed)
+    return RunBundle(
+        stamp,
+        {"trace": text, "telemetry": '{"schema": "repro-telemetry/v1"}\n'},
+        summary={"jct_s": 10.0 + seed},
+    )
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "runs")
+
+
+class TestRoundTrip:
+    def test_save_load(self, store):
+        bundle = _bundle()
+        run_id = store.save(bundle)
+        manifest = store.load(run_id)
+        assert manifest["run_id"] == run_id
+        assert store.read_artifact(manifest, "trace") == '{"traceEvents": []}\n'
+
+    def test_save_is_idempotent_and_byte_stable(self, store):
+        first = store.save(_bundle())
+        path = store.manifest_dir / f"{first}.json"
+        before = path.read_bytes()
+        assert store.save(_bundle()) == first
+        assert path.read_bytes() == before
+        assert store.run_ids() == [first]
+
+    def test_shared_objects_stored_once(self, store):
+        store.save(_bundle(seed=0))
+        store.save(_bundle(seed=1))  # same artifact bytes, different identity
+        objects = [p for p in store.object_dir.rglob("*") if p.is_file()]
+        assert len(store.run_ids()) == 2
+        assert len(objects) == 2  # trace + telemetry, deduplicated
+
+
+class TestResolve:
+    def test_unique_prefix(self, store):
+        run_id = store.save(_bundle())
+        assert store.resolve(run_id[:5]) == run_id
+
+    def test_missing_ref(self, store):
+        store.save(_bundle())
+        with pytest.raises(ValidationError, match="no run matching"):
+            store.resolve("rffffffffffff")
+
+    def test_ambiguous_prefix(self, store):
+        store.save(_bundle(seed=0))
+        store.save(_bundle(seed=1))
+        with pytest.raises(ValidationError, match="ambiguous run prefix"):
+            store.resolve("r")
+
+
+class TestIntegrity:
+    def test_missing_artifact_kind(self, store):
+        manifest = store.load(store.save(_bundle()))
+        with pytest.raises(ValidationError, match="no 'profile' artifact"):
+            store.read_artifact(manifest, "profile")
+
+    def test_corrupt_object_detected(self, store):
+        manifest = store.load(store.save(_bundle()))
+        entry = next(e for e in manifest["artifacts"] if e["kind"] == "trace")
+        store._object_path(entry["sha256"]).write_text("tampered")
+        with pytest.raises(ValidationError, match="corrupt"):
+            store.read_artifact(manifest, "trace")
+
+    def test_missing_object_detected(self, store):
+        manifest = store.load(store.save(_bundle()))
+        entry = next(e for e in manifest["artifacts"] if e["kind"] == "trace")
+        store._object_path(entry["sha256"]).unlink()
+        with pytest.raises(ValidationError, match="missing from the store"):
+            store.read_artifact(manifest, "trace")
+
+
+class TestMaintenance:
+    def test_export(self, store, tmp_path):
+        run_id = store.save(_bundle())
+        written = store.export(run_id, tmp_path / "out")
+        names = sorted(p.name for p in written)
+        assert names == ["manifest.json", "telemetry.json", "trace.json"]
+        assert (tmp_path / "out" / "trace.json").read_text() == '{"traceEvents": []}\n'
+
+    def test_gc_reclaims_orphans(self, store):
+        keep = store.save(_bundle(text='{"traceEvents": [1]}\n'))
+        drop = store.save(_bundle(text='{"traceEvents": [2]}\n'))
+        assert store.remove(drop) == drop
+        stats = store.gc()
+        assert stats["n_runs"] == 1
+        assert stats["n_removed"] == 1  # the dropped run's unique trace
+        assert stats["n_kept"] == 2  # kept run's trace + shared telemetry
+        assert store.run_ids() == [keep]
+        # The kept run is still fully readable after the sweep.
+        manifest = store.load(keep)
+        assert store.read_artifact(manifest, "telemetry")
+
+    def test_gc_on_empty_store(self, store):
+        assert store.gc() == {"n_removed": 0, "n_kept": 0, "n_runs": 0}
