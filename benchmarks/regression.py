@@ -95,6 +95,13 @@ TS_OVERHEAD_RATIO = 1.05
 SAVE_RUN_ENTRY = "fig12+save-run"
 SAVE_RUN_OVERHEAD_RATIO = 1.05
 
+#: Event-kernel probe: the Fig-12 workloads re-trained with the run
+#: journal recording (and fsyncing) every epoch boundary, interleaved
+#: against journal-off twins of the same runs. Prices the whole
+#: crash-consistency ride-along on the unified kernel's epoch loop.
+KERNEL_ENTRY = "fig12+kernel"
+KERNEL_OVERHEAD_RATIO = 1.05
+
 #: Chaos matrix (--chaos): every Fig-12 workload must complete under the
 #: default fault profile — recovering via retries, checkpoint restores and
 #: Pareto replanning — with JCT inflated at most this much over fault-free.
@@ -435,6 +442,84 @@ def measure_guard_overhead(
     return base, guarded
 
 
+def measure_kernel_training(
+    scale: str, seed: int, journal: bool
+) -> dict:
+    """Wall time for the Fig-12 workload trainings, journal on or off.
+
+    The unified event kernel has no "off" switch — every run dispatches
+    through it — so the measurable ride-along is the write-ahead journal:
+    one record plus an fsync per epoch boundary. Journal-on runs write
+    into a throwaway directory that is removed afterwards.
+    """
+    import shutil
+    import tempfile
+
+    from repro.experiments.harness import get_scale
+    from repro.kernel import RunJournal
+    from repro.ml.models import workload
+    from repro.workflow.job import training_envelope
+    from repro.workflow.runner import profile_workload, run_training
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-journal-") if journal else None
+    n_records = 0
+    try:
+        start = time.perf_counter()
+        for name in get_scale(scale).workloads:
+            profile = profile_workload(name)
+            budget = training_envelope(workload(name), profile).budget(
+                CHAOS_BUDGET_MULTIPLE
+            )
+            wal = None
+            if tmp is not None:
+                wal = RunJournal.create(
+                    Path(tmp) / f"{name}.journal",
+                    run={"command": "bench", "workload": name},
+                )
+            try:
+                run_training(
+                    name, budget_usd=budget, seed=seed, profile=profile,
+                    journal=wal,
+                )
+                if wal is not None:
+                    n_records += wal.n_epochs_journaled
+                    wal.commit()
+            finally:
+                if wal is not None:
+                    wal.close()
+        wall = round(time.perf_counter() - start, 4)
+    finally:
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+    entry = {"wall_s": wall, "counters": {}, "rates": {}}
+    if journal:
+        entry["journal"] = {"n_epoch_records": n_records}
+    return entry
+
+
+def measure_kernel_overhead(
+    scale: str, seed: int, rounds: int
+) -> tuple[dict, dict]:
+    """(journal-off, journal-on) entries from interleaved best-of pairs.
+
+    Same discipline as :func:`measure_guard_overhead`, with more pairs:
+    the journal's true cost (~100 fsyncs against seconds of training)
+    sits well inside scheduler noise, so each side needs more samples
+    for its best to converge on the real minimum.
+    """
+    pairs = max(8, rounds)
+    base = measure_kernel_training(scale, seed, journal=False)
+    journaled = measure_kernel_training(scale, seed, journal=True)
+    for _ in range(pairs - 1):
+        base_again = measure_kernel_training(scale, seed, journal=False)
+        journaled_again = measure_kernel_training(scale, seed, journal=True)
+        if base_again["wall_s"] < base["wall_s"]:
+            base = base_again
+        if journaled_again["wall_s"] < journaled["wall_s"]:
+            journaled = journaled_again
+    return base, journaled
+
+
 def run_chaos_matrix(scale: str, seed: int) -> tuple[dict, list[str]]:
     """Fault-free vs default-chaos training per Fig-12 workload.
 
@@ -495,6 +580,128 @@ def run_chaos_matrix(scale: str, seed: int) -> tuple[dict, list[str]]:
                 "matrix is not exercising recovery"
             )
     return entries, failures
+
+
+def run_combined_chaos_scenario(scale: str, seed: int) -> tuple[dict, list[str]]:
+    """Combined scenario: invocation timeout + storage throttle + mid-run kill.
+
+    Layers three fault axes the matrix otherwise exercises one at a time:
+    an invocation timeout, a long storage throttle window, and a simulated
+    SIGKILL halfway through a journaled run (the journal is truncated to
+    half its epoch records plus a torn half-line, then resumed). Runs the
+    first Fig-12 workload of the scale and gates on (a) the resumed run
+    finishing with JCT <= ``CHAOS_INFLATION_LIMIT`` x fault-free and
+    (b) the resumed journal matching the uninterrupted run's byte for byte.
+    """
+    import shutil
+    import tempfile
+
+    from repro.common.errors import ReproError
+    from repro.experiments.harness import get_scale
+    from repro.faults.plan import (
+        ANY_STORAGE, FaultPlan, StorageFaultSpec, ThrottleWindow,
+    )
+    from repro.kernel import RunJournal
+    from repro.ml.models import workload
+    from repro.workflow.job import training_envelope
+    from repro.workflow.runner import profile_workload, run_training
+
+    name = get_scale(scale).workloads[0]
+    plan = FaultPlan(
+        name="combined-timeout-throttle-kill",
+        invocation_timeout_s=30.0,
+        storage={
+            ANY_STORAGE: StorageFaultSpec(
+                transient_prob=0.05,
+                max_errors=2,
+                error_timeout_s=1.0,
+                throttle_windows=(
+                    ThrottleWindow(start_s=10.0, duration_s=300.0,
+                                   slowdown=2.0),
+                ),
+            )
+        },
+    )
+    profile = profile_workload(name)
+    budget = training_envelope(workload(name), profile).budget(
+        CHAOS_BUDGET_MULTIPLE
+    )
+    clean = run_training(
+        name, budget_usd=budget, seed=seed, profile=profile
+    ).result
+
+    failures: list[str] = []
+    tmp = Path(tempfile.mkdtemp(prefix="repro-bench-combined-"))
+    try:
+        journal_path = tmp / "combined.journal"
+        header = {"command": "bench-combined", "workload": name}
+        try:
+            with RunJournal.create(journal_path, run=header) as wal:
+                run_training(
+                    name, budget_usd=budget, seed=seed, profile=profile,
+                    fault_plan=plan, journal=wal,
+                )
+                wal.commit()
+        except ReproError as exc:
+            return ({"error": str(exc)}, [
+                f"{name}: combined scenario failed before the kill: {exc}"
+            ])
+        finished = journal_path.read_bytes()
+        lines = finished.decode().splitlines()
+        n_epochs = sum(1 for s in lines if '"kind": "epoch"' in s)
+
+        # Simulated SIGKILL at the halfway epoch boundary: keep half the
+        # fsynced records plus a torn half-written line, then resume.
+        kept = lines[: 1 + n_epochs // 2]
+        torn = lines[1 + n_epochs // 2][:40]
+        journal_path.write_bytes(("\n".join(kept) + "\n" + torn).encode())
+        try:
+            with RunJournal.open_resume(journal_path) as wal:
+                resumed = run_training(
+                    name, budget_usd=budget, seed=seed, profile=profile,
+                    fault_plan=plan, journal=wal,
+                ).result
+                wal.commit()
+        except ReproError as exc:
+            return ({"error": str(exc)}, [
+                f"{name}: combined scenario failed to resume: {exc}"
+            ])
+        if journal_path.read_bytes() != finished:
+            failures.append(
+                f"{name}: resumed journal diverges from the uninterrupted "
+                "run's bytes"
+            )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    inflation = (
+        resumed.jct_s / clean.jct_s if clean.jct_s > 0 else float("inf")
+    )
+    summary = resumed.extra.get("faults", {})
+    entry = {
+        "workload": name,
+        "clean_jct_s": round(clean.jct_s, 4),
+        "chaos_jct_s": round(resumed.jct_s, 4),
+        "inflation": round(inflation, 4),
+        "n_faults": summary.get("n_faults", 0),
+        "n_recoveries": summary.get("n_recoveries", 0),
+        "kill_epoch": n_epochs // 2,
+        "n_epochs": n_epochs,
+    }
+    print(f"  chaos:combined({name}) clean {clean.jct_s:9.2f} s -> "
+          f"resumed {resumed.jct_s:9.2f} s ({inflation:.2f}x, "
+          f"killed at epoch {n_epochs // 2}/{n_epochs})")
+    if inflation > CHAOS_INFLATION_LIMIT:
+        failures.append(
+            f"{name}: combined-scenario JCT inflation {inflation:.2f}x "
+            f"exceeds {CHAOS_INFLATION_LIMIT:.2f}x limit"
+        )
+    if not summary.get("n_faults"):
+        failures.append(
+            f"{name}: combined scenario injected no faults — timeout and "
+            "throttle axes are not engaging"
+        )
+    return entry, failures
 
 
 def measure_flow_lint(rounds: int) -> dict:
@@ -732,6 +939,31 @@ def main(argv: list[str] | None = None) -> int:
                 f"{SAVE_RUN_OVERHEAD_RATIO:.2f}x run-bundle overhead budget)"
             )
 
+    # Event-kernel probe: the same workloads re-trained with the run
+    # journal recording (and fsyncing) every epoch boundary, against
+    # interleaved journal-off twins. Everything dispatches through the
+    # unified kernel either way; the delta prices crash consistency.
+    if GUARD_BASE_EXPERIMENT in current["experiments"]:
+        base, entry = measure_kernel_overhead(
+            args.scale, args.seed, args.rounds
+        )
+        if args.inject_slowdown != 1.0:
+            entry["wall_s"] = round(entry["wall_s"] * args.inject_slowdown, 4)
+            base["wall_s"] = round(base["wall_s"] * args.inject_slowdown, 4)
+        current["experiments"][KERNEL_ENTRY] = entry
+        print(f"  {KERNEL_ENTRY:20s} {entry['wall_s']:9.3f} s"
+              f"  (interleaved journal-off {base['wall_s']:.3f} s)")
+        base_wall = base["wall_s"]
+        if (
+            base_wall >= MIN_COMPARABLE_WALL_S
+            and entry["wall_s"] > base_wall * KERNEL_OVERHEAD_RATIO
+        ):
+            guard_regressions.append(
+                f"{KERNEL_ENTRY}: {entry['wall_s']:.3f} s vs journal-off "
+                f"{base_wall:.3f} s ({entry['wall_s'] / base_wall:.2f}x > "
+                f"{KERNEL_OVERHEAD_RATIO:.2f}x journal overhead budget)"
+            )
+
     # Flow-analysis wall-time probe: the interprocedural lint layer gates
     # CI on every change, so its own cost is a budgeted quantity. Unlike
     # the overhead probes above this is an absolute budget, not a ratio —
@@ -755,6 +987,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.chaos:
         print("chaos matrix (default fault profile)")
         chaos_entries, chaos_failures = run_chaos_matrix(args.scale, args.seed)
+        combined_entry, combined_failures = run_combined_chaos_scenario(
+            args.scale, args.seed
+        )
+        chaos_entries["combined-timeout-throttle-kill"] = combined_entry
+        chaos_failures += combined_failures
         current["chaos"] = chaos_entries
 
     exit_code = 0

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.analysis.core import Rule
 from repro.analysis.rules.determinism import UnseededRandomnessRule, WallClockRule
 from repro.analysis.rules.events import EventLoopSafetyRule
+from repro.analysis.rules.eventqueue import EventQueueUnificationRule
 from repro.analysis.rules.exceptions import BroadExceptRule
 from repro.analysis.rules.ordering import UnorderedIterationRule
 from repro.analysis.rules.retry import UnboundedRetryRule
@@ -26,6 +27,7 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     SchemaDisciplineRule,  # REP006
     UnorderedIterationRule,  # REP007
     UnboundedRetryRule,  # REP008
+    EventQueueUnificationRule,  # REP014 (REP009-REP013 are flow rules)
 )
 
 
@@ -45,6 +47,7 @@ __all__ = [
     "UnseededRandomnessRule",
     "WallClockRule",
     "EventLoopSafetyRule",
+    "EventQueueUnificationRule",
     "UnitSafetyRule",
     "BroadExceptRule",
     "SchemaDisciplineRule",

@@ -50,7 +50,7 @@ _CLOCK_CALLS = frozenset(
 #: host clock.
 _SIM_PACKAGES = (
     "faas", "training", "tuning", "workflow", "slo", "faults", "profiling",
-    "timeseries", "flow", "runs",
+    "timeseries", "flow", "runs", "kernel",
 )
 
 

@@ -1,0 +1,71 @@
+"""REP014 — event-queue unification: heaps belong to the kernel.
+
+The repository has exactly one event loop: :class:`repro.kernel.EventKernel`,
+whose heap entries carry the deterministic ``(time, priority, seq)``
+tie-break and whose dispatch feeds the crash-consistent run journal. A
+second ad-hoc queue — a raw ``heapq`` workqueue, a ``queue.PriorityQueue``
+— would own its own clock ordering, invisible to both the determinism
+contract and ``repro resume``. This rule flags direct priority-queue use
+anywhere outside :mod:`repro.kernel`; the kernel's own two heap calls are
+pragma-suppressed at the call sites (``# lint: ignore[REP014]``), keeping
+the exemption visible in the code it exempts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+from repro.analysis.imports import ImportMap
+
+#: The mutating heap-queue operations (selection helpers like
+#: ``heapq.nsmallest`` are fine — they order data, not events).
+_HEAP_OPS = frozenset(
+    {
+        "heapq.heappush",
+        "heapq.heappop",
+        "heapq.heapify",
+        "heapq.heappushpop",
+        "heapq.heapreplace",
+    }
+)
+
+_QUEUE_TYPES = frozenset({"queue.PriorityQueue", "asyncio.PriorityQueue"})
+
+
+class EventQueueUnificationRule(Rule):
+    """REP014: ad-hoc event queues outside ``repro.kernel``."""
+
+    rule_id = "REP014"
+    name = "event-queue-unification"
+    severity = "error"
+    rationale = (
+        "All event scheduling must go through repro.kernel.EventKernel: a "
+        "private heapq or PriorityQueue orders events outside the kernel's "
+        "deterministic (time, priority, seq) dispatch and is invisible to "
+        "the run journal that `repro resume` replays."
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        imports = ImportMap(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = imports.resolve(node.func)
+            if resolved in _HEAP_OPS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"direct {resolved} builds an ad-hoc event queue; "
+                    "schedule through repro.kernel.EventKernel so dispatch "
+                    "order and the run journal stay authoritative",
+                )
+            elif resolved in _QUEUE_TYPES:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{resolved} is a second priority queue next to the "
+                    "event kernel; route the work through "
+                    "repro.kernel.EventKernel.schedule instead",
+                )

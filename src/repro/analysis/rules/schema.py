@@ -24,6 +24,7 @@ from repro.analysis.core import Finding, ModuleContext, Rule
 #: The checked-in key sets for every versioned document the repo emits.
 SCHEMA_KEYS: dict[str, frozenset[str]] = {
     "repro-telemetry/v1": frozenset({"schema", "meta", "run", "metrics"}),
+    "repro-journal/v1": frozenset({"schema", "kind", "run", "meta"}),
     "repro-report/v1": frozenset(
         {"schema", "meta", "run", "time", "cost", "activity"}
     ),

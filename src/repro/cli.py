@@ -478,11 +478,27 @@ def cmd_profile(args) -> int:
     return 0
 
 
-def cmd_train(args) -> int:
+def _journal_header(args, command: str) -> dict:
+    """The ``repro-journal/v1`` header payload: everything ``repro
+    resume`` needs to re-execute the run under the original identity
+    (flags *and* argv, since provenance metadata embeds argv)."""
+    saved = {k: v for k, v in vars(args).items() if k != "fn"}
+    saved["_argv"] = [str(a) for a in saved.get("_argv", ())]
+    return {"command": command, "args": saved}
+
+
+def cmd_train(args, journal=None) -> int:
     w = workload(args.workload)
     try:
         slo = _slo_session(args, "train")
         plan = _fault_plan(args)
+        journal_path = getattr(args, "journal", None)
+        if journal is None and journal_path:
+            from repro.kernel import RunJournal
+
+            journal = RunJournal.create(
+                journal_path, run=_journal_header(args, "train")
+            )
     except (OSError, ValueError, ReproError) as exc:
         print(f"repro train: {exc}", file=sys.stderr)
         return 2
@@ -508,6 +524,7 @@ def cmd_train(args) -> int:
             qos_s=qos, seed=args.seed, profile=profile,
             storage_pin=_parse_storage(args.storage),
             fault_plan=plan,
+            journal=journal,
         )
         r = run.result
         session.set_run_summary(
@@ -543,7 +560,59 @@ def cmd_train(args) -> int:
         args, "train", session, slo, prof, tser,
         ledger=run.fault_ledger, plan=plan,
     )
+    if journal is not None:
+        # Commit only after the bundle is durable: an interrupted save
+        # leaves the journal resumable, and resume regenerates the exact
+        # same bundle (content-addressed store; identical bytes dedup).
+        journal.commit(
+            {"jct_s": r.jct_s, "cost_usd": r.cost_usd,
+             "n_epochs": len(r.epochs), "converged": r.converged}
+        )
+        journal.close()
+        print(f"journal: {len(r.epochs)} epoch boundary(ies) committed")
     return _finish_slo(slo)
+
+
+def cmd_resume(args) -> int:
+    """``repro resume JOURNAL``: continue an interrupted journaled run.
+
+    Reopens the write-ahead log (truncating any torn tail the crash left),
+    re-executes the run from its journal header under the original argv,
+    validates every replayed epoch boundary against the journaled prefix,
+    and continues past it — finishing to the same run id and the same
+    deterministic-artifact bytes as an uninterrupted run.
+    """
+    from repro.kernel import RunJournal
+
+    try:
+        journal = RunJournal.open_resume(args.journal)
+    except (OSError, ReproError) as exc:
+        return _capture_error("resume", exc)
+    run = journal.header.get("run") or {}
+    command = run.get("command")
+    if command != "train":
+        print(
+            f"repro resume: journal command {command!r} is not resumable",
+            file=sys.stderr,
+        )
+        journal.close()
+        return 2
+    if journal.committed and not args.force:
+        print(
+            f"journal: already committed ({journal.n_epochs_journaled} epoch "
+            "boundary(ies)); nothing to resume (use --force to re-execute)"
+        )
+        journal.close()
+        return 0
+    saved = dict(run.get("args") or {})
+    saved.pop("fn", None)
+    saved["_argv"] = tuple(saved.get("_argv") or ())
+    print(
+        f"resume : replaying {journal.n_epochs_journaled} journaled epoch "
+        f"boundary(ies) from {args.journal}"
+    )
+    with journal:
+        return cmd_train(argparse.Namespace(**saved), journal=journal)
 
 
 def cmd_tune(args) -> int:
@@ -1375,6 +1444,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="switch to cost-min with this deadline multiple")
     p.add_argument("--storage", choices=[s.value for s in StorageKind])
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--journal", metavar="PATH",
+        help="write the crash-consistent repro-journal/v1 write-ahead log "
+             "to PATH; an interrupted run continues with `repro resume`",
+    )
     _add_telemetry_flags(p)
     _add_slo_flags(p)
     _add_fault_flags(p)
@@ -1382,6 +1456,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_timeseries_flags(p)
     _add_run_flags(p)
     p.set_defaults(fn=cmd_train)
+
+    p = sub.add_parser(
+        "resume",
+        help="continue an interrupted journaled run",
+        description="Reopen a repro-journal/v1 write-ahead log written by "
+                    "`repro train --journal`, truncate any torn tail the "
+                    "crash left, replay to the last consistent epoch "
+                    "boundary, and continue the run to the same run id and "
+                    "deterministic-artifact bytes as an uninterrupted run.",
+    )
+    p.add_argument("journal", help="path to the repro-journal/v1 file")
+    p.add_argument("--force", action="store_true",
+                   help="re-execute even if the journal is already committed")
+    p.set_defaults(fn=cmd_resume)
 
     p = sub.add_parser("tune", help="run one hyperparameter-tuning job")
     p.add_argument("workload")

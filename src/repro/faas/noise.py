@@ -32,22 +32,30 @@ class NoiseModel:
         self.cold_start_sigma = platform.cold_start_noise_sigma
         self.spike_prob = spike_prob
         self.spike_scale = spike_scale
+        # RNG cursor: how many values this stream has produced. The run
+        # journal records it at every epoch boundary, so a resumed replay
+        # can verify it is drawing the same noise sequence.
+        self.draws = 0
 
     def compute_factor(self) -> float:
         """Multiplicative jitter for a compute phase."""
+        self.draws += 1
         return float(self._rng.lognormal(0.0, self.compute_sigma))
 
     def network_factor(self) -> float:
         """Multiplicative jitter for a network phase, with rare spikes."""
         base = float(self._rng.lognormal(0.0, self.network_sigma))
+        self.draws += 2
         if self._rng.random() < self.spike_prob:
             base *= self.spike_scale
         return base
 
     def cold_start_factor(self) -> float:
         """Jitter for function cold starts (heavier-tailed)."""
+        self.draws += 1
         return float(self._rng.lognormal(0.0, self.cold_start_sigma))
 
     def compute_factors(self, n: int) -> np.ndarray:
         """n independent compute factors (one per function)."""
+        self.draws += n
         return np.exp(self._rng.normal(0.0, self.compute_sigma, size=n))

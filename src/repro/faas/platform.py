@@ -20,7 +20,7 @@ from repro.common.errors import FaultError, RetryExhaustedError, SimulationError
 from repro.common.types import EpochTimeBreakdown
 from repro.config import DEFAULT_PLATFORM, PlatformConfig
 from repro.faas.billing import BillingMeter
-from repro.faas.events import Acquire, Join, Release, Resource, Simulator
+from repro.faas.events import Acquire, Join, Priority, Release, Resource, Simulator
 from repro.faas.function import WarmPool
 from repro.faas.noise import NoiseModel
 from repro.telemetry import get_registry, get_tracer
@@ -167,183 +167,70 @@ class FaaSPlatform:
         )
 
     # ------------------------------------------------------------------ execution
+    @property
+    def noise_draws(self) -> int:
+        """RNG cursor of the platform noise stream (journaled per epoch)."""
+        return self._noise.draws
+
     def execute_epoch(self, spec: EpochExecution) -> InvocationResult:
-        """Run one epoch on the event engine and bill it.
+        """Run one epoch on the event kernel and bill it.
 
-        Returns measured wall time and a load/compute/sync breakdown. The
-        barrier makes the epoch's compute phase the *maximum* of the
-        per-function jittered durations — one source of the analytical
-        model's validation error (Fig. 19/20).
-        """
-        if spec.n_functions < 1:
-            raise SimulationError("epoch needs at least one function")
-        if self.fault_injector is not None:
-            return self._execute_epoch_faulty(spec, self.fault_injector)
-        sim = self.sim
-        start = sim.now
-        if spec.prewarmed:
-            # Delayed restart provisioned these instances during the
-            # previous epoch; make sure the pool reflects that.
-            deficit = spec.n_functions - self.pool.warm_count(spec.group, sim.now)
-            if deficit > 0:
-                self.pool.prewarm(spec.group, deficit, sim.now)
-        n_warm, n_cold = self.pool.acquire(spec.group, spec.n_functions, sim.now)
-        noise = self._noise
-        cold_s = (
-            self.platform.limits.cold_start_s * noise.cold_start_factor()
-            if n_cold
-            else 0.0
-        )
-        compute_factors = noise.compute_factors(spec.n_functions)
-        for rank, factor in self.straggler_factors.items():
-            if 0 <= rank < spec.n_functions:
-                compute_factors[rank] *= factor
-        load_factor = noise.network_factor()
-        sync_factor = noise.network_factor()
-
-        waits: list[float] = []
-        starts = [0.0] * spec.n_functions
-        durations = [0.0] * spec.n_functions
-
-        def function_proc(rank: int):
-            body_start = sim.now
-            starts[rank] = body_start
-            if rank >= n_warm:  # the cold subset pays the cold start
-                yield cold_s
-            yield spec.load_s * load_factor
-            yield spec.compute_s * float(compute_factors[rank])
-            durations[rank] = sim.now - body_start
-
-        outcome: dict[str, float] = {}
-
-        def epoch_driver():
-            # BSP needs every worker alive simultaneously, so the epoch
-            # acquires its n concurrency slots as a gang; n above the
-            # account limit is an infeasible allocation, not a queue.
-            arrive = sim.now
-            yield Acquire(self.concurrency, spec.n_functions)
-            waits.append(sim.now - arrive)
-            tasks = [sim.spawn(function_proc(r)) for r in range(spec.n_functions)]
-            yield Join.of(tasks)
-            barrier_at = sim.now
-            sync_s = spec.sync_s * sync_factor
-            yield sync_s
-            outcome["sync_s"] = sync_s
-            outcome["barrier_at"] = barrier_at
-            yield Release(self.concurrency, spec.n_functions)
-
-        driver = sim.spawn(epoch_driver())
-        sim.run()
-        if not driver.done:
-            raise SimulationError("epoch driver did not complete; engine stall")
-
-        wall = sim.now - start
-        sync_s = outcome["sync_s"]
-        billed = 0.0
-        for d in durations:
-            bill = self.meter.bill_invocation(spec.memory_mb, d + sync_s)
-            billed += bill.total_usd
-        self.pool.release(spec.group, spec.n_functions, sim.now)
-        measured = EpochTimeBreakdown(
-            load_s=spec.load_s * load_factor,
-            compute_s=float(max(durations)) - cold_s - spec.load_s * load_factor,
-            sync_s=sync_s,
-        )
-        queue_wait = max(waits) if waits else 0.0
-        self._m_invocations.inc(spec.n_functions)
-        if n_cold:
-            self._m_cold_starts.inc(n_cold)
-            self._m_cold_seconds.inc(cold_s)
-        self._m_queue_wait.observe(queue_wait)
-        self._m_epoch_wall.observe(wall)
-        self._m_occupancy.set(spec.n_functions)
-        self._m_occupancy_peak.set(self.concurrency.peak_in_use)
-        self._sample_epoch(spec, start, n_cold)
-        tracer = self.tracer
-        if tracer.enabled:
-            track = f"group:{spec.group}"
-            body_start = start + queue_wait
-            if queue_wait > 0:
-                tracer.span(
-                    "queue-wait", "queue", start, queue_wait, track,
-                    gang=spec.n_functions,
-                )
-            if n_cold:
-                tracer.span(
-                    "cold-start", "cold", body_start, cold_s, track,
-                    cold=n_cold, warm=n_warm,
-                )
-            load_end = body_start + cold_s + measured.load_s
-            tracer.span(
-                "load", "load", body_start + cold_s, measured.load_s, track
-            )
-            tracer.span(
-                "compute", "compute", load_end,
-                max(0.0, outcome["barrier_at"] - load_end), track,
-                barrier=True,
-            )
-            tracer.span("sync", "sync", outcome["barrier_at"], sync_s, track)
-            for rank in range(spec.n_functions):
-                tracer.span(
-                    f"worker-{rank}", "worker", starts[rank], durations[rank],
-                    track, rank=rank, cold=rank >= n_warm,
-                )
-        return InvocationResult(
-            wall_time_s=wall,
-            time=measured,
-            cold_starts=n_cold,
-            queue_wait_s=queue_wait,
-            billed_usd=billed,
-            worker_durations_s=tuple(durations),
-            cold_start_s=cold_s,
-        )
-
-    def _execute_epoch_faulty(self, spec: EpochExecution, injector) -> InvocationResult:
-        """The injector-attached twin of :meth:`execute_epoch`.
-
-        Same gang/barrier structure, plus: permanent-loss detection before
-        the gang launches, per-worker bounded retry (crashes, timeouts,
+        One loop serves both the fault-free and the injector-attached
+        path. Without an injector each worker sleeps through its cold
+        start, load, and jittered compute and the gang synchronizes after
+        the barrier — the barrier makes the epoch's compute phase the
+        *maximum* of the per-function durations, one source of the
+        analytical model's validation error (Fig. 19/20). With an
+        injector attached the same gang additionally sees permanent-loss
+        detection (a :attr:`Priority.FAULT` kernel event before the gang
+        launches), per-worker bounded retry (crashes, timeouts,
         cold-start failures — each failed attempt is billed and re-run
         after a jittered backoff), and storage transient/throttle
         penalties on the synchronization. A gang that exhausts its retry
         budget raises :class:`RetryExhaustedError`; the executor restores
         the last epoch-boundary checkpoint and re-runs only this epoch.
+
+        The injector-free path draws the same noise in the same order and
+        schedules the same events as it did before faults existed, so
+        fault-free runs stay byte-identical.
         """
+        if spec.n_functions < 1:
+            raise SimulationError("epoch needs at least one function")
         sim = self.sim
+        injector = self.fault_injector
         start = sim.now
         epoch = spec.epoch_index
         incarnation = spec.incarnation
-        retry = injector.plan.retry
         cold_base = self.platform.limits.cold_start_s
 
-        losses = injector.pending_losses(epoch, spec.n_functions)
-        if losses:
-            # The platform notices the dead instances when their invokes
-            # time out — one detection window on the critical path.
-            detect_s = injector.plan.invocation_timeout_s or cold_base
-
-            def detection_proc():
-                yield detect_s
-
-            task = sim.spawn(detection_proc())
-            sim.run()
-            if not task.done:  # pragma: no cover - defensive
-                raise SimulationError("loss-detection sleep did not complete")
-            for loss in losses:
-                injector.record(
-                    "permanent-loss", sim.now, epoch=epoch, rank=loss.rank,
-                    lost_s=detect_s, detail=f"instance gone since epoch {loss.epoch}",
+        if injector is not None:
+            losses = injector.pending_losses(epoch, spec.n_functions)
+            if losses:
+                # The platform notices the dead instances when their
+                # invokes time out — one detection window on the critical
+                # path, dispatched ahead of any execution event at its
+                # timestamp.
+                detect_s = injector.plan.invocation_timeout_s or cold_base
+                sim.schedule(detect_s, lambda: None, priority=Priority.FAULT)
+                sim.run()
+                for loss in losses:
+                    injector.record(
+                        "permanent-loss", sim.now, epoch=epoch, rank=loss.rank,
+                        lost_s=detect_s,
+                        detail=f"instance gone since epoch {loss.epoch}",
+                    )
+                    injector.mark_loss_handled(loss)
+                exc = FaultError(
+                    f"permanent loss of {len(losses)} function instance(s) "
+                    f"at epoch {epoch}",
+                    scope=injector.scope, t_s=sim.now,
                 )
-                injector.mark_loss_handled(loss)
-            exc = FaultError(
-                f"permanent loss of {len(losses)} function instance(s) "
-                f"at epoch {epoch}",
-                scope=injector.scope, t_s=sim.now,
-            )
-            exc.losses = tuple(losses)
-            raise exc
+                exc.losses = tuple(losses)
+                raise exc
 
         if spec.prewarmed:
+            # Delayed restart provisioned these instances during the
+            # previous epoch; make sure the pool reflects that.
             deficit = spec.n_functions - self.pool.warm_count(spec.group, sim.now)
             if deficit > 0:
                 self.pool.prewarm(spec.group, deficit, sim.now)
@@ -356,7 +243,10 @@ class FaaSPlatform:
                 compute_factors[rank] *= factor
         load_factor = noise.network_factor()
         sync_factor = noise.network_factor()
-        timeout_s = injector.plan.invocation_timeout_s
+        retry = injector.plan.retry if injector is not None else None
+        timeout_s = (
+            injector.plan.invocation_timeout_s if injector is not None else None
+        )
         cold_sigma = self.platform.cold_start_noise_sigma
 
         waits: list[float] = []
@@ -371,6 +261,17 @@ class FaaSPlatform:
         def worker_proc(rank: int):
             body_start = sim.now
             starts[rank] = body_start
+            if injector is None:
+                # Fault-free fast path: the historical event shape —
+                # separate cold/load/compute sleeps — kept verbatim so
+                # existing runs replay byte-identically.
+                if rank >= n_warm:  # the cold subset pays the cold start
+                    yield cold_s
+                yield spec.load_s * load_factor
+                yield spec.compute_s * float(compute_factors[rank])
+                durations[rank] = sim.now - body_start
+                consumed[rank] = durations[rank]
+                return
             attempt = 0
             while attempt < retry.max_attempts:
                 attempt_start = sim.now
@@ -385,7 +286,7 @@ class FaaSPlatform:
                     )
                     for k in range(n_csf):
                         window = cold_base * injector.cold_window_factor(
-                            epoch, rank, attempt, k, cold_sigma
+                            epoch, rank, attempt, k, cold_sigma, incarnation
                         )
                         yield window
                         extra_cold[0] += 1
@@ -401,7 +302,8 @@ class FaaSPlatform:
                     # Speculative re-execution: fresh jitter, and the
                     # seeded straggler factor does not follow the retry.
                     factor = injector.retry_compute_factor(
-                        epoch, rank, attempt, self.platform.compute_noise_sigma
+                        epoch, rank, attempt, self.platform.compute_noise_sigma,
+                        incarnation,
                     )
                 body_s = spec.load_s * load_factor + spec.compute_s * factor
                 planned = cold_here + body_s
@@ -450,13 +352,20 @@ class FaaSPlatform:
         outcome: dict[str, float] = {}
 
         def epoch_driver():
+            # BSP needs every worker alive simultaneously, so the epoch
+            # acquires its n concurrency slots as a gang; n above the
+            # account limit is an infeasible allocation, not a queue.
             arrive = sim.now
             yield Acquire(self.concurrency, spec.n_functions)
             waits.append(sim.now - arrive)
             tasks = [sim.spawn(worker_proc(r)) for r in range(spec.n_functions)]
             yield Join.of(tasks)
             outcome["barrier_at"] = sim.now
-            if not any(failed):
+            if injector is None:
+                sync_s = spec.sync_s * sync_factor
+                yield sync_s
+                outcome["sync_s"] = sync_s
+            elif not any(failed):
                 sync_s = spec.sync_s * sync_factor
                 penalty = injector.sync_penalty(
                     epoch, spec.storage, sim.now, sync_s, incarnation
@@ -547,16 +456,28 @@ class FaaSPlatform:
                     "cold-start", "cold", body_start, cold_s, track,
                     cold=n_cold, warm=n_warm,
                 )
-            if fault_overhead > 0:
+            if injector is None:
+                load_end = body_start + cold_s + measured.load_s
                 tracer.span(
-                    "fault-recovery", "fault", outcome["barrier_at"],
-                    fault_overhead, track, epoch=epoch,
-                    n_faults=n_faults,
+                    "load", "load", body_start + cold_s, measured.load_s, track
                 )
-            tracer.span(
-                "sync", "sync", outcome["barrier_at"], sync_s + sync_extra,
-                track,
-            )
+                tracer.span(
+                    "compute", "compute", load_end,
+                    max(0.0, outcome["barrier_at"] - load_end), track,
+                    barrier=True,
+                )
+                tracer.span("sync", "sync", outcome["barrier_at"], sync_s, track)
+            else:
+                if fault_overhead > 0:
+                    tracer.span(
+                        "fault-recovery", "fault", outcome["barrier_at"],
+                        fault_overhead, track, epoch=epoch,
+                        n_faults=n_faults,
+                    )
+                tracer.span(
+                    "sync", "sync", outcome["barrier_at"], sync_s + sync_extra,
+                    track,
+                )
             for rank in range(spec.n_functions):
                 tracer.span(
                     f"worker-{rank}", "worker", starts[rank], consumed[rank],

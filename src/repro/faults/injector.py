@@ -132,15 +132,19 @@ class FaultInjector:
         return n
 
     def cold_window_factor(self, epoch: int, rank: int, attempt: int,
-                           k: int, sigma: float) -> float:
+                           k: int, sigma: float, incarnation: int = 0) -> float:
         """Jitter for a retried cold-start window (site-keyed, so retries
         don't disturb the platform's shared noise stream)."""
-        return self._lognormal(sigma, "cold-window", epoch, rank, attempt, k)
+        return self._lognormal(
+            sigma, "cold-window", epoch, rank, attempt, k, incarnation
+        )
 
     def retry_compute_factor(self, epoch: int, rank: int, attempt: int,
-                             sigma: float) -> float:
+                             sigma: float, incarnation: int = 0) -> float:
         """Fresh compute jitter for a re-executed attempt."""
-        return self._lognormal(sigma, "retry-compute", epoch, rank, attempt)
+        return self._lognormal(
+            sigma, "retry-compute", epoch, rank, attempt, incarnation
+        )
 
     def backoff_s(self, attempt: int, *site: object) -> float:
         """Exponential backoff with deterministic jitter for this site."""
@@ -196,7 +200,7 @@ class FaultInjector:
             n_transient = min(n_transient, spec.max_errors)
             for k in range(n_transient):
                 lost = spec.error_timeout_s
-                backoff = self.backoff_s(k + 1, "sync", epoch, k)
+                backoff = self.backoff_s(k + 1, "sync", epoch, k, incarnation)
                 extra += lost + backoff
                 self.record(
                     "storage-transient", start_s + extra, epoch=epoch,

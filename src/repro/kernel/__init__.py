@@ -1,0 +1,53 @@
+"""The unified discrete-event kernel: one clock, one heap, one journal.
+
+Every simulated subsystem — platform epoch execution, storage sync
+rounds, scheduler reallocation points, SLO burn-rate evaluation, fault
+injection — runs on one :class:`EventKernel`. The kernel owns both
+timelines of a run:
+
+* the **event clock** (``now``): simulated resource time advanced by the
+  binary-heap event loop, with deterministic ``(time, priority, seq)``
+  tie-breaks;
+* the **job clock** (``job_clock_s``): the job-time ledger (JCT) that
+  additionally accumulates zero-event-time scheduling work — planner
+  searches, checkpoint restores, visible restart overhead — via
+  :meth:`EventKernel.credit_job_time`.
+
+Crash consistency rides on top: :class:`~repro.kernel.journal.RunJournal`
+is the append-only ``repro-journal/v1`` write-ahead log (fsync at epoch
+boundaries, torn-tail truncation on open) and the ``repro resume`` CLI
+replays it so an interrupted run continues to a bundle byte-identical
+to an uninterrupted one.
+"""
+
+from repro.kernel.core import (
+    Acquire,
+    EventKernel,
+    Join,
+    Priority,
+    Process,
+    Release,
+    Resource,
+    Task,
+)
+from repro.kernel.journal import (
+    JOURNAL_SCHEMA,
+    JournalError,
+    RunJournal,
+    epoch_record_digest,
+)
+
+__all__ = [
+    "Acquire",
+    "EventKernel",
+    "JOURNAL_SCHEMA",
+    "Join",
+    "JournalError",
+    "Priority",
+    "Process",
+    "Release",
+    "Resource",
+    "RunJournal",
+    "Task",
+    "epoch_record_digest",
+]

@@ -17,7 +17,15 @@ Classification ladder per dimension, strongest wins:
 * ``ok``        — everything else.
 
 All arithmetic is over simulated quantities; nothing here reads the host
-clock or consumes randomness.
+clock or consumes randomness. Since the event-kernel unification the
+accountant holds no clock of its own either: the ``t_s`` values arriving
+via :meth:`BurnRateAccountant.observe_clock` are readings of the kernel's
+*job clock* (``EventKernel.job_clock_s`` — overhead-credited job time, the
+quantity SLOs are written against), not its *event clock* (``EventKernel
+.now`` — raw dispatch time, which also advances through retries and
+backoffs that delayed-restart accounting keeps off the critical path).
+The per-scope high-water marks below only fold readings from those
+kernel clocks; see docs/kernel.md for the two clock domains.
 """
 
 from __future__ import annotations

@@ -39,13 +39,26 @@ class SyncRoundReport:
 
 
 class BSPSynchronizer:
-    """Synchronizes n workers' gradients through one storage service."""
+    """Synchronizes n workers' gradients through one storage service.
 
-    def __init__(self, service: ExternalStorageService, n_workers: int) -> None:
+    ``kernel`` (optional, a :class:`repro.kernel.EventKernel`) puts each
+    round on the unified simulated timeline: the round's wall time is
+    dispatched as a STORAGE-priority event, so storage sync shares the
+    clock that platform execution and fault injection already run on
+    instead of keeping a private elapsed-time accumulator.
+    """
+
+    def __init__(
+        self,
+        service: ExternalStorageService,
+        n_workers: int,
+        kernel: object | None = None,
+    ) -> None:
         if n_workers < 1:
             raise ValidationError(f"n_workers must be >= 1, got {n_workers}")
         self.service = service
         self.n_workers = n_workers
+        self.kernel = kernel
         self.round_index = 0
 
     def expected_transfers(self) -> int:
@@ -68,6 +81,13 @@ class BSPSynchronizer:
         with profile_phase("storage/sync_round") as ph:
             merged, report = self._run_round(gradients)
             ph.add("transfers", report.transfers)
+        if self.kernel is not None:
+            from repro.kernel import Priority
+
+            self.kernel.schedule(
+                report.wall_time_s, lambda: None, priority=Priority.STORAGE
+            )
+            self.kernel.run()
         ts = get_sampler()
         if ts.enabled:
             busy = self.service.metrics.busy_time_s

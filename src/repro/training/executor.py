@@ -166,6 +166,10 @@ class TrainingExecutor:
     straggler_factors: dict[int, float] = field(default_factory=dict)
     # A repro.faults.FaultInjector, or None for the exact pre-fault path.
     fault_injector: object | None = None
+    # A repro.kernel.RunJournal, or None. When set, every epoch boundary
+    # is journaled (fresh mode) or validated against the journaled prefix
+    # (resume mode) — see docs/kernel.md.
+    journal: object | None = None
 
     def __post_init__(self) -> None:
         if self.restart_planner is None:
@@ -186,6 +190,11 @@ class TrainingExecutor:
             fault_injector=self.fault_injector,
         )
         injector = self.fault_injector
+        # The kernel owns the run's job clock (JCT); the executor credits
+        # every overhead in occurrence order instead of keeping a private
+        # accumulator, so the job clock is bit-reproducible.
+        kernel = platform.sim
+        journal = self.journal
         checkpoints = None
         if injector is not None:
             from repro.faults.resilience import CheckpointStore
@@ -208,7 +217,7 @@ class TrainingExecutor:
         decision = self.scheduler.initial_decision()
         point: ProfiledAllocation = decision.point
         generation = 0
-        jct = decision.search_overhead_s
+        jct = kernel.credit_job_time(decision.search_overhead_s)
         sched_overhead = decision.search_overhead_s
         if decision.search_overhead_s:
             tracer.span(
@@ -263,7 +272,7 @@ class TrainingExecutor:
                     # and re-run only this epoch on a fresh generation.
                     epoch_attempt += 1
                     lost_s = platform.sim.now - epoch_start
-                    jct += lost_s
+                    jct = kernel.credit_job_time(lost_s)
                     # Restore = one model transfer from the allocation's
                     # storage; CheckpointError ends the job when the
                     # restore budget itself is exhausted.
@@ -276,7 +285,7 @@ class TrainingExecutor:
                         ),
                         scope="train", t_s=jct,
                     )
-                    jct += restore_s
+                    jct = kernel.credit_job_time(restore_s)
                     tracer.span(
                         "checkpoint-restore", "fault",
                         platform.sim.now, restore_s, "scheduler",
@@ -309,7 +318,7 @@ class TrainingExecutor:
                     # re-select from the surviving Pareto points.
                     epoch_attempt += 1
                     lost_s = platform.sim.now - epoch_start
-                    jct += lost_s
+                    jct = kernel.credit_job_time(lost_s)
                     excluded_allocations.add(alloc)
                     point = self._degrade_allocation(
                         exc, alloc, epoch_idx, jct, cost,
@@ -324,8 +333,24 @@ class TrainingExecutor:
             platform.meter.bill_storage(stor_usd)
             epoch_cost = result.billed_usd + stor_usd
             loss = provider.epoch_loss(alloc.n_functions)
-            jct += epoch_wall
+            jct = kernel.credit_job_time(epoch_wall)
             cost += epoch_cost
+            if journal is not None:
+                # Crash-consistency boundary: the epoch's outcome plus
+                # every RNG cursor is fsynced before the run moves on, so
+                # a host SIGKILL loses at most the epoch in flight.
+                journal.record_epoch(
+                    epoch=epoch_idx,
+                    attempt=epoch_attempt,
+                    job_clock_s=jct,
+                    event_clock_s=platform.sim.now,
+                    events_processed=platform.sim.events_processed,
+                    noise_draws=platform.noise_draws,
+                    fault_records=len(injector.ledger) if injector else 0,
+                    loss=loss,
+                    cost_usd=cost,
+                    allocation=alloc.describe(),
+                )
             if checkpoints is not None:
                 # Epoch-boundary checkpoint: the model state this epoch
                 # produced is durable in storage; a later failure re-runs
@@ -395,7 +420,7 @@ class TrainingExecutor:
                 # allocation with permanently lost instances; hold the
                 # degraded allocation instead.
                 decision = replace(decision, point=point, restart=False)
-            jct += decision.search_overhead_s
+            jct = kernel.credit_job_time(decision.search_overhead_s)
             sched_overhead += decision.search_overhead_s
             if decision.search_overhead_s:
                 tracer.span(
@@ -419,7 +444,7 @@ class TrainingExecutor:
                 if ts.enabled:
                     ts.mark("reallocation", jct, new_alloc.describe())
                 plan = self.restart_planner.plan_restart(w, new_alloc, epoch_wall)
-                jct += plan.visible_overhead_s
+                jct = kernel.credit_job_time(plan.visible_overhead_s)
                 sched_overhead += plan.visible_overhead_s
                 m_hidden.inc(plan.hidden_overhead_s)
                 m_visible.inc(plan.visible_overhead_s)

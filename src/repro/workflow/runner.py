@@ -155,6 +155,7 @@ def run_training(
     profile: ProfileResult | None = None,
     straggler_factors: dict[int, float] | None = None,
     fault_plan: object | None = None,
+    journal: object | None = None,
 ) -> TrainingRun:
     """Run one model-training job end to end.
 
@@ -167,6 +168,10 @@ def run_training(
     JSON document) turns on fault injection plus the resilience layer; an
     empty plan — or None — keeps the run byte-identical to the pre-fault
     execution path.
+
+    ``journal`` (a :class:`repro.kernel.RunJournal`) records every epoch
+    boundary to the crash-consistent write-ahead log; in resume mode the
+    journaled prefix is validated instead (``repro resume``).
     """
     w = _resolve_workload(w)
     injector = _make_injector(fault_plan, seed, "train")
@@ -195,6 +200,7 @@ def run_training(
         restart_planner=DelayedRestartPlanner(platform=platform, enabled=delayed_restart),
         straggler_factors=dict(straggler_factors or {}),
         fault_injector=injector,
+        journal=journal,
     )
     return TrainingRun(
         method=method, result=executor.run(), profile=profile, scheduler=scheduler,

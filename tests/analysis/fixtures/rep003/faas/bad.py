@@ -6,7 +6,7 @@ STATE: dict = {}
 
 
 def schedule(heap: list, when: float, action) -> None:
-    heapq.heappush(heap, (when, action))
+    heapq.heappush(heap, (when, action))  # lint: ignore[REP014]
 
 
 def handler(event):

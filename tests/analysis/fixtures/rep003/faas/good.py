@@ -4,7 +4,7 @@ import heapq
 
 
 def schedule(heap: list, when: float, seq: int, action) -> None:
-    heapq.heappush(heap, (when, seq, action))
+    heapq.heappush(heap, (when, seq, action))  # lint: ignore[REP014]
 
 
 def handler(event, state: dict):

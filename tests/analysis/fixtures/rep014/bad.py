@@ -1,0 +1,26 @@
+"""REP014 positive fixture: a private event queue next to the kernel."""
+
+import heapq
+import queue
+
+PENDING: list = []
+
+
+def enqueue(when: float, seq: int, action) -> None:
+    heapq.heappush(PENDING, (when, seq, action))
+
+
+def drain() -> list:
+    out = []
+    while PENDING:
+        out.append(heapq.heappop(PENDING))
+    return out
+
+
+def rebuild(entries: list) -> None:
+    PENDING[:] = entries
+    heapq.heapify(PENDING)
+
+
+def make_workqueue():
+    return queue.PriorityQueue()

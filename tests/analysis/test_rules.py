@@ -18,6 +18,7 @@ GOLDEN = {
     "REP006": ("rep006", 2),
     "REP007": ("rep007", 3),
     "REP008": ("rep008", 4),
+    "REP014": ("rep014", 4),
 }
 
 

@@ -194,3 +194,72 @@ class TestLedgerRecording:
         assert summary["n_recoveries"] == 1
         assert summary["fault_time_s"] == pytest.approx(2.0)
         assert summary["recovery_time_s"] == pytest.approx(0.5)
+
+
+class TestIncarnationSalting:
+    """Every retry-path draw is salted by incarnation: a job restored more
+    than once at the same epoch boundary must see *distinct* fault
+    streams, or the second restore deterministically replays the first
+    restore's failures (the bug this class pins)."""
+
+    def test_cold_window_factor_salted(self):
+        inj = FaultInjector(FaultPlan(cold_start_failure_prob=1.0), seed=0)
+        site = (3, 1, 0, 0, 0.25)  # epoch, rank, attempt, k, sigma
+        assert inj.cold_window_factor(*site, incarnation=0) != (
+            inj.cold_window_factor(*site, incarnation=1)
+        )
+        # Default incarnation is the first incarnation, and draws are
+        # stateless: the same site always yields the same factor.
+        assert inj.cold_window_factor(*site) == (
+            inj.cold_window_factor(*site, incarnation=0)
+        )
+
+    def test_retry_compute_factor_salted(self):
+        inj = FaultInjector(_crashy(), seed=0)
+        site = (3, 1, 1, 0.2)  # epoch, rank, attempt, sigma
+        assert inj.retry_compute_factor(*site, incarnation=0) != (
+            inj.retry_compute_factor(*site, incarnation=1)
+        )
+        assert inj.retry_compute_factor(*site) == (
+            inj.retry_compute_factor(*site, incarnation=0)
+        )
+
+    def test_sync_backoff_salted(self):
+        plan = FaultPlan(
+            storage={
+                ANY_STORAGE: StorageFaultSpec(
+                    transient_prob=1.0, error_timeout_s=1.0, max_errors=2
+                )
+            },
+            retry=RetrySpec(max_attempts=4, jitter=0.5),
+        )
+        inj = FaultInjector(plan, seed=0)
+        first = inj.sync_penalty(2, "s3", 0.0, 10.0, incarnation=0)
+        second = inj.sync_penalty(2, "s3", 0.0, 10.0, incarnation=1)
+        replay = inj.sync_penalty(2, "s3", 0.0, 10.0, incarnation=0)
+        assert first == replay  # stateless: same site, same penalty
+        assert first != second  # salted: a restored sync draws fresh
+
+    def test_draw_sequence_pinned_across_incarnations(self):
+        """Regression pin: the full retry-path draw sequence for one site
+        grid is a pure function of (seed, site, incarnation) — repeated
+        sweeps reproduce it exactly, and no incarnation aliases another."""
+        inj = FaultInjector(_crashy(cold_start_failure_prob=1.0), seed=7)
+
+        def sweep(incarnation):
+            return [
+                (
+                    inj.cold_window_factor(e, r, 0, k, 0.25, incarnation),
+                    inj.retry_compute_factor(e, r, 1, 0.2, incarnation),
+                )
+                for e in range(1, 4)
+                for r in range(4)
+                for k in range(2)
+            ]
+
+        sequences = {}
+        for incarnation in range(3):
+            seq = sweep(incarnation)
+            assert seq == sweep(incarnation)
+            sequences[incarnation] = tuple(seq)
+        assert len(set(sequences.values())) == 3

@@ -22,6 +22,7 @@ class TestPublicAPI:
             "repro.ml", "repro.analytical", "repro.tuning", "repro.training",
             "repro.baselines", "repro.workflow", "repro.experiments",
             "repro.telemetry", "repro.slo", "repro.faults", "repro.profiling",
+            "repro.kernel",
         ],
     )
     def test_subpackages_importable(self, module):

@@ -143,7 +143,7 @@ class TestCommittedBaseline:
         assert set(doc["experiments"]) == set(
             harness.REGISTRY.available()
         ) | {harness.GUARD_ENTRY, harness.PROFILE_ENTRY, harness.TS_ENTRY,
-             harness.SAVE_RUN_ENTRY, harness.FLOW_ENTRY}
+             harness.SAVE_RUN_ENTRY, harness.KERNEL_ENTRY, harness.FLOW_ENTRY}
         # The profiler probe's entry carries the per-phase breakdown.
         profile = doc["experiments"][harness.PROFILE_ENTRY]["profile"]
         assert profile, "profiler probe recorded no phases"
@@ -155,6 +155,9 @@ class TestCommittedBaseline:
         # The save-run probe's entry fingerprints the bundle it stored.
         bundle = doc["experiments"][harness.SAVE_RUN_ENTRY]["bundle"]
         assert bundle["n_artifacts"] > 0 and bundle["n_bytes"] > 0
+        # The kernel probe's entry fingerprints the journal it wrote.
+        journal = doc["experiments"][harness.KERNEL_ENTRY]["journal"]
+        assert journal["n_epoch_records"] > 0
         # The flow-analysis probe ran within budget and found nothing.
         flow = doc["experiments"][harness.FLOW_ENTRY]
         assert flow["wall_s"] <= harness.FLOW_BUDGET_WALL_S
